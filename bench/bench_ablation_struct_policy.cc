@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation C (Fig 7 alternatives): what pre-encrypting vs generating
+ * each boot structure costs, across vCPU counts, plus the bloated-shim
+ * comparison (a td-shim-style verifier with allocator/ACPI/event-log
+ * grows the root of trust and with it pre-encryption time - the §8
+ * warning).
+ */
+#include "bench/common.h"
+
+#include "memory/page_table.h"
+#include "vmm/mptable.h"
+#include "workload/synthetic.h"
+
+using namespace sevf;
+
+int
+main()
+{
+    bench::banner("Ablation C", "pre-encrypt vs generate, per structure");
+    core::Platform platform;
+    const sim::CostModel &cost = platform.cost();
+
+    // Per-structure: pre-encryption cost (PSP) vs generation cost
+    // implied by shipping the generator code in the verifier.
+    stats::Table table({"structure", "vCPUs", "pre-encrypt (PSP)",
+                        "generator code in RoT (PSP)", "winner"});
+    for (u32 vcpus : {1u, 2u, 8u, 32u}) {
+        u64 mptable = vmm::mptableSize(vcpus);
+        double pre = cost.pspLaunchUpdate(mptable).toMsF();
+        double gen = cost.pspLaunchUpdate(4 * kKiB).toMsF(); // 4K of code
+        table.addRow({"mptable", std::to_string(vcpus), stats::fmtMs(pre),
+                      stats::fmtMs(gen),
+                      pre <= gen ? "pre-encrypt" : "generate"});
+    }
+    u64 tables_1g = memory::identityTableSize(1 * kGiB);
+    double pt_pre = cost.pspLaunchUpdate(tables_1g).toMsF();
+    double pt_gen = cost.pspLaunchUpdate(2457).toMsF();
+    table.addRow({"page tables (1GiB map)", "-", stats::fmtMs(pt_pre),
+                  stats::fmtMs(pt_gen),
+                  pt_pre <= pt_gen ? "pre-encrypt" : "generate"});
+    table.print();
+
+    // Verifier-size sweep: the minimal 13K shim vs featureful shims.
+    std::printf("\n");
+    stats::Table shim({"verifier size", "pre-encryption phase",
+                       "boot total (AWS)"});
+    for (u64 size : {u64{0}, 64 * kKiB, 256 * kKiB, 1 * kMiB}) {
+        core::LaunchRequest request;
+        request.kernel = workload::KernelConfig::kAws;
+        request.attest = false;
+        request.verifier_size = size;
+        core::LaunchResult run = bench::runNominal(
+            platform, core::StrategyKind::kSeveriFastBz, request);
+        shim.addRow(
+            {size == 0 ? "13.0K (SEVeriFast)"
+                       : stats::fmtBytes(static_cast<double>(size)),
+             stats::fmtMs(
+                 run.trace.phaseTotal(sim::phase::kPreEncryption).toMsF()),
+             stats::fmtMs(run.bootTime().toMsF())});
+    }
+    shim.print();
+    bench::note("every KB added to the shim is ~0.24ms more on every "
+                "cold boot; generality belongs outside the root of trust");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 4: pre-encryption (LAUNCH_UPDATE_DATA) time vs region size.
+ * Runs the PSP flow functionally on real blobs across the sweep and
+ * reports virtual time; includes the paper's named points:
+ * 13KiB verifier, 1MiB OVMF, 3.3MiB bzImage, 12MiB compressed initrd,
+ * 23MiB vmlinux (all from §3.1-3.2).
+ */
+#include "bench/common.h"
+
+#include "memory/guest_memory.h"
+#include "psp/psp.h"
+#include "workload/synthetic.h"
+
+using namespace sevf;
+
+namespace {
+
+/** Measure one pre-encryption of @p bytes, functionally + modeled. */
+double
+preEncryptMs(core::Platform &platform, u64 bytes)
+{
+    u64 mem_size = alignUp(bytes + kMiB, kMiB);
+    memory::GuestMemory mem(mem_size, platform.allocateSpaWindow(mem_size),
+                            platform.psp().allocateAsid());
+    ByteVec blob = workload::compressibleBytes(bytes, 0.5, bytes ^ 0xf16);
+    SEVF_CHECK(mem.hostWrite(0, blob).isOk());
+
+    Result<psp::GuestHandle> h = platform.psp().launchStart(mem, 0);
+    SEVF_CHECK(h.isOk());
+    SEVF_CHECK(platform.psp().launchUpdateData(*h, mem, 0, bytes).isOk());
+    SEVF_CHECK(platform.psp().launchFinish(*h).isOk());
+
+    return platform.cost().pspLaunchUpdate(bytes).toMsF();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 4", "pre-encryption time vs size (PSP)");
+    core::Platform platform;
+
+    stats::Table table({"component", "size", "pre-encryption",
+                        "paper"});
+    struct Point {
+        const char *name;
+        u64 bytes;
+        const char *paper;
+    };
+    const Point points[] = {
+        {"boot verifier (SEVeriFast)", 13 * kKiB, "~5ms incl. cmds"},
+        {"64KiB", 64 * kKiB, "-"},
+        {"256KiB", 256 * kKiB, "-"},
+        {"OVMF image", 1 * kMiB, "256.65ms"},
+        {"Lupine bzImage", static_cast<u64>(3.3 * kMiB), "840ms"},
+        {"AWS bzImage", static_cast<u64>(7.1 * kMiB), "-"},
+        {"compressed initrd", 12 * kMiB, "2.85s"},
+        {"Ubuntu bzImage", 15 * kMiB, "-"},
+        {"Lupine vmlinux", 23 * kMiB, "5.65s"},
+        {"AWS vmlinux", 43 * kMiB, "-"},
+        {"Ubuntu vmlinux", 61 * kMiB, "-"},
+    };
+    for (const Point &p : points) {
+        double ms = preEncryptMs(platform, p.bytes);
+        table.addRow({p.name, stats::fmtBytes(static_cast<double>(p.bytes)),
+                      stats::fmtMs(ms), p.paper});
+    }
+    table.print();
+
+    // Linearity check the figure shows.
+    double slope_small = preEncryptMs(platform, 2 * kMiB) -
+                         preEncryptMs(platform, 1 * kMiB);
+    double slope_large = (preEncryptMs(platform, 32 * kMiB) -
+                          preEncryptMs(platform, 16 * kMiB)) /
+                         16.0;
+    std::printf("slope: %.1f ms/MiB (small), %.1f ms/MiB (large) -> "
+                "linear, ~4 MiB/s PSP throughput\n",
+                slope_small, slope_large);
+    bench::note("pre-encrypting even the smallest kernel is 1-2 orders "
+                "of magnitude over a 40ms microVM boot (S3.2)");
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure 9: CDFs of end-to-end SEV-SNP boot (including attestation for
+ * networked kernels) for SEVeriFast vs QEMU/OVMF, 100 runs per config.
+ * Headline: SEVeriFast reduces average boot time 86-93%.
+ */
+#include "bench/common.h"
+
+#include "stats/ascii_chart.h"
+#include "workload/synthetic.h"
+
+using namespace sevf;
+
+int
+main()
+{
+    bench::banner("Figure 9",
+                  "boot+attestation CDFs: SEVeriFast vs QEMU/OVMF");
+    core::Platform platform;
+    const sim::CostModel &model = platform.cost();
+
+    stats::Table cdf({"config", "system", "p10", "p50", "p90", "p99",
+                      "mean"});
+    stats::Table reductions({"config", "QEMU mean", "SEVeriFast mean",
+                             "reduction", "paper"});
+    const char *paper_reduction[] = {"93.8%", "88.5%", "86.1%"};
+
+    int idx = 0;
+    for (const workload::KernelSpec &spec : workload::allKernelSpecs()) {
+        core::LaunchRequest request;
+        request.kernel = spec.config;
+
+        core::LaunchResult sevf_run = bench::runNominal(
+            platform, core::StrategyKind::kSeveriFastBz, request);
+        core::LaunchResult qemu_run = bench::runNominal(
+            platform, core::StrategyKind::kQemuOvmfSev, request);
+
+        std::vector<sim::Duration> sevf_samples = bench::sampleTotals(
+            sevf_run, model, bench::kRunsPerConfig, 0x0901 + idx);
+        std::vector<sim::Duration> qemu_samples = bench::sampleTotals(
+            qemu_run, model, bench::kRunsPerConfig, 0x0951 + idx);
+
+        auto add_cdf_row = [&](const char *system,
+                               std::vector<sim::Duration> &samples) {
+            stats::Summary s = stats::summarize(samples);
+            cdf.addRow({spec.name, system,
+                        stats::fmtMs(stats::percentileMs(samples, 10)),
+                        stats::fmtMs(stats::percentileMs(samples, 50)),
+                        stats::fmtMs(stats::percentileMs(samples, 90)),
+                        stats::fmtMs(stats::percentileMs(samples, 99)),
+                        stats::fmtMs(s.mean_ms)});
+        };
+        add_cdf_row("SEVeriFast", sevf_samples);
+        add_cdf_row("QEMU/OVMF", qemu_samples);
+
+        // Artifact-style raw series for external plotting.
+        std::string dat = "# boot_ms fraction (severifast, qemu)\n";
+        std::vector<stats::CdfPoint> sc = stats::cdfOf(sevf_samples);
+        std::vector<stats::CdfPoint> qc = stats::cdfOf(qemu_samples);
+        for (std::size_t i = 0; i < sc.size(); ++i) {
+            char line[96];
+            std::snprintf(line, sizeof(line), "%.3f %.3f %.3f %.3f\n",
+                          sc[i].value_ms, sc[i].fraction, qc[i].value_ms,
+                          qc[i].fraction);
+            dat += line;
+        }
+        bench::writeDataFile(
+            std::string("fig09_cdf_") + spec.name + ".dat", dat);
+
+        double sevf_mean = stats::summarize(sevf_samples).mean_ms;
+        double qemu_mean = stats::summarize(qemu_samples).mean_ms;
+        reductions.addRow({spec.name, stats::fmtMs(qemu_mean),
+                           stats::fmtMs(sevf_mean),
+                           stats::fmtPercent(1.0 - sevf_mean / qemu_mean),
+                           paper_reduction[idx]});
+        ++idx;
+    }
+
+    cdf.print();
+    std::printf("\n");
+    reductions.print();
+
+    // The Fig 9 CDF picture for the AWS kernel (log-x would separate
+    // the curves further; even linear-x the gap is unmistakable).
+    core::LaunchRequest aws_req;
+    aws_req.kernel = workload::KernelConfig::kAws;
+    core::LaunchResult aws_sevf = bench::runNominal(
+        platform, core::StrategyKind::kSeveriFastBz, aws_req);
+    core::LaunchResult aws_qemu = bench::runNominal(
+        platform, core::StrategyKind::kQemuOvmfSev, aws_req);
+    auto cdf_points = [&](const core::LaunchResult &run, u64 seed) {
+        std::vector<std::pair<double, double>> pts;
+        for (const stats::CdfPoint &p : stats::cdfOf(bench::sampleTotals(
+                 run, model, bench::kRunsPerConfig, seed))) {
+            pts.push_back({p.value_ms, p.fraction});
+        }
+        return pts;
+    };
+    stats::AsciiChart chart(64, 12);
+    chart.setYBounds(0.0, 1.0);
+    chart.addSeries("SEVeriFast", '#', cdf_points(aws_sevf, 0xc0f1));
+    chart.addSeries("QEMU/OVMF", 'o', cdf_points(aws_qemu, 0xc0f2));
+    std::printf("\nAWS kernel boot-time CDF:\n%s",
+                chart.render("boot time (ms)", "P(X <= x)").c_str());
+    bench::note("attestation (~200ms) included for AWS/Ubuntu; Lupine "
+                "has no networking so it is excluded (S6.1)");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 11: stacked boot-time breakdown - stock Firecracker vs
+ * SEVeriFast with a compressed kernel vs SEVeriFast booting an
+ * uncompressed vmlinux (via the S5 optimized streaming ELF loader),
+ * per kernel config, no attestation. Paper: SEVeriFast AWS is ~4x the
+ * stock Firecracker boot, dominated by Linux boot under SNP and the
+ * extra VMM work.
+ */
+#include "bench/common.h"
+
+#include "workload/synthetic.h"
+
+using namespace sevf;
+
+int
+main()
+{
+    bench::banner("Figure 11",
+                  "breakdown: stock FC vs SEVeriFast (bz) vs SEVeriFast "
+                  "(vmlinux)");
+    core::Platform platform;
+
+    stats::Table table({"kernel", "system", "VMM", "pre-enc",
+                        "boot verification", "bootstrap loader",
+                        "linux boot", "total"});
+    double stock_aws = 0, sevf_aws = 0;
+    for (const workload::KernelSpec &spec : workload::allKernelSpecs()) {
+        for (core::StrategyKind kind :
+             {core::StrategyKind::kStockFirecracker,
+              core::StrategyKind::kSeveriFastBz,
+              core::StrategyKind::kSeveriFastVmlinux}) {
+            core::LaunchRequest request;
+            request.kernel = spec.config;
+            request.attest = false;
+            core::LaunchResult run =
+                bench::runNominal(platform, kind, request);
+
+            double vmm = run.trace.phaseTotal(sim::phase::kVmm).toMsF();
+            double pre =
+                run.trace.phaseTotal(sim::phase::kPreEncryption).toMsF();
+            double verify =
+                run.trace.phaseTotal(sim::phase::kBootVerification).toMsF();
+            double loader =
+                run.trace.phaseTotal(sim::phase::kBootstrapLoader).toMsF();
+            double linux_boot =
+                run.trace.phaseTotal(sim::phase::kLinuxBoot).toMsF();
+            double total = run.bootTime().toMsF();
+            const char *label =
+                kind == core::StrategyKind::kStockFirecracker
+                    ? "Stock FC"
+                    : (kind == core::StrategyKind::kSeveriFastBz
+                           ? "SEVeriFast bz"
+                           : "SEVeriFast vmlinux");
+            table.addRow({spec.name, label, stats::fmtMs(vmm),
+                          stats::fmtMs(pre), stats::fmtMs(verify),
+                          stats::fmtMs(loader), stats::fmtMs(linux_boot),
+                          stats::fmtMs(total)});
+            if (spec.config == workload::KernelConfig::kAws) {
+                if (kind == core::StrategyKind::kStockFirecracker) {
+                    stock_aws = total;
+                } else if (kind == core::StrategyKind::kSeveriFastBz) {
+                    sevf_aws = total;
+                }
+            }
+        }
+    }
+    table.print();
+
+    std::printf("AWS kernel: SEVeriFast / stock = %.1fx (paper: ~4x)\n",
+                sevf_aws / stock_aws);
+    bench::note("bzImage beats vmlinux under SEVeriFast: the extra "
+                "hash/copy bytes of the uncompressed ELF outweigh "
+                "decompression (S6.2)");
+    return 0;
+}

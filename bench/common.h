@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared bench-harness helpers.
+ *
+ * Methodology mirrors §6.1: each configuration is booted functionally
+ * once (warm caches), then per-run samples are drawn by re-jittering
+ * the nominal trace - the equivalent of the paper's 100 sequential
+ * boots after 5 warmup boots.
+ */
+#ifndef SEVF_BENCH_COMMON_H_
+#define SEVF_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "base/logging.h"
+#include "core/launch.h"
+#include "sim/cost_model.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace sevf::bench {
+
+/** Paper-style run count (§6.1). */
+inline constexpr int kRunsPerConfig = 100;
+
+/** Run one functional launch; fatal on failure (benches must not lie). */
+inline core::LaunchResult
+runNominal(core::Platform &platform, core::StrategyKind kind,
+           const core::LaunchRequest &request)
+{
+    Result<core::LaunchResult> result =
+        core::makeStrategy(kind)->launch(platform, request);
+    if (!result.isOk()) {
+        fatal("launch failed (", core::strategyName(kind),
+              "): ", result.status().toString());
+    }
+    return result.take();
+}
+
+/** Draw @p n jittered total-time samples from a nominal result. */
+inline std::vector<sim::Duration>
+sampleTotals(const core::LaunchResult &nominal, const sim::CostModel &model,
+             int n, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<sim::Duration> out;
+    out.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        out.push_back(sim::jitterTrace(nominal.trace, model, rng).total());
+    }
+    return out;
+}
+
+/** Section banner shared by all bench binaries. */
+inline void
+banner(const char *figure, const char *title)
+{
+    std::printf("\n=== %s: %s ===\n", figure, title);
+}
+
+/** "paper reports X, we measure Y" footnote line. */
+inline void
+note(const char *text)
+{
+    std::printf("  note: %s\n", text);
+}
+
+/**
+ * Persist machine-readable results next to the console output, like
+ * the paper artifact's severifast/data directory. Files land in
+ * ./bench_data/<name>.
+ */
+inline void
+writeDataFile(const std::string &name, const std::string &contents)
+{
+    std::error_code ec;
+    std::filesystem::create_directories("bench_data", ec);
+    std::ofstream out("bench_data/" + name);
+    if (!out) {
+        warn("could not write bench_data/", name);
+        return;
+    }
+    out << contents;
+    std::printf("  data: bench_data/%s\n", name.c_str());
+}
+
+} // namespace sevf::bench
+
+#endif // SEVF_BENCH_COMMON_H_

@@ -1,0 +1,38 @@
+#include "attest/expected_measurement.h"
+
+#include "base/types.h"
+#include "psp/psp.h"
+
+namespace sevf::attest {
+
+u64
+totalPreEncryptedBytes(const std::vector<PreEncryptedRegion> &regions)
+{
+    u64 total = 0;
+    for (const PreEncryptedRegion &r : regions) {
+        total += r.bytes.size();
+    }
+    return total;
+}
+
+crypto::Sha256Digest
+expectedMeasurement(const std::vector<PreEncryptedRegion> &regions,
+                    std::optional<VmsaInfo> vmsa)
+{
+    crypto::LaunchDigest digest;
+    for (const PreEncryptedRegion &r : regions) {
+        digest.extendRegion(crypto::MeasuredPageType::kNormal, r.gpa,
+                            r.bytes);
+    }
+    if (vmsa) {
+        for (u32 cpu = 0; cpu < vmsa->vcpus; ++cpu) {
+            Gpa gpa = vmsa->base_gpa + cpu * kPageSize;
+            digest.extend(crypto::MeasuredPageType::kVmsa, gpa,
+                          crypto::Sha256::digest(
+                              psp::synthesizeVmsa(cpu, vmsa->policy)));
+        }
+    }
+    return digest.value();
+}
+
+} // namespace sevf::attest

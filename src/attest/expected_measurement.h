@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The guest owner's expected-measurement tool (§4.2).
+ *
+ * SEVeriFast pre-encrypts several distinct regions (boot verifier,
+ * mptable, boot_params, cmdline, component hashes), which complicates
+ * computing the expected launch digest; this tool replays the exact
+ * LAUNCH_UPDATE_DATA sequence offline so the digest in an attestation
+ * report can be checked. Any divergence - a malicious boot verifier, a
+ * tampered hash page - changes the digest (§2.6 attacks 2 and 3).
+ */
+#ifndef SEVF_ATTEST_EXPECTED_MEASUREMENT_H_
+#define SEVF_ATTEST_EXPECTED_MEASUREMENT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/measurement.h"
+#include "crypto/sha256.h"
+
+namespace sevf::attest {
+
+/**
+ * One region the VMM will pass to LAUNCH_UPDATE_DATA, in launch order.
+ * Shared between the VMM (which executes the plan) and this tool
+ * (which predicts its digest).
+ */
+struct PreEncryptedRegion {
+    std::string name; //!< "boot_verifier", "mptable", ...
+    Gpa gpa = 0;
+    ByteVec bytes;
+};
+
+/** Total plaintext bytes across @p regions (the pre-encryption payload). */
+u64 totalPreEncryptedBytes(const std::vector<PreEncryptedRegion> &regions);
+
+/**
+ * VMSA measurement inputs (SEV-ES/SNP): the VMSAs are measured after
+ * the data regions, one per vCPU, at base_gpa + i*4K.
+ */
+struct VmsaInfo {
+    u32 vcpus = 1;
+    u32 policy = 0;
+    Gpa base_gpa = 0;
+};
+
+/**
+ * Replay the measurement chain over @p regions exactly as the PSP does
+ * (page-granular, zero-padded tails, in order), then the VMSAs if the
+ * guest is SEV-ES/SNP.
+ */
+crypto::Sha256Digest expectedMeasurement(
+    const std::vector<PreEncryptedRegion> &regions,
+    std::optional<VmsaInfo> vmsa = std::nullopt);
+
+} // namespace sevf::attest
+
+#endif // SEVF_ATTEST_EXPECTED_MEASUREMENT_H_

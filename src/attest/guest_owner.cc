@@ -1,0 +1,62 @@
+#include "attest/guest_owner.h"
+
+#include "base/bytes.h"
+#include "crypto/dh.h"
+#include "crypto/seal.h"
+#include "psp/attestation_report.h"
+
+namespace sevf::attest {
+
+GuestOwner::GuestOwner(const psp::KeyServer &key_server,
+                       crypto::Sha256Digest expected_measurement,
+                       ByteVec secret, u64 seed)
+    : key_server_(key_server),
+      expected_measurement_(expected_measurement),
+      secret_(std::move(secret)),
+      rng_(seed)
+{
+}
+
+Result<ProvisionResponse>
+GuestOwner::handleReport(ByteSpan report_wire)
+{
+    Result<psp::AttestationReport> report =
+        psp::AttestationReport::parse(report_wire);
+    if (!report.isOk()) {
+        ++rejected_;
+        return report.status();
+    }
+
+    Result<psp::ChipKey> chip_key = key_server_.keyFor(report->chip_id);
+    if (!chip_key.isOk()) {
+        ++rejected_;
+        return errIntegrity("report from unknown chip " + report->chip_id);
+    }
+    if (!report->verify(*chip_key)) {
+        ++rejected_;
+        return errIntegrity("report signature verification failed");
+    }
+    if (!digestEqual(ByteSpan(report->measurement.data(),
+                              report->measurement.size()),
+                     ByteSpan(expected_measurement_.data(),
+                              expected_measurement_.size()))) {
+        ++rejected_;
+        return errIntegrity(
+            "launch digest does not match expected measurement");
+    }
+
+    // The guest's DH public value rides in the signed report_data, so a
+    // man-in-the-middle host cannot substitute its own.
+    u64 guest_public = loadLe<u64>(report->report_data.data());
+    crypto::DhKeyPair owner = crypto::dhGenerate(rng_);
+    crypto::Sha256Digest channel_key =
+        crypto::dhSharedKey(owner.private_exponent, guest_public);
+
+    ProvisionResponse resp;
+    resp.owner_dh_public = owner.public_value;
+    resp.sealed_secret = crypto::seal(channel_key, rng_.next(), secret_);
+    ++accepted_;
+    return resp;
+}
+
+} // namespace sevf::attest

@@ -1,0 +1,13 @@
+#include "base/logging.h"
+
+namespace sevf {
+namespace detail {
+
+void
+emit(std::string_view level, const std::string &msg)
+{
+    std::cerr << "[sevf:" << level << "] " << msg << "\n";
+}
+
+} // namespace detail
+} // namespace sevf

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Status-message and error helpers following the gem5 idiom:
+ * inform()/warn() report, fatal() is a user error (clean exit),
+ * panic() is an internal invariant violation (abort).
+ */
+#ifndef SEVF_BASE_LOGGING_H_
+#define SEVF_BASE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace sevf {
+
+namespace detail {
+
+void emit(std::string_view level, const std::string &msg);
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report normal operating status the user should see. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emit("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a condition that might indicate a problem but is survivable. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Terminate due to a user/configuration error (not a library bug).
+ * Exits with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emit("fatal", detail::concat(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/**
+ * Terminate due to an internal invariant violation (a library bug).
+ * Calls abort() so a core/backtrace is available.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emit("panic", detail::concat(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/** Panic unless @p cond holds. Usable in release builds (unlike assert). */
+#define SEVF_CHECK(cond)                                                     \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::sevf::panic("check failed: ", #cond, " at ", __FILE__, ":",    \
+                          __LINE__);                                         \
+        }                                                                    \
+    } while (0)
+
+} // namespace sevf
+
+#endif // SEVF_BASE_LOGGING_H_

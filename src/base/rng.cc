@@ -1,0 +1,104 @@
+#include "base/rng.h"
+
+#include <cmath>
+
+namespace sevf {
+
+namespace {
+
+u64
+splitmix64(u64 &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    u64 z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(u64 seed)
+{
+    u64 sm = seed;
+    for (auto &lane : s_) {
+        lane = splitmix64(sm);
+    }
+}
+
+u64
+Rng::next()
+{
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+u64
+Rng::nextBelow(u64 bound)
+{
+    // Rejection sampling to avoid modulo bias.
+    const u64 threshold = -bound % bound;
+    for (;;) {
+        u64 r = next();
+        if (r >= threshold) {
+            return r % bound;
+        }
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (have_spare_) {
+        have_spare_ = false;
+        return spare_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 1e-12);
+    double u2 = nextDouble();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    have_spare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+void
+Rng::fill(MutByteSpan out)
+{
+    std::size_t i = 0;
+    while (i + 8 <= out.size()) {
+        u64 v = next();
+        for (int b = 0; b < 8; ++b) {
+            out[i++] = static_cast<u8>(v >> (8 * b));
+        }
+    }
+    if (i < out.size()) {
+        u64 v = next();
+        for (int b = 0; i < out.size(); ++b) {
+            out[i++] = static_cast<u8>(v >> (8 * b));
+        }
+    }
+}
+
+} // namespace sevf

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic pseudo-random generation (xoshiro256**) used for synthetic
+ * workload bytes and per-phase timing jitter. All experiments are seeded so
+ * runs are reproducible.
+ */
+#ifndef SEVF_BASE_RNG_H_
+#define SEVF_BASE_RNG_H_
+
+#include "base/types.h"
+
+namespace sevf {
+
+/**
+ * xoshiro256** 1.0 (Blackman/Vigna). Small, fast, and good enough for
+ * synthetic data and jitter; not for cryptography (the crypto module does
+ * not use it for keys in any security-relevant test).
+ */
+class Rng
+{
+  public:
+    /** Seeds the four lanes from @p seed via splitmix64. */
+    explicit Rng(u64 seed);
+
+    /** Next 64 uniformly random bits. */
+    u64 next();
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    u64 nextBelow(u64 bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Standard normal via Box-Muller. */
+    double nextGaussian();
+
+    /** Fill @p out with random bytes. */
+    void fill(MutByteSpan out);
+
+  private:
+    u64 s_[4];
+    bool have_spare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace sevf
+
+#endif // SEVF_BASE_RNG_H_

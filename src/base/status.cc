@@ -1,0 +1,33 @@
+#include "base/status.h"
+
+namespace sevf {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::kOk: return "ok";
+      case ErrorCode::kInvalidArgument: return "invalid-argument";
+      case ErrorCode::kInvalidState: return "invalid-state";
+      case ErrorCode::kNotFound: return "not-found";
+      case ErrorCode::kIntegrityFailure: return "integrity-failure";
+      case ErrorCode::kAccessDenied: return "access-denied";
+      case ErrorCode::kCorrupted: return "corrupted";
+      case ErrorCode::kUnsupported: return "unsupported";
+      case ErrorCode::kResourceExhausted: return "resource-exhausted";
+    }
+    return "unknown";
+}
+
+std::string
+Status::toString() const
+{
+    std::string out = errorCodeName(code_);
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+} // namespace sevf

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Lightweight error propagation without exceptions: Status and Result<T>.
+ *
+ * The project avoids exceptions on the boot path (the real SEVeriFast boot
+ * verifier is a no_std Rust binary); errors are explicit values that callers
+ * must inspect.
+ */
+#ifndef SEVF_BASE_STATUS_H_
+#define SEVF_BASE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "base/logging.h"
+
+namespace sevf {
+
+/** Error category, loosely mirroring the failure classes in the paper. */
+enum class ErrorCode {
+    kOk = 0,
+    kInvalidArgument,   //!< caller passed something malformed
+    kInvalidState,      //!< operation illegal in current state machine state
+    kNotFound,          //!< lookup failed
+    kIntegrityFailure,  //!< hash/measurement mismatch (boot verification)
+    kAccessDenied,      //!< RMP/ownership violation
+    kCorrupted,         //!< malformed image/archive/stream
+    kUnsupported,       //!< feature deliberately not implemented
+    kResourceExhausted, //!< out of guest memory, ASIDs, ...
+};
+
+/** Human-readable name for an ErrorCode. */
+const char *errorCodeName(ErrorCode code);
+
+/**
+ * Outcome of an operation: kOk or an error code with a message.
+ */
+class Status
+{
+  public:
+    /** Constructs an OK status. */
+    Status() : code_(ErrorCode::kOk) {}
+
+    Status(ErrorCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    static Status ok() { return Status(); }
+
+    bool isOk() const { return code_ == ErrorCode::kOk; }
+    ErrorCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** Formats "<code>: <message>" for logs. */
+    std::string toString() const;
+
+  private:
+    ErrorCode code_;
+    std::string message_;
+};
+
+/**
+ * A value or an error. Dereferencing a failed Result panics, so callers
+ * must test ok() (or use valueOr) first.
+ */
+template <typename T>
+class Result
+{
+  public:
+    /** Success. Implicit so `return value;` works. */
+    Result(T value) : value_(std::move(value)) {}
+    /** Failure. Implicit so `return status;` works; must not be kOk. */
+    Result(Status status) : status_(std::move(status))
+    {
+        SEVF_CHECK(!status_.isOk());
+    }
+
+    bool isOk() const { return value_.has_value(); }
+    const Status &status() const { return status_; }
+
+    /** The contained value; panics if this Result holds an error. */
+    const T &
+    value() const
+    {
+        if (!value_) {
+            panic("Result::value() on error: ", status_.toString());
+        }
+        return *value_;
+    }
+
+    T &
+    value()
+    {
+        if (!value_) {
+            panic("Result::value() on error: ", status_.toString());
+        }
+        return *value_;
+    }
+
+    /** Moves the value out; panics on error. */
+    T
+    take()
+    {
+        if (!value_) {
+            panic("Result::take() on error: ", status_.toString());
+        }
+        return std::move(*value_);
+    }
+
+    /** The value, or @p fallback if this Result holds an error. */
+    T
+    valueOr(T fallback) const
+    {
+        return value_ ? *value_ : std::move(fallback);
+    }
+
+    const T &operator*() const { return value(); }
+    T &operator*() { return value(); }
+    const T *operator->() const { return &value(); }
+    T *operator->() { return &value(); }
+
+  private:
+    std::optional<T> value_;
+    Status status_;
+};
+
+/** Shorthand builders. */
+inline Status
+errInvalidArgument(std::string msg)
+{
+    return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+
+inline Status
+errInvalidState(std::string msg)
+{
+    return {ErrorCode::kInvalidState, std::move(msg)};
+}
+
+inline Status
+errNotFound(std::string msg)
+{
+    return {ErrorCode::kNotFound, std::move(msg)};
+}
+
+inline Status
+errIntegrity(std::string msg)
+{
+    return {ErrorCode::kIntegrityFailure, std::move(msg)};
+}
+
+inline Status
+errAccessDenied(std::string msg)
+{
+    return {ErrorCode::kAccessDenied, std::move(msg)};
+}
+
+inline Status
+errCorrupted(std::string msg)
+{
+    return {ErrorCode::kCorrupted, std::move(msg)};
+}
+
+inline Status
+errUnsupported(std::string msg)
+{
+    return {ErrorCode::kUnsupported, std::move(msg)};
+}
+
+inline Status
+errResourceExhausted(std::string msg)
+{
+    return {ErrorCode::kResourceExhausted, std::move(msg)};
+}
+
+/** Propagate a non-OK Status from the current function. */
+#define SEVF_RETURN_IF_ERROR(expr)                                           \
+    do {                                                                     \
+        ::sevf::Status sevf_status_ = (expr);                                \
+        if (!sevf_status_.isOk()) {                                          \
+            return sevf_status_;                                             \
+        }                                                                    \
+    } while (0)
+
+} // namespace sevf
+
+#endif // SEVF_BASE_STATUS_H_

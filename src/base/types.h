@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fundamental type aliases and byte-buffer types used across the project.
+ */
+#ifndef SEVF_BASE_TYPES_H_
+#define SEVF_BASE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sevf {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/** Owned byte buffer. */
+using ByteVec = std::vector<u8>;
+/** Non-owning view of immutable bytes. */
+using ByteSpan = std::span<const u8>;
+/** Non-owning view of mutable bytes. */
+using MutByteSpan = std::span<u8>;
+
+/** Guest-physical address (paper: GPA). */
+using Gpa = u64;
+/** Host-physical address in the simulated platform (paper: SPA). */
+using Spa = u64;
+
+inline constexpr u64 kKiB = 1024;
+inline constexpr u64 kMiB = 1024 * kKiB;
+inline constexpr u64 kGiB = 1024 * kMiB;
+
+/** Base page size used throughout (x86-64 4K pages). */
+inline constexpr u64 kPageSize = 4 * kKiB;
+/** 2 MiB hugepage size (transparent huge pages, §6.1). */
+inline constexpr u64 kHugePageSize = 2 * kMiB;
+
+/** Round @p v up to the next multiple of @p align (align must be a power of 2). */
+constexpr u64
+alignUp(u64 v, u64 align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Round @p v down to a multiple of @p align (align must be a power of 2). */
+constexpr u64
+alignDown(u64 v, u64 align)
+{
+    return v & ~(align - 1);
+}
+
+/** Number of pages covering @p bytes. */
+constexpr u64
+pagesFor(u64 bytes, u64 page_size = kPageSize)
+{
+    return (bytes + page_size - 1) / page_size;
+}
+
+} // namespace sevf
+
+#endif // SEVF_BASE_TYPES_H_

@@ -1,0 +1,136 @@
+#include "compress/codec.h"
+
+#include "base/logging.h"
+#include "compress/frame.h"
+#include "compress/gzip_lite.h"
+#include "compress/lz4.h"
+#include "compress/lzss.h"
+
+namespace sevf::compress {
+
+namespace detail {
+
+void
+writeHeader(ByteWriter &w, CodecKind kind, u64 decompressed_size)
+{
+    w.str(std::string_view(kMagic, 4));
+    w.u8le(static_cast<u8>(kind));
+    w.zeros(3);
+    w.u64le(decompressed_size);
+}
+
+Result<Header>
+readHeader(ByteReader &r)
+{
+    Result<ByteVec> magic = r.bytes(4);
+    if (!magic.isOk()) {
+        return magic.status();
+    }
+    if (!std::equal(magic->begin(), magic->end(), kMagic)) {
+        return errCorrupted("bad compression frame magic");
+    }
+    Result<u8> kind = r.u8le();
+    if (!kind.isOk()) {
+        return kind.status();
+    }
+    if (*kind > static_cast<u8>(CodecKind::kGzipLite)) {
+        return errCorrupted("unknown codec kind in frame header");
+    }
+    SEVF_RETURN_IF_ERROR(r.skip(3));
+    Result<u64> size = r.u64le();
+    if (!size.isOk()) {
+        return size.status();
+    }
+    return Header{static_cast<CodecKind>(*kind), *size};
+}
+
+} // namespace detail
+
+const char *
+codecName(CodecKind kind)
+{
+    switch (kind) {
+      case CodecKind::kNone: return "none";
+      case CodecKind::kLz4: return "lz4";
+      case CodecKind::kLzss: return "lzss";
+      case CodecKind::kGzipLite: return "gzip-lite";
+    }
+    return "unknown";
+}
+
+Result<u64>
+Codec::decompressedSize(ByteSpan stream)
+{
+    ByteReader r(stream);
+    Result<detail::Header> h = detail::readHeader(r);
+    if (!h.isOk()) {
+        return h.status();
+    }
+    return h->decompressed_size;
+}
+
+Result<CodecKind>
+Codec::streamKind(ByteSpan stream)
+{
+    ByteReader r(stream);
+    Result<detail::Header> h = detail::readHeader(r);
+    if (!h.isOk()) {
+        return h.status();
+    }
+    return h->kind;
+}
+
+namespace {
+
+/** Identity codec: frames but does not transform. */
+class NoneCodec : public Codec
+{
+  public:
+    CodecKind kind() const override { return CodecKind::kNone; }
+
+    ByteVec
+    compress(ByteSpan input) const override
+    {
+        ByteWriter w;
+        detail::writeHeader(w, CodecKind::kNone, input.size());
+        w.bytes(input);
+        return w.take();
+    }
+
+    Result<ByteVec>
+    decompress(ByteSpan stream) const override
+    {
+        ByteReader r(stream);
+        Result<detail::Header> h = detail::readHeader(r);
+        if (!h.isOk()) {
+            return h.status();
+        }
+        if (h->kind != CodecKind::kNone) {
+            return errCorrupted("frame is not a 'none' stream");
+        }
+        if (h->decompressed_size != r.remaining()) {
+            return errCorrupted("'none' frame size mismatch");
+        }
+        return r.bytes(r.remaining());
+    }
+};
+
+} // namespace
+
+const Codec &
+codecFor(CodecKind kind)
+{
+    static const NoneCodec none;
+    static const Lz4Codec lz4;
+    static const LzssCodec lzss;
+    static const GzipLiteCodec gzip_lite;
+    switch (kind) {
+      case CodecKind::kNone: return none;
+      case CodecKind::kLz4: return lz4;
+      case CodecKind::kLzss: return lzss;
+      case CodecKind::kGzipLite: return gzip_lite;
+    }
+    panic("unknown codec kind");
+}
+
+} // namespace sevf::compress

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Compression codec interface and registry.
+ *
+ * The paper's Fig 5 trade-off (measurement time vs decompression time)
+ * is explored with three codecs: none (vmlinux-style), LZ4 (the winner,
+ * used for bzImages in SEVeriFast), and LZSS as the stand-in for the
+ * slower gzip-class algorithms Linux also supports.
+ */
+#ifndef SEVF_COMPRESS_CODEC_H_
+#define SEVF_COMPRESS_CODEC_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "base/types.h"
+
+namespace sevf::compress {
+
+/** Available codecs. */
+enum class CodecKind : u8 {
+    kNone = 0,     //!< identity (uncompressed vmlinux / raw initrd)
+    kLz4 = 1,      //!< LZ4 block format (CONFIG_KERNEL_LZ4)
+    kLzss = 2,     //!< LZSS: fast-but-weak dictionary-only coder
+    kGzipLite = 3, //!< LZ77 + canonical Huffman (CONFIG_KERNEL_GZIP class)
+};
+
+const char *codecName(CodecKind kind);
+
+/**
+ * A compression codec. Streams are framed with a small self-describing
+ * header so decompress() can validate kind and size.
+ */
+class Codec
+{
+  public:
+    virtual ~Codec() = default;
+
+    Codec() = default;
+    Codec(const Codec &) = delete;
+    Codec &operator=(const Codec &) = delete;
+
+    virtual CodecKind kind() const = 0;
+    std::string_view name() const { return codecName(kind()); }
+
+    /** Compress @p input into a framed stream. */
+    virtual ByteVec compress(ByteSpan input) const = 0;
+
+    /**
+     * Decompress a framed stream produced by compress(). Fails with
+     * kCorrupted on malformed input (truncation, bad magic, bad offsets).
+     */
+    virtual Result<ByteVec> decompress(ByteSpan stream) const = 0;
+
+    /**
+     * Decompressed size recorded in the frame header, without
+     * decompressing (the bzImage loader sizes its target buffer with
+     * this, like Linux's z_output_len).
+     */
+    static Result<u64> decompressedSize(ByteSpan stream);
+
+    /** Codec kind recorded in the frame header. */
+    static Result<CodecKind> streamKind(ByteSpan stream);
+};
+
+/** Singleton codec instance for @p kind. */
+const Codec &codecFor(CodecKind kind);
+
+} // namespace sevf::compress
+
+#endif // SEVF_COMPRESS_CODEC_H_

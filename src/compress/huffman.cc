@@ -1,0 +1,191 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "base/logging.h"
+
+namespace sevf::compress {
+
+namespace {
+
+/** Build unlimited-depth code lengths via standard tree construction. */
+std::vector<u8>
+treeLengths(const std::vector<u64> &freqs)
+{
+    struct Node {
+        u64 freq;
+        int index; //!< symbol for leaves, node id for internal
+        int left = -1;
+        int right = -1;
+    };
+    std::vector<Node> nodes;
+    using QEntry = std::pair<u64, int>; // (freq, node index)
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> queue;
+
+    for (std::size_t s = 0; s < freqs.size(); ++s) {
+        if (freqs[s] > 0) {
+            nodes.push_back({freqs[s], static_cast<int>(s)});
+            queue.push({freqs[s], static_cast<int>(nodes.size()) - 1});
+        }
+    }
+
+    std::vector<u8> lengths(freqs.size(), 0);
+    if (nodes.empty()) {
+        return lengths;
+    }
+    if (nodes.size() == 1) {
+        lengths[nodes[0].index] = 1;
+        return lengths;
+    }
+
+    while (queue.size() > 1) {
+        QEntry a = queue.top();
+        queue.pop();
+        QEntry b = queue.top();
+        queue.pop();
+        nodes.push_back({a.first + b.first, -1, a.second, b.second});
+        queue.push({a.first + b.first,
+                    static_cast<int>(nodes.size()) - 1});
+    }
+
+    // Depth-first assign depths (iterative to avoid recursion limits).
+    std::vector<std::pair<int, u8>> stack{{queue.top().second, 0}};
+    while (!stack.empty()) {
+        auto [idx, depth] = stack.back();
+        stack.pop_back();
+        const Node &n = nodes[idx];
+        if (n.left < 0) {
+            lengths[n.index] = std::max<u8>(1, depth);
+        } else {
+            stack.push_back({n.left, static_cast<u8>(depth + 1)});
+            stack.push_back({n.right, static_cast<u8>(depth + 1)});
+        }
+    }
+    return lengths;
+}
+
+} // namespace
+
+std::vector<u8>
+huffmanCodeLengths(const std::vector<u64> &freqs)
+{
+    std::vector<u64> scaled = freqs;
+    for (;;) {
+        std::vector<u8> lengths = treeLengths(scaled);
+        u8 max_len = 0;
+        for (u8 len : lengths) {
+            max_len = std::max(max_len, len);
+        }
+        if (max_len <= kMaxHuffmanBits) {
+            return lengths;
+        }
+        // Halve the dynamic range and retry: flattening frequencies
+        // shortens the deepest codes at a tiny ratio cost.
+        for (u64 &f : scaled) {
+            if (f > 0) {
+                f = (f + 1) / 2;
+            }
+        }
+    }
+}
+
+HuffmanEncoder::HuffmanEncoder(const std::vector<u8> &lengths)
+    : lengths_(lengths), codes_(lengths.size(), 0)
+{
+    // Canonical assignment: symbols sorted by (length, symbol value).
+    std::vector<u32> order(lengths.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](u32 a, u32 b) {
+        if (lengths[a] != lengths[b]) {
+            return lengths[a] < lengths[b];
+        }
+        return a < b;
+    });
+
+    u32 code = 0;
+    u8 prev_len = 0;
+    for (u32 sym : order) {
+        if (lengths[sym] == 0) {
+            continue;
+        }
+        code <<= (lengths[sym] - prev_len);
+        codes_[sym] = code;
+        prev_len = lengths[sym];
+        ++code;
+    }
+}
+
+void
+HuffmanEncoder::encode(BitWriter &w, u32 symbol) const
+{
+    SEVF_CHECK(symbol < lengths_.size() && lengths_[symbol] > 0);
+    w.put(codes_[symbol], lengths_[symbol]);
+}
+
+Result<HuffmanDecoder>
+HuffmanDecoder::build(const std::vector<u8> &lengths)
+{
+    HuffmanDecoder d;
+    // Count symbols per length and validate Kraft.
+    u32 counts[kMaxHuffmanBits + 1] = {};
+    for (u8 len : lengths) {
+        if (len > kMaxHuffmanBits) {
+            return errCorrupted("huffman: length over limit");
+        }
+        if (len > 0) {
+            ++counts[len];
+        }
+    }
+    u64 kraft = 0;
+    for (int len = 1; len <= kMaxHuffmanBits; ++len) {
+        kraft += static_cast<u64>(counts[len])
+                 << (kMaxHuffmanBits - len);
+    }
+    if (kraft > (1ull << kMaxHuffmanBits)) {
+        return errCorrupted("huffman: over-subscribed code");
+    }
+
+    // Symbols in canonical order.
+    for (int len = 1; len <= kMaxHuffmanBits; ++len) {
+        d.groups_[len].first_index =
+            static_cast<u32>(d.symbols_.size());
+        for (u32 sym = 0; sym < lengths.size(); ++sym) {
+            if (lengths[sym] == len) {
+                d.symbols_.push_back(sym);
+            }
+        }
+        d.groups_[len].count =
+            static_cast<u32>(d.symbols_.size()) -
+            d.groups_[len].first_index;
+    }
+    u32 code = 0;
+    for (int len = 1; len <= kMaxHuffmanBits; ++len) {
+        code <<= 1;
+        d.groups_[len].first_code = code;
+        code += d.groups_[len].count;
+    }
+    return d;
+}
+
+Result<u32>
+HuffmanDecoder::decode(BitReader &r) const
+{
+    u32 code = 0;
+    for (int len = 1; len <= kMaxHuffmanBits; ++len) {
+        Result<u32> b = r.bit();
+        if (!b.isOk()) {
+            return b.status();
+        }
+        code = code << 1 | *b;
+        const LengthGroup &g = groups_[len];
+        if (g.count > 0 && code >= g.first_code &&
+            code < g.first_code + g.count) {
+            return symbols_[g.first_index + (code - g.first_code)];
+        }
+    }
+    return errCorrupted("huffman: invalid code");
+}
+
+} // namespace sevf::compress

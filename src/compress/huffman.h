@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Length-limited canonical Huffman coding (the entropy stage of the
+ * gzip-lite codec).
+ */
+#ifndef SEVF_COMPRESS_HUFFMAN_H_
+#define SEVF_COMPRESS_HUFFMAN_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "compress/bitstream.h"
+
+namespace sevf::compress {
+
+/** Maximum code length (fits the 4-bit length fields in the header). */
+inline constexpr int kMaxHuffmanBits = 15;
+
+/**
+ * Compute length-limited code lengths for @p freqs (0 = unused symbol).
+ * Symbols with non-zero frequency get lengths in [1, kMaxHuffmanBits].
+ * Uses tree construction with frequency-halving fallback when the
+ * depth limit is exceeded.
+ */
+std::vector<u8> huffmanCodeLengths(const std::vector<u64> &freqs);
+
+/** Canonical encoder table: per-symbol code bits + lengths. */
+class HuffmanEncoder
+{
+  public:
+    /** Build from canonical code lengths. */
+    explicit HuffmanEncoder(const std::vector<u8> &lengths);
+
+    /** Emit @p symbol. Symbol must have a non-zero length. */
+    void encode(BitWriter &w, u32 symbol) const;
+
+    const std::vector<u8> &lengths() const { return lengths_; }
+
+  private:
+    std::vector<u8> lengths_;
+    std::vector<u32> codes_;
+};
+
+/** Canonical decoder over the same lengths. */
+class HuffmanDecoder
+{
+  public:
+    /** Build from code lengths; fails on an over-subscribed code. */
+    static Result<HuffmanDecoder> build(const std::vector<u8> &lengths);
+
+    /** Decode one symbol. */
+    Result<u32> decode(BitReader &r) const;
+
+  private:
+    HuffmanDecoder() = default;
+
+    // Canonical decoding state per length: first code, first symbol
+    // index, count; symbols sorted by (length, symbol).
+    struct LengthGroup {
+        u32 first_code = 0;
+        u32 first_index = 0;
+        u32 count = 0;
+    };
+    LengthGroup groups_[kMaxHuffmanBits + 1];
+    std::vector<u32> symbols_;
+};
+
+} // namespace sevf::compress
+
+#endif // SEVF_COMPRESS_HUFFMAN_H_

@@ -1,0 +1,19 @@
+#include "core/platform.h"
+
+namespace sevf::core {
+
+Platform::Platform(sim::CostParams params, u64 seed)
+    : cost_(params),
+      psp_(std::make_unique<psp::Psp>("EPYC-7313P-SIM", key_server_, seed))
+{
+}
+
+Spa
+Platform::allocateSpaWindow(u64 size)
+{
+    Spa window = next_spa_;
+    next_spa_ += alignUp(size, kGiB);
+    return window;
+}
+
+} // namespace sevf::core

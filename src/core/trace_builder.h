@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Internal helper: accumulates BootTrace steps and mirrors them onto
+ * the debug-port timeline with running virtual timestamps.
+ */
+#ifndef SEVF_CORE_TRACE_BUILDER_H_
+#define SEVF_CORE_TRACE_BUILDER_H_
+
+#include <string>
+
+#include "sim/trace.h"
+#include "vmm/debug_port.h"
+
+namespace sevf::core {
+
+class TraceBuilder
+{
+  public:
+    explicit TraceBuilder(vmm::DebugPort &port) : port_(port) {}
+
+    void
+    cpu(sim::Duration d, const char *phase, std::string label)
+    {
+        add(sim::StepKind::kCpu, d, phase, std::move(label));
+    }
+
+    void
+    psp(sim::Duration d, const char *phase, std::string label)
+    {
+        add(sim::StepKind::kPsp, d, phase, std::move(label));
+    }
+
+    void
+    net(sim::Duration d, const char *phase, std::string label)
+    {
+        add(sim::StepKind::kNet, d, phase, std::move(label));
+    }
+
+    sim::TimePoint now() const { return now_; }
+    sim::BootTrace take() { return std::move(trace_); }
+
+  private:
+    void
+    add(sim::StepKind kind, sim::Duration d, const char *phase,
+        std::string label)
+    {
+        now_ += d;
+        port_.record(now_, label);
+        trace_.add(kind, d, phase, std::move(label));
+    }
+
+    vmm::DebugPort &port_;
+    sim::BootTrace trace_;
+    sim::TimePoint now_;
+};
+
+} // namespace sevf::core
+
+#endif // SEVF_CORE_TRACE_BUILDER_H_

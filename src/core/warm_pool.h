@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Warm-start exploration (§7.1).
+ *
+ * The paper's discussion: keep-alive windows for SEV VMs would be
+ * functionally correct but memory-hungry, because encrypted pages with
+ * identical contents have different ciphertext at different physical
+ * addresses - nothing deduplicates. This module provides (a) a
+ * keep-alive pool over any boot strategy, so cold-vs-warm invocation
+ * latency can be measured, and (b) a cross-VM page-dedup scanner that
+ * measures, on real guest memory images, how much a dedup system could
+ * reclaim - which collapses to ~0 under SEV.
+ */
+#ifndef SEVF_CORE_WARM_POOL_H_
+#define SEVF_CORE_WARM_POOL_H_
+
+#include <deque>
+#include <memory>
+
+#include "core/launch.h"
+
+namespace sevf::core {
+
+/** One function invocation served by the pool. */
+struct Invocation {
+    bool warm = false;              //!< served from a kept-alive VM
+    sim::Duration startup_latency;  //!< boot (cold) or resume (warm)
+};
+
+/** Pool statistics. */
+struct WarmPoolStats {
+    u64 cold_starts = 0;
+    u64 warm_hits = 0;
+    u64 resident_vms = 0;
+    u64 resident_guest_bytes = 0; //!< memory pinned by keep-alives
+};
+
+/**
+ * A keep-alive pool: invocations take a warm VM when one is idle and
+ * cold-boot otherwise; finished VMs re-enter the pool up to the
+ * capacity. Timing is virtual like everything else.
+ */
+class WarmPool
+{
+  public:
+    /**
+     * @param platform shared host
+     * @param kind boot strategy for cold starts
+     * @param base request template (kernel, mode, ...)
+     * @param capacity max kept-alive VMs
+     * @param resume_cost virtual time to reuse a warm VM
+     */
+    WarmPool(Platform &platform, StrategyKind kind, LaunchRequest base,
+             std::size_t capacity,
+             sim::Duration resume_cost = sim::Duration::millis(3));
+
+    WarmPool(const WarmPool &) = delete;
+    WarmPool &operator=(const WarmPool &) = delete;
+
+    /**
+     * Serve one invocation; @p seed perturbs the cold-boot randomness.
+     * The VM is returned to the pool when the invocation finishes.
+     */
+    Result<Invocation> invoke(u64 seed);
+
+    const WarmPoolStats &stats() const { return stats_; }
+
+  private:
+    Platform &platform_;
+    StrategyKind kind_;
+    LaunchRequest base_;
+    std::size_t capacity_;
+    sim::Duration resume_cost_;
+    std::size_t idle_ = 0; //!< idle warm VMs
+    WarmPoolStats stats_;
+};
+
+/** Outcome of the cross-VM dedup scan. */
+struct DedupStats {
+    u64 pages_scanned = 0;   //!< per VM
+    u64 dedupable_pages = 0; //!< pages of VM b identical to a page of VM a
+    u64 nonzero_pages = 0;   //!< non-zero pages of VM b
+    u64 dedupable_nonzero = 0; //!< ... of which dedup against VM a
+
+    double dedupFraction() const
+    {
+        return pages_scanned == 0
+                   ? 0.0
+                   : static_cast<double>(dedupable_pages) /
+                         static_cast<double>(pages_scanned);
+    }
+    /** Dedup among pages that hold actual data (zero pages always
+     *  merge; the interesting question is the rest). */
+    double nonzeroDedupFraction() const
+    {
+        return nonzero_pages == 0
+                   ? 0.0
+                   : static_cast<double>(dedupable_nonzero) /
+                         static_cast<double>(nonzero_pages);
+    }
+};
+
+/**
+ * Scan two guest memory images (as DRAM holds them - ciphertext for
+ * encrypted pages) and count how many of @p b's pages also occur in
+ * @p a: the memory a same-page-merging host could reclaim. Identical
+ * guests without SEV dedup almost entirely; with SEV the XEX tweak
+ * makes ciphertext address-unique and the fraction collapses (§7.1).
+ */
+DedupStats measureCrossVmDedup(const memory::GuestMemory &a,
+                               const memory::GuestMemory &b);
+
+} // namespace sevf::core
+
+#endif // SEVF_CORE_WARM_POOL_H_

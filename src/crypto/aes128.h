@@ -1,0 +1,47 @@
+/**
+ * @file
+ * AES-128 block cipher (FIPS 197) implemented from scratch.
+ *
+ * This is the block primitive behind the simulated SEV memory encryption
+ * engine (crypto/xex.h). Table-free S-box lookups; correctness is what
+ * matters here, not side-channel hardening — the "hardware" running it is
+ * the simulated encryption engine in the memory controller.
+ */
+#ifndef SEVF_CRYPTO_AES128_H_
+#define SEVF_CRYPTO_AES128_H_
+
+#include <array>
+
+#include "base/types.h"
+
+namespace sevf::crypto {
+
+/** A 16-byte AES key or block. */
+using Aes128Key = std::array<u8, 16>;
+using AesBlock = std::array<u8, 16>;
+
+/**
+ * AES-128 with precomputed key schedule. Encrypt and decrypt single
+ * 16-byte blocks; modes of operation are layered on top (see XexCipher).
+ */
+class Aes128
+{
+  public:
+    explicit Aes128(const Aes128Key &key);
+
+    /** Encrypt one block in place. */
+    void encryptBlock(u8 *block) const;
+
+    /** Decrypt one block in place. */
+    void decryptBlock(u8 *block) const;
+
+  private:
+    // 11 round keys as big-endian words (T-table formulation), plus the
+    // equivalent-inverse-cipher decryption schedule.
+    u32 enc_rk_[44];
+    u32 dec_rk_[44];
+};
+
+} // namespace sevf::crypto
+
+#endif // SEVF_CRYPTO_AES128_H_

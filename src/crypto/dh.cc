@@ -1,0 +1,56 @@
+#include "crypto/dh.h"
+
+#include "base/bytes.h"
+
+namespace sevf::crypto {
+
+namespace {
+
+u64
+mulMod(u64 a, u64 b)
+{
+    return static_cast<u64>(
+        static_cast<unsigned __int128>(a) * b % kDhPrime);
+}
+
+u64
+powMod(u64 base, u64 exp)
+{
+    u64 result = 1;
+    base %= kDhPrime;
+    while (exp > 0) {
+        if (exp & 1) {
+            result = mulMod(result, base);
+        }
+        base = mulMod(base, base);
+        exp >>= 1;
+    }
+    return result;
+}
+
+} // namespace
+
+DhKeyPair
+dhGenerate(Rng &rng)
+{
+    // Exponent in [2, p-2].
+    u64 x = 2 + rng.nextBelow(kDhPrime - 3);
+    return {x, powMod(kDhGenerator, x)};
+}
+
+u64
+dhPublic(u64 private_exponent)
+{
+    return powMod(kDhGenerator, private_exponent);
+}
+
+Sha256Digest
+dhSharedKey(u64 my_private, u64 other_public)
+{
+    u64 shared = powMod(other_public, my_private);
+    u8 buf[8];
+    storeLe<u64>(buf, shared);
+    return Sha256::digest(ByteSpan(buf, 8));
+}
+
+} // namespace sevf::crypto

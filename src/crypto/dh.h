@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Diffie-Hellman key agreement over GF(2^61 - 1).
+ *
+ * Stands in for the ECDH the real attestation flow uses to wrap secrets
+ * (DESIGN.md substitutions): structurally a real key exchange - the
+ * guest's private exponent never leaves encrypted guest memory, the
+ * public values transit the untrusted host, both ends derive the same
+ * shared secret - but over a toy group, so it is NOT cryptographically
+ * strong. The simulation only needs the protocol shape.
+ */
+#ifndef SEVF_CRYPTO_DH_H_
+#define SEVF_CRYPTO_DH_H_
+
+#include "base/rng.h"
+#include "crypto/sha256.h"
+
+namespace sevf::crypto {
+
+/** The group: multiplicative group mod the Mersenne prime 2^61 - 1. */
+inline constexpr u64 kDhPrime = (1ull << 61) - 1;
+/** Generator. */
+inline constexpr u64 kDhGenerator = 3;
+
+/** A DH key pair. */
+struct DhKeyPair {
+    u64 private_exponent;
+    u64 public_value; //!< g^x mod p
+};
+
+/** Generate a key pair from @p rng. */
+DhKeyPair dhGenerate(Rng &rng);
+
+/** g^x mod p. */
+u64 dhPublic(u64 private_exponent);
+
+/**
+ * Derive the 32-byte shared key: SHA256(other_public ^ my_private mod p,
+ * little-endian).
+ */
+Sha256Digest dhSharedKey(u64 my_private, u64 other_public);
+
+} // namespace sevf::crypto
+
+#endif // SEVF_CRYPTO_DH_H_

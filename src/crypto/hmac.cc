@@ -1,0 +1,38 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace sevf::crypto {
+
+Sha256Digest
+hmacSha256(ByteSpan key, ByteSpan data)
+{
+    constexpr std::size_t kBlock = 64;
+
+    u8 key_block[kBlock] = {};
+    if (key.size() > kBlock) {
+        Sha256Digest kd = Sha256::digest(key);
+        std::memcpy(key_block, kd.data(), kd.size());
+    } else {
+        std::memcpy(key_block, key.data(), key.size());
+    }
+
+    u8 ipad[kBlock];
+    u8 opad[kBlock];
+    for (std::size_t i = 0; i < kBlock; ++i) {
+        ipad[i] = key_block[i] ^ 0x36;
+        opad[i] = key_block[i] ^ 0x5c;
+    }
+
+    Sha256 inner;
+    inner.update(ByteSpan(ipad, kBlock));
+    inner.update(data);
+    Sha256Digest inner_digest = inner.finalize();
+
+    Sha256 outer;
+    outer.update(ByteSpan(opad, kBlock));
+    outer.update(ByteSpan(inner_digest.data(), inner_digest.size()));
+    return outer.finalize();
+}
+
+} // namespace sevf::crypto

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * HMAC-SHA256 (RFC 2104).
+ *
+ * Stands in for the PSP's chip-unique attestation signing key (see
+ * DESIGN.md substitutions): reports are "signed" by HMACing with a per-chip
+ * key that the simulated AMD key server also knows.
+ */
+#ifndef SEVF_CRYPTO_HMAC_H_
+#define SEVF_CRYPTO_HMAC_H_
+
+#include "crypto/sha256.h"
+
+namespace sevf::crypto {
+
+/** HMAC-SHA256 of @p data under @p key. */
+Sha256Digest hmacSha256(ByteSpan key, ByteSpan data);
+
+} // namespace sevf::crypto
+
+#endif // SEVF_CRYPTO_HMAC_H_

@@ -1,0 +1,41 @@
+#include "crypto/measurement.h"
+
+#include "base/bytes.h"
+#include "base/types.h"
+
+namespace sevf::crypto {
+
+LaunchDigest::LaunchDigest()
+{
+    digest_.fill(0);
+}
+
+void
+LaunchDigest::extend(MeasuredPageType type, u64 gpa,
+                     const Sha256Digest &content_digest)
+{
+    // page_info layout: current digest || content digest || type || gpa.
+    u8 info[32 + 32 + 1 + 8];
+    std::copy(digest_.begin(), digest_.end(), info);
+    std::copy(content_digest.begin(), content_digest.end(), info + 32);
+    info[64] = static_cast<u8>(type);
+    storeLe<u64>(info + 65, gpa);
+    digest_ = Sha256::digest(ByteSpan(info, sizeof(info)));
+}
+
+std::size_t
+LaunchDigest::extendRegion(MeasuredPageType type, u64 gpa, ByteSpan data)
+{
+    std::size_t pages = 0;
+    for (std::size_t off = 0; off < data.size(); off += kPageSize) {
+        u8 page[kPageSize] = {};
+        std::size_t take =
+            std::min<std::size_t>(kPageSize, data.size() - off);
+        std::copy(data.begin() + off, data.begin() + off + take, page);
+        extend(type, gpa + off, Sha256::digest(ByteSpan(page, kPageSize)));
+        ++pages;
+    }
+    return pages;
+}
+
+} // namespace sevf::crypto

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * SEV-SNP launch-digest chaining.
+ *
+ * The PSP maintains a running launch digest: each LAUNCH_UPDATE_DATA page
+ * extends it as LD' = SHA256(LD || page_info), where page_info binds the
+ * page type, the GPA, and the SHA256 of the page contents. The guest
+ * owner's expected-measurement tool (attest/expected_measurement.h)
+ * recomputes exactly this chain, which is how it detects a malicious boot
+ * verifier or tampered pre-encrypted hashes (§2.6 attacks 2 and 3).
+ */
+#ifndef SEVF_CRYPTO_MEASUREMENT_H_
+#define SEVF_CRYPTO_MEASUREMENT_H_
+
+#include <cstddef>
+
+#include "crypto/sha256.h"
+
+namespace sevf::crypto {
+
+/** Page classes measured into the launch digest (subset of the SNP ABI). */
+enum class MeasuredPageType : u8 {
+    kNormal = 1,   //!< pre-encrypted data page (LAUNCH_UPDATE_DATA)
+    kZero = 2,     //!< zero page
+    kSecrets = 3,  //!< secrets page reserved for the PSP
+    kCpuid = 4,    //!< CPUID page
+    kVmsa = 5,     //!< encrypted VMSA (SEV-ES register state)
+};
+
+/**
+ * Running launch digest. Value-type; copyable so the expected-measurement
+ * tool and the PSP can run the same chain independently.
+ */
+class LaunchDigest
+{
+  public:
+    /** Starts from the all-zero digest, as the SNP firmware does. */
+    LaunchDigest();
+
+    /**
+     * Extend with one measured page.
+     *
+     * @param type page class
+     * @param gpa guest physical address the page is (pre-)loaded at
+     * @param content_digest SHA256 of the 4K page contents
+     */
+    void extend(MeasuredPageType type, u64 gpa,
+                const Sha256Digest &content_digest);
+
+    /**
+     * Convenience: measure @p data as a run of 4K pages starting at
+     * @p gpa (zero-padding the tail page), extending once per page.
+     * Returns the number of pages measured.
+     */
+    std::size_t extendRegion(MeasuredPageType type, u64 gpa, ByteSpan data);
+
+    /** Current digest value. */
+    const Sha256Digest &value() const { return digest_; }
+
+  private:
+    Sha256Digest digest_;
+};
+
+} // namespace sevf::crypto
+
+#endif // SEVF_CRYPTO_MEASUREMENT_H_

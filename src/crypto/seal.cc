@@ -1,0 +1,81 @@
+#include "crypto/seal.h"
+
+#include <cstring>
+
+#include "base/bytes.h"
+#include "crypto/aes128.h"
+#include "crypto/hmac.h"
+
+namespace sevf::crypto {
+
+namespace {
+
+/** AES-128-CTR keystream XOR, counter block = nonce || counter (LE). */
+void
+ctrXor(const Aes128 &aes, u64 nonce, MutByteSpan data)
+{
+    AesBlock block;
+    for (std::size_t off = 0; off < data.size(); off += 16) {
+        block.fill(0);
+        storeLe<u64>(block.data(), nonce);
+        storeLe<u64>(block.data() + 8, off / 16);
+        aes.encryptBlock(block.data());
+        std::size_t n = std::min<std::size_t>(16, data.size() - off);
+        for (std::size_t i = 0; i < n; ++i) {
+            data[off + i] ^= block[i];
+        }
+    }
+}
+
+Aes128Key
+encKeyOf(const Sha256Digest &key)
+{
+    Aes128Key k;
+    std::memcpy(k.data(), key.data(), k.size());
+    return k;
+}
+
+} // namespace
+
+ByteVec
+seal(const Sha256Digest &key, u64 nonce, ByteSpan plaintext)
+{
+    ByteWriter w;
+    w.u64le(nonce);
+    w.u64le(plaintext.size());
+    ByteVec body(plaintext.begin(), plaintext.end());
+    Aes128 aes(encKeyOf(key));
+    ctrXor(aes, nonce, body);
+    w.bytes(body);
+
+    Sha256Digest mac = hmacSha256(key, w.buffer());
+    w.bytes(ByteSpan(mac.data(), mac.size()));
+    return w.take();
+}
+
+Result<ByteVec>
+open(const Sha256Digest &key, ByteSpan sealed)
+{
+    if (sealed.size() < 16 + 32) {
+        return errCorrupted("sealed message too short");
+    }
+    ByteSpan body = sealed.first(sealed.size() - 32);
+    ByteSpan mac = sealed.subspan(sealed.size() - 32);
+    Sha256Digest expected = hmacSha256(key, body);
+    if (!digestEqual(mac, ByteSpan(expected.data(), expected.size()))) {
+        return errIntegrity("sealed message MAC mismatch");
+    }
+
+    ByteReader r(body);
+    u64 nonce = *r.u64le();
+    u64 len = *r.u64le();
+    if (len != r.remaining()) {
+        return errCorrupted("sealed message length mismatch");
+    }
+    ByteVec plaintext = r.bytes(len).take();
+    Aes128 aes(encKeyOf(key));
+    ctrXor(aes, nonce, plaintext);
+    return plaintext;
+}
+
+} // namespace sevf::crypto

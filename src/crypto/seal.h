@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Authenticated sealing of small messages (AES-128-CTR + HMAC-SHA256,
+ * encrypt-then-MAC) under a 32-byte key - the secure-channel payload
+ * format the guest owner uses to deliver secrets after attestation
+ * (Fig 1 step 8).
+ */
+#ifndef SEVF_CRYPTO_SEAL_H_
+#define SEVF_CRYPTO_SEAL_H_
+
+#include "base/status.h"
+#include "crypto/sha256.h"
+
+namespace sevf::crypto {
+
+/**
+ * Seal @p plaintext under @p key (32 bytes; first half encrypts, the
+ * whole key MACs). @p nonce must be unique per message under a key.
+ */
+ByteVec seal(const Sha256Digest &key, u64 nonce, ByteSpan plaintext);
+
+/** Open a sealed message; kIntegrityFailure if the MAC rejects. */
+Result<ByteVec> open(const Sha256Digest &key, ByteSpan sealed);
+
+} // namespace sevf::crypto
+
+#endif // SEVF_CRYPTO_SEAL_H_

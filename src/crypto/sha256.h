@@ -1,0 +1,56 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4) implemented from scratch.
+ *
+ * Used everywhere the paper uses SHA256: the PSP launch measurement, the
+ * measured-direct-boot component hashes, the boot verifier's re-hash, and
+ * the out-of-band hash files fed to the VMM (§4.2-4.3).
+ */
+#ifndef SEVF_CRYPTO_SHA256_H_
+#define SEVF_CRYPTO_SHA256_H_
+
+#include <array>
+
+#include "base/types.h"
+
+namespace sevf::crypto {
+
+/** A 32-byte SHA-256 digest. */
+using Sha256Digest = std::array<u8, 32>;
+
+/**
+ * Incremental SHA-256 context.
+ *
+ * The streaming interface matters: the optimized vmlinux loader (§5) hashes
+ * the ELF header, program headers, and loadable segments as three separate
+ * digests while they stream through shared memory.
+ */
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    /** Reset to the initial hash state. */
+    void reset();
+
+    /** Absorb @p data. */
+    void update(ByteSpan data);
+
+    /** Finalize and return the digest. The context must be reset to reuse. */
+    Sha256Digest finalize();
+
+    /** One-shot convenience. */
+    static Sha256Digest digest(ByteSpan data);
+
+  private:
+    void processBlock(const u8 *block);
+
+    std::array<u32, 8> state_;
+    u64 total_len_ = 0;
+    std::array<u8, 64> buf_;
+    std::size_t buf_len_ = 0;
+};
+
+} // namespace sevf::crypto
+
+#endif // SEVF_CRYPTO_SHA256_H_

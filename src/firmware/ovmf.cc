@@ -1,0 +1,36 @@
+#include "firmware/ovmf.h"
+
+#include "workload/synthetic.h"
+
+namespace sevf::firmware {
+
+std::vector<UefiPhase>
+uefiPhases(const sim::CostModel &model)
+{
+    return {
+        {"SEC", model.ovmfSec()},
+        {"PEI", model.ovmfPei()},
+        {"DXE", model.ovmfDxe()},
+        {"BDS", model.ovmfBds()},
+    };
+}
+
+sim::Duration
+uefiPhasesTotal(const sim::CostModel &model)
+{
+    sim::Duration total;
+    for (const UefiPhase &p : uefiPhases(model)) {
+        total += p.duration;
+    }
+    return total;
+}
+
+ByteVec
+ovmfImage(const sim::CostModel &model)
+{
+    u64 size = static_cast<u64>(model.params().ovmf_image_mib *
+                                static_cast<double>(kMiB));
+    return workload::firmwareBlob(alignUp(size, kPageSize), 0x0f4f);
+}
+
+} // namespace sevf::firmware

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * OVMF (EDK II) firmware model - the QEMU baseline's guest firmware.
+ *
+ * OVMF is Platform Initialization compliant, so an SEV boot drags the
+ * full SEC/PEI/DXE/BDS sequence plus a >=1 MiB pre-encrypted image
+ * along with it (§3.1, Fig 3). This model provides the phase cost
+ * sequence and the firmware image whose every byte the PSP must
+ * measure+encrypt on the QEMU path.
+ */
+#ifndef SEVF_FIRMWARE_OVMF_H_
+#define SEVF_FIRMWARE_OVMF_H_
+
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+#include "sim/cost_model.h"
+
+namespace sevf::firmware {
+
+/** One UEFI PI boot phase with its modeled duration. */
+struct UefiPhase {
+    std::string name;
+    sim::Duration duration;
+};
+
+/**
+ * The PI phases OVMF runs before it can even look at the kernel:
+ * SEC (C-bit discovery, cache-as-RAM), PEI (memory init + pvalidate
+ * sweep), DXE (driver dispatch - the dominant cost), BDS (boot device
+ * selection). Fig 3 breaks these down.
+ */
+std::vector<UefiPhase> uefiPhases(const sim::CostModel &model);
+
+/** Sum of all phase durations. */
+sim::Duration uefiPhasesTotal(const sim::CostModel &model);
+
+/**
+ * The firmware volume image ("smallest supported build of OVMF is
+ * 1 MiB", §3.1). Deterministic bytes; the QEMU strategy stages and
+ * pre-encrypts exactly this blob.
+ */
+ByteVec ovmfImage(const sim::CostModel &model);
+
+/** Load address of the firmware volume in guest memory. */
+inline constexpr Gpa kOvmfBaseGpa = 1 * kMiB;
+
+} // namespace sevf::firmware
+
+#endif // SEVF_FIRMWARE_OVMF_H_

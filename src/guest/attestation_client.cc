@@ -1,0 +1,55 @@
+#include "guest/attestation_client.h"
+
+#include "base/bytes.h"
+#include "base/rng.h"
+#include "crypto/dh.h"
+#include "crypto/seal.h"
+
+namespace sevf::guest {
+
+Result<AttestationOutcome>
+runAttestation(psp::Psp &psp, psp::GuestHandle handle,
+               memory::GuestMemory &mem, Gpa secret_dest,
+               attest::GuestOwner &owner, u64 seed)
+{
+    // Key material is generated after launch, inside the guest, so it
+    // never appears in the plaintext initrd (§2.6 secret-free
+    // construction).
+    Rng rng(seed);
+    crypto::DhKeyPair guest_key = crypto::dhGenerate(rng);
+
+    psp::ReportData rdata{};
+    storeLe<u64>(rdata.data(), guest_key.public_value);
+
+    // Step 5-6: the PSP signs a report binding our public key to the
+    // launch measurement and places it in guest memory.
+    Result<psp::AttestationReport> report =
+        psp.guestRequestReport(handle, rdata);
+    if (!report.isOk()) {
+        return report.status();
+    }
+
+    // Step 7: report travels over the (untrusted) network to the owner.
+    Result<attest::ProvisionResponse> resp =
+        owner.handleReport(report->serialize());
+    if (!resp.isOk()) {
+        return resp.status();
+    }
+
+    // Step 8: unwrap with the private exponent that never left
+    // encrypted memory.
+    crypto::Sha256Digest channel = crypto::dhSharedKey(
+        guest_key.private_exponent, resp->owner_dh_public);
+    Result<ByteVec> secret = crypto::open(channel, resp->sealed_secret);
+    if (!secret.isOk()) {
+        return secret.status();
+    }
+
+    SEVF_RETURN_IF_ERROR(mem.guestWrite(secret_dest, *secret, true));
+    AttestationOutcome out;
+    out.secret_gpa = secret_dest;
+    out.secret_size = secret->size();
+    return out;
+}
+
+} // namespace sevf::guest

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Guest-side remote attestation (Fig 1 steps 5-8), driven from the
+ * attestation initrd: generate an ephemeral key in encrypted memory,
+ * request a signed report from the PSP, send it to the guest owner, and
+ * unwrap the returned secret into protected memory.
+ */
+#ifndef SEVF_GUEST_ATTESTATION_CLIENT_H_
+#define SEVF_GUEST_ATTESTATION_CLIENT_H_
+
+#include "attest/guest_owner.h"
+#include "base/status.h"
+#include "memory/guest_memory.h"
+#include "psp/psp.h"
+
+namespace sevf::guest {
+
+/** Successful attestation: where the secret landed. */
+struct AttestationOutcome {
+    Gpa secret_gpa = 0;
+    u64 secret_size = 0;
+};
+
+/**
+ * Run the end-to-end attestation protocol.
+ *
+ * @param secret_dest private (C-bit) destination for the unwrapped
+ *        secret; the page must already be validated
+ * @param seed deterministic randomness for the ephemeral DH key
+ */
+Result<AttestationOutcome> runAttestation(psp::Psp &psp,
+                                          psp::GuestHandle handle,
+                                          memory::GuestMemory &mem,
+                                          Gpa secret_dest,
+                                          attest::GuestOwner &owner,
+                                          u64 seed);
+
+} // namespace sevf::guest
+
+#endif // SEVF_GUEST_ATTESTATION_CLIENT_H_

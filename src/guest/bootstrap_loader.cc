@@ -1,0 +1,104 @@
+#include "guest/bootstrap_loader.h"
+
+#include "base/rng.h"
+
+#include "image/bzimage.h"
+#include "image/elf.h"
+
+namespace sevf::guest {
+
+namespace {
+
+/** Place @p elf's PT_LOAD segments into guest memory, slid by @p slide. */
+Result<u64>
+placeSegments(memory::GuestMemory &mem, const image::ElfImage &elf,
+              bool c_bit, u64 slide = 0)
+{
+    u64 loaded = 0;
+    for (const image::ElfSegment &seg : elf.segments) {
+        Gpa dest = seg.vaddr + slide;
+        SEVF_RETURN_IF_ERROR(mem.guestWrite(dest, seg.data, c_bit));
+        loaded += seg.data.size();
+        if (seg.memsz > seg.data.size()) {
+            ByteVec zeros(seg.memsz - seg.data.size(), 0);
+            SEVF_RETURN_IF_ERROR(
+                mem.guestWrite(dest + seg.data.size(), zeros, c_bit));
+        }
+    }
+    return loaded;
+}
+
+/** Pick a 2 MiB-aligned slide from in-guest entropy. */
+u64
+pickSlide(const KaslrConfig &kaslr)
+{
+    if (!kaslr.enabled || kaslr.max_slide < kHugePageSize) {
+        return 0;
+    }
+    Rng rng(kaslr.seed);
+    u64 slots = kaslr.max_slide / kHugePageSize;
+    return rng.nextBelow(slots) * kHugePageSize;
+}
+
+} // namespace
+
+Result<LoadedKernel>
+runBootstrapLoader(memory::GuestMemory &mem, Gpa bzimage_gpa, u64 size,
+                   bool c_bit, const KaslrConfig &kaslr)
+{
+    Result<ByteVec> file = mem.guestRead(bzimage_gpa, size, c_bit);
+    if (!file.isOk()) {
+        return file.status();
+    }
+
+    Result<image::BzImageInfo> info = image::parseBzImage(*file);
+    if (!info.isOk()) {
+        return info.status();
+    }
+    Result<ByteVec> vmlinux = image::extractVmlinux(*file);
+    if (!vmlinux.isOk()) {
+        return vmlinux.status();
+    }
+    Result<image::ElfImage> elf = image::parseElf(*vmlinux);
+    if (!elf.isOk()) {
+        return elf.status();
+    }
+    u64 slide = pickSlide(kaslr);
+    Result<u64> loaded = placeSegments(mem, *elf, c_bit, slide);
+    if (!loaded.isOk()) {
+        return loaded.status();
+    }
+
+    LoadedKernel out;
+    out.entry = elf->entry + slide;
+    out.decompressed_bytes = vmlinux->size();
+    out.loaded_bytes = *loaded;
+    out.kaslr_slide = slide;
+    out.codec = info->codec;
+    return out;
+}
+
+Result<LoadedKernel>
+loadVmlinuxAt(memory::GuestMemory &mem, Gpa vmlinux_gpa, u64 size,
+              bool c_bit)
+{
+    Result<ByteVec> file = mem.guestRead(vmlinux_gpa, size, c_bit);
+    if (!file.isOk()) {
+        return file.status();
+    }
+    Result<image::ElfImage> elf = image::parseElf(*file);
+    if (!elf.isOk()) {
+        return elf.status();
+    }
+    Result<u64> loaded = placeSegments(mem, *elf, c_bit);
+    if (!loaded.isOk()) {
+        return loaded.status();
+    }
+    LoadedKernel out;
+    out.entry = elf->entry;
+    out.decompressed_bytes = size;
+    out.loaded_bytes = *loaded;
+    return out;
+}
+
+} // namespace sevf::guest

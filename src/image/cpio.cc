@@ -1,0 +1,149 @@
+#include "image/cpio.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "base/bytes.h"
+
+namespace sevf::image {
+
+namespace {
+
+constexpr char kNewcMagic[6] = {'0', '7', '0', '7', '0', '1'};
+constexpr std::size_t kHeaderSize = 110;
+constexpr std::string_view kTrailer = "TRAILER!!!";
+
+void
+writeHexField(ByteWriter &w, u32 value)
+{
+    char buf[9];
+    std::snprintf(buf, sizeof(buf), "%08X", value);
+    w.str(std::string_view(buf, 8));
+}
+
+Result<u32>
+readHexField(ByteSpan header, std::size_t index)
+{
+    // Field i occupies bytes [6 + 8i, 6 + 8i + 8).
+    u32 v = 0;
+    for (std::size_t k = 0; k < 8; ++k) {
+        char c = static_cast<char>(header[6 + 8 * index + k]);
+        int nib;
+        if (c >= '0' && c <= '9') {
+            nib = c - '0';
+        } else if (c >= 'A' && c <= 'F') {
+            nib = c - 'A' + 10;
+        } else if (c >= 'a' && c <= 'f') {
+            nib = c - 'a' + 10;
+        } else {
+            return errCorrupted("cpio: non-hex header field");
+        }
+        v = v << 4 | static_cast<u32>(nib);
+    }
+    return v;
+}
+
+void
+writeEntry(ByteWriter &w, std::string_view name, u32 mode, u32 ino,
+           ByteSpan data)
+{
+    w.str(std::string_view(kNewcMagic, 6));
+    writeHexField(w, ino);                              // c_ino
+    writeHexField(w, mode);                             // c_mode
+    writeHexField(w, 0);                                // c_uid
+    writeHexField(w, 0);                                // c_gid
+    writeHexField(w, 1);                                // c_nlink
+    writeHexField(w, 0);                                // c_mtime
+    writeHexField(w, static_cast<u32>(data.size()));    // c_filesize
+    writeHexField(w, 0);                                // c_devmajor
+    writeHexField(w, 0);                                // c_devminor
+    writeHexField(w, 0);                                // c_rdevmajor
+    writeHexField(w, 0);                                // c_rdevminor
+    writeHexField(w, static_cast<u32>(name.size() + 1)); // c_namesize
+    writeHexField(w, 0);                                // c_check
+    w.str(name);
+    w.u8le(0); // NUL
+    w.padTo(4);
+    w.bytes(data);
+    w.padTo(4);
+}
+
+} // namespace
+
+ByteVec
+writeCpio(const std::vector<CpioEntry> &entries)
+{
+    ByteWriter w;
+    u32 ino = 1;
+    for (const CpioEntry &e : entries) {
+        writeEntry(w, e.name, e.mode, ino++, e.data);
+    }
+    writeEntry(w, kTrailer, 0, 0, {});
+    // Initramfs archives are conventionally padded to 512 bytes.
+    w.padTo(512);
+    return w.take();
+}
+
+Result<std::vector<CpioEntry>>
+parseCpio(ByteSpan archive)
+{
+    std::vector<CpioEntry> entries;
+    std::size_t pos = 0;
+
+    for (;;) {
+        if (pos + kHeaderSize > archive.size()) {
+            return errCorrupted("cpio: truncated header");
+        }
+        ByteSpan header = archive.subspan(pos, kHeaderSize);
+        if (std::memcmp(header.data(), kNewcMagic, 6) != 0) {
+            return errCorrupted("cpio: bad newc magic");
+        }
+        Result<u32> mode = readHexField(header, 1);
+        Result<u32> filesize = readHexField(header, 6);
+        Result<u32> namesize = readHexField(header, 11);
+        if (!mode.isOk()) return mode.status();
+        if (!filesize.isOk()) return filesize.status();
+        if (!namesize.isOk()) return namesize.status();
+        if (*namesize == 0) {
+            return errCorrupted("cpio: zero namesize");
+        }
+
+        std::size_t name_off = pos + kHeaderSize;
+        if (name_off + *namesize > archive.size()) {
+            return errCorrupted("cpio: name past end of archive");
+        }
+        std::string name(
+            reinterpret_cast<const char *>(archive.data() + name_off),
+            *namesize - 1); // strip NUL
+
+        std::size_t data_off = alignUp(name_off + *namesize, 4);
+        if (name == kTrailer) {
+            return entries;
+        }
+        if (data_off + *filesize > archive.size()) {
+            return errCorrupted("cpio: data past end of archive");
+        }
+
+        CpioEntry e;
+        e.name = std::move(name);
+        e.mode = *mode;
+        e.data.assign(archive.begin() + data_off,
+                      archive.begin() + data_off + *filesize);
+        entries.push_back(std::move(e));
+
+        pos = alignUp(data_off + *filesize, 4);
+    }
+}
+
+const CpioEntry *
+findEntry(const std::vector<CpioEntry> &entries, std::string_view name)
+{
+    for (const CpioEntry &e : entries) {
+        if (e.name == name) {
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+} // namespace sevf::image

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * CPIO "newc" (SVR4, magic 070701) archive writer/parser - the initrd
+ * container format. The attestation tooling enters the guest as a CPIO
+ * archive (§2.4), and the paper leaves it uncompressed because the
+ * archive must be unpacked anyway (§3.3).
+ */
+#ifndef SEVF_IMAGE_CPIO_H_
+#define SEVF_IMAGE_CPIO_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+
+namespace sevf::image {
+
+/** One archive member. */
+struct CpioEntry {
+    std::string name; //!< path, no leading slash by convention
+    u32 mode = 0100644; //!< regular file, rw-r--r--
+    ByteVec data;
+};
+
+/** Serialize entries plus the TRAILER!!! terminator. */
+ByteVec writeCpio(const std::vector<CpioEntry> &entries);
+
+/** Parse an archive; fails with kCorrupted on malformed headers. */
+Result<std::vector<CpioEntry>> parseCpio(ByteSpan archive);
+
+/** Convenience: find an entry by name. */
+const CpioEntry *findEntry(const std::vector<CpioEntry> &entries,
+                           std::string_view name);
+
+} // namespace sevf::image
+
+#endif // SEVF_IMAGE_CPIO_H_

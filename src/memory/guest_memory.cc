@@ -1,0 +1,180 @@
+#include "memory/guest_memory.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/logging.h"
+
+namespace sevf::memory {
+
+namespace {
+
+/** AES/XEX line size: the encryption engine's granularity. */
+constexpr u64 kLine = 16;
+
+} // namespace
+
+GuestMemory::GuestMemory(u64 size, Spa spa_base, u32 asid, SevMode mode)
+    : bytes_(size, 0),
+      spa_base_(spa_base),
+      asid_(asid),
+      mode_(asid == 0 ? SevMode::kNone : mode),
+      rmp_(spa_base, pagesFor(size))
+{
+    SEVF_CHECK(size % kPageSize == 0);
+    SEVF_CHECK(spa_base % kPageSize == 0);
+}
+
+void
+GuestMemory::attachEncryption(std::unique_ptr<crypto::XexCipher> engine)
+{
+    SEVF_CHECK(engine_ == nullptr);
+    engine_ = std::move(engine);
+}
+
+Status
+GuestMemory::checkRange(Gpa gpa, u64 len) const
+{
+    if (gpa > bytes_.size() || len > bytes_.size() - gpa) {
+        return errInvalidArgument("access outside guest memory");
+    }
+    return Status::ok();
+}
+
+Status
+GuestMemory::checkGuestRange(Gpa gpa, u64 len) const
+{
+    if (!integrityEnforced()) {
+        // Pre-SNP generations have no RMP: accesses go straight to the
+        // encryption engine.
+        return Status::ok();
+    }
+    Gpa first = alignDown(gpa, kPageSize);
+    Gpa last = len == 0 ? first : alignDown(gpa + len - 1, kPageSize);
+    for (Gpa page = first; page <= last; page += kPageSize) {
+        SEVF_RETURN_IF_ERROR(rmp_.checkGuestAccess(spaOf(page), asid_, page));
+    }
+    return Status::ok();
+}
+
+Status
+GuestMemory::hostWrite(Gpa gpa, ByteSpan data)
+{
+    SEVF_RETURN_IF_ERROR(checkRange(gpa, data.size()));
+    if (integrityEnforced() && !data.empty()) {
+        Gpa first = alignDown(gpa, kPageSize);
+        Gpa last = alignDown(gpa + data.size() - 1, kPageSize);
+        for (Gpa page = first; page <= last; page += kPageSize) {
+            SEVF_RETURN_IF_ERROR(rmp_.checkHostWrite(spaOf(page)));
+        }
+    }
+    std::copy(data.begin(), data.end(), bytes_.begin() + gpa);
+    return Status::ok();
+}
+
+Result<ByteVec>
+GuestMemory::hostRead(Gpa gpa, u64 len) const
+{
+    SEVF_RETURN_IF_ERROR(checkRange(gpa, len));
+    return ByteVec(bytes_.begin() + gpa, bytes_.begin() + gpa + len);
+}
+
+void
+GuestMemory::hostWriteUnchecked(Gpa gpa, ByteSpan data)
+{
+    SEVF_CHECK(gpa + data.size() <= bytes_.size());
+    std::copy(data.begin(), data.end(), bytes_.begin() + gpa);
+}
+
+Status
+GuestMemory::guestWrite(Gpa gpa, ByteSpan data, bool c_bit)
+{
+    SEVF_RETURN_IF_ERROR(checkRange(gpa, data.size()));
+    if (data.empty()) {
+        return Status::ok();
+    }
+    if (!sevEnabled() || !c_bit) {
+        // Shared (plaintext) access path. No RMP validation required for
+        // shared pages, but writing a guest-owned page through a shared
+        // mapping would produce garbage; we allow it like hardware does.
+        std::copy(data.begin(), data.end(), bytes_.begin() + gpa);
+        return Status::ok();
+    }
+
+    SEVF_RETURN_IF_ERROR(checkGuestRange(gpa, data.size()));
+
+    // Read-modify-write at encryption-line granularity, but only the
+    // boundary lines need decrypting - fully overwritten lines are
+    // encrypted straight through (the common bulk-copy path).
+    Gpa line_start = alignDown(gpa, kLine);
+    Gpa line_end = alignUp(gpa + data.size(), kLine);
+    ByteVec scratch(bytes_.begin() + line_start, bytes_.begin() + line_end);
+
+    Gpa last_line = line_end - kLine;
+    bool first_partial =
+        gpa != line_start ||
+        (last_line == line_start && gpa + data.size() != line_end);
+    if (first_partial) {
+        engine_->decrypt(MutByteSpan(scratch.data(), kLine),
+                         spa_base_ + line_start);
+    }
+    if (gpa + data.size() != line_end && last_line != line_start) {
+        engine_->decrypt(
+            MutByteSpan(scratch.data() + (last_line - line_start), kLine),
+            spa_base_ + last_line);
+    }
+    std::copy(data.begin(), data.end(),
+              scratch.begin() + (gpa - line_start));
+    engine_->encrypt(scratch, spa_base_ + line_start);
+    std::copy(scratch.begin(), scratch.end(), bytes_.begin() + line_start);
+    return Status::ok();
+}
+
+Result<ByteVec>
+GuestMemory::guestRead(Gpa gpa, u64 len, bool c_bit) const
+{
+    SEVF_RETURN_IF_ERROR(checkRange(gpa, len));
+    if (!sevEnabled() || !c_bit) {
+        return ByteVec(bytes_.begin() + gpa, bytes_.begin() + gpa + len);
+    }
+    if (len == 0) {
+        return ByteVec{};
+    }
+    SEVF_RETURN_IF_ERROR(checkGuestRange(gpa, len));
+
+    Gpa line_start = alignDown(gpa, kLine);
+    Gpa line_end = alignUp(gpa + len, kLine);
+    ByteVec scratch(bytes_.begin() + line_start, bytes_.begin() + line_end);
+    engine_->decrypt(scratch, spa_base_ + line_start);
+    return ByteVec(scratch.begin() + (gpa - line_start),
+                   scratch.begin() + (gpa - line_start) + len);
+}
+
+Status
+GuestMemory::pspEncryptInPlace(Gpa gpa, u64 len)
+{
+    if (!sevEnabled()) {
+        return errInvalidState("pre-encryption without an attached VEK");
+    }
+    SEVF_RETURN_IF_ERROR(checkRange(gpa, len));
+    if (gpa % kPageSize != 0) {
+        return errInvalidArgument("LAUNCH_UPDATE_DATA region not page aligned");
+    }
+
+    u64 whole = alignUp(len, kPageSize);
+    if (gpa + whole > bytes_.size()) {
+        return errInvalidArgument("LAUNCH_UPDATE_DATA region past end");
+    }
+    // Encrypt whole pages (the PSP works at page granularity).
+    MutByteSpan region(bytes_.data() + gpa, whole);
+    engine_->encrypt(region, spa_base_ + gpa);
+    if (integrityEnforced()) {
+        for (Gpa page = gpa; page < gpa + whole; page += kPageSize) {
+            SEVF_RETURN_IF_ERROR(
+                rmp_.pspAssignValidated(spaOf(page), asid_, page));
+        }
+    }
+    return Status::ok();
+}
+
+} // namespace sevf::memory

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Guest physical memory with SEV semantics.
+ *
+ * The backing store holds what the DRAM would hold: plaintext for shared
+ * pages, XEX ciphertext for encrypted pages. Host accessors see raw
+ * memory (so a host read of an encrypted page yields ciphertext, and a
+ * host write to a guest-owned page is blocked by the RMP). Guest
+ * accessors take the C-bit, which routes them through the encryption
+ * engine exactly like the hardware's address-translation path (§2.4).
+ */
+#ifndef SEVF_MEMORY_GUEST_MEMORY_H_
+#define SEVF_MEMORY_GUEST_MEMORY_H_
+
+#include <memory>
+#include <optional>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "crypto/xex.h"
+#include "memory/rmp.h"
+#include "memory/sev_mode.h"
+
+namespace sevf::memory {
+
+/**
+ * One VM's guest-physical address space. GPA 0 maps to SPA spa_base;
+ * distinct VMs get distinct spa_base values so ciphertexts are unique
+ * across VMs even for identical guest contents.
+ */
+class GuestMemory
+{
+  public:
+    /**
+     * @param size guest memory size in bytes (page aligned)
+     * @param spa_base system-physical base of this VM's allocation
+     * @param asid the guest's address-space id (0 = non-SEV guest)
+     * @param mode SEV generation; kNone is forced when asid == 0
+     */
+    GuestMemory(u64 size, Spa spa_base, u32 asid,
+                SevMode mode = SevMode::kSevSnp);
+
+    GuestMemory(const GuestMemory &) = delete;
+    GuestMemory &operator=(const GuestMemory &) = delete;
+
+    u64 size() const { return bytes_.size(); }
+    u32 asid() const { return asid_; }
+    Spa spaBase() const { return spa_base_; }
+    Spa spaOf(Gpa gpa) const { return spa_base_ + gpa; }
+    bool sevEnabled() const { return engine_ != nullptr; }
+    SevMode sevMode() const { return mode_; }
+    /** RMP integrity checks apply (SEV-SNP only, §2.2). */
+    bool integrityEnforced() const
+    {
+        return sevEnabled() && hasIntegrity(mode_);
+    }
+
+    /**
+     * Attach the guest's memory-encryption context (done by the PSP at
+     * LAUNCH_START via Psp::activate). Until attached, the VM behaves
+     * like a non-SEV guest.
+     */
+    void attachEncryption(std::unique_ptr<crypto::XexCipher> engine);
+
+    Rmp &rmp() { return rmp_; }
+    const Rmp &rmp() const { return rmp_; }
+
+    // ---- Host-side accessors (the VMM / a would-be attacker) ----
+
+    /**
+     * Host write of raw bytes. For a non-SEV guest this is the ordinary
+     * VMM load path. For an SEV guest it succeeds only on shared
+     * (unassigned) pages - the RMP blocks writes to guest-owned pages.
+     */
+    Status hostWrite(Gpa gpa, ByteSpan data);
+
+    /** Host read of raw memory: ciphertext for encrypted pages. */
+    Result<ByteVec> hostRead(Gpa gpa, u64 len) const;
+
+    /**
+     * Host write that BYPASSES the RMP check, corrupting DRAM contents
+     * directly. Exists so tests/examples can model a physical attacker;
+     * the guest still detects the tamper (hash mismatch or garbage
+     * plaintext) - it just isn't blocked.
+     */
+    void hostWriteUnchecked(Gpa gpa, ByteSpan data);
+
+    // ---- Guest-side accessors (through the C-bit) ----
+
+    /**
+     * Guest write. With @p c_bit set on an SEV guest, data is encrypted
+     * with the address tweak on its way to memory and the RMP must show
+     * the page assigned+validated (else #VC).
+     */
+    Status guestWrite(Gpa gpa, ByteSpan data, bool c_bit);
+
+    /** Guest read; decrypts when @p c_bit is set. Same RMP checks. */
+    Result<ByteVec> guestRead(Gpa gpa, u64 len, bool c_bit) const;
+
+    // ---- PSP-side (LAUNCH_UPDATE_DATA) ----
+
+    /**
+     * Pre-encrypt @p len bytes at @p gpa in place: the PSP reads the
+     * plaintext the VMM staged there, encrypts it with the guest key,
+     * and marks the pages assigned+validated in the RMP. The region is
+     * page-aligned internally (whole pages are converted).
+     */
+    Status pspEncryptInPlace(Gpa gpa, u64 len);
+
+    /** Raw view for the PSP/tests. */
+    ByteSpan raw() const { return bytes_; }
+
+  private:
+    Status checkRange(Gpa gpa, u64 len) const;
+    /** RMP guest-access check for every page the range touches. */
+    Status checkGuestRange(Gpa gpa, u64 len) const;
+
+    ByteVec bytes_;
+    Spa spa_base_;
+    u32 asid_;
+    SevMode mode_;
+    Rmp rmp_;
+    std::unique_ptr<crypto::XexCipher> engine_;
+};
+
+} // namespace sevf::memory
+
+#endif // SEVF_MEMORY_GUEST_MEMORY_H_

@@ -1,0 +1,117 @@
+#include "memory/page_table.h"
+
+#include "base/bytes.h"
+#include "base/logging.h"
+
+namespace sevf::memory {
+
+namespace {
+
+constexpr u64 kEntriesPerTable = 512;
+// Physical-address field of a PTE: bits 12..50 (bit 51 is our C-bit).
+constexpr u64 kAddrMask = 0x0007fffffffff000ull;
+
+} // namespace
+
+u64
+identityTableSize(u64 map_bytes)
+{
+    u64 gib = pagesFor(map_bytes, kGiB);
+    if (gib == 0) {
+        gib = 1;
+    }
+    // PML4 + PDPT + one PD per GiB.
+    return (2 + gib) * kPageSize;
+}
+
+Result<ByteVec>
+buildIdentityTables(const PageTableConfig &config)
+{
+    if (config.map_bytes == 0) {
+        return errInvalidArgument("map_bytes must be non-zero");
+    }
+    if (config.root_gpa % kPageSize != 0) {
+        return errInvalidArgument("root_gpa must be page aligned");
+    }
+    if (config.map_bytes > 512 * kGiB) {
+        return errUnsupported("identity map larger than one PML4 entry span");
+    }
+
+    const u64 gib = std::max<u64>(1, pagesFor(config.map_bytes, kGiB));
+    const u64 c_bit =
+        config.set_c_bit ? (1ull << config.c_bit_pos) : 0;
+
+    ByteVec tables((2 + gib) * kPageSize, 0);
+    auto entry = [&](u64 table_page, u64 index) -> u8 * {
+        return tables.data() + table_page * kPageSize + index * 8;
+    };
+
+    const Gpa pdpt_gpa = config.root_gpa + kPageSize;
+
+    // PML4[0] -> PDPT. Table pointers also carry the C-bit: the tables
+    // themselves live in encrypted memory once the guest owns them.
+    storeLe<u64>(entry(0, 0),
+                 (pdpt_gpa & kAddrMask) | kPtePresent | kPteWrite | c_bit);
+
+    for (u64 g = 0; g < gib; ++g) {
+        const Gpa pd_gpa = config.root_gpa + (2 + g) * kPageSize;
+        storeLe<u64>(entry(1, g),
+                     (pd_gpa & kAddrMask) | kPtePresent | kPteWrite | c_bit);
+        for (u64 e = 0; e < kEntriesPerTable; ++e) {
+            u64 pa = g * kGiB + e * kHugePageSize;
+            if (pa >= alignUp(config.map_bytes, kHugePageSize)) {
+                break;
+            }
+            storeLe<u64>(entry(2 + g, e),
+                         (pa & kAddrMask) | kPtePresent | kPteWrite |
+                             kPteHuge | c_bit);
+        }
+    }
+    return tables;
+}
+
+PageTableWalker::PageTableWalker(u64 root_pa, QwordReader read,
+                                 int c_bit_pos)
+    : root_pa_(root_pa), read_(std::move(read)),
+      c_bit_mask_(1ull << c_bit_pos)
+{
+    SEVF_CHECK(read_ != nullptr);
+}
+
+Result<WalkResult>
+PageTableWalker::walk(u64 va) const
+{
+    const int shifts[4] = {39, 30, 21, 12};
+    u64 table_pa = root_pa_;
+    bool c_bit = false;
+    bool writable = true;
+
+    for (int level = 0; level < 4; ++level) {
+        u64 index = (va >> shifts[level]) & (kEntriesPerTable - 1);
+        Result<u64> raw = read_(table_pa + index * 8);
+        if (!raw.isOk()) {
+            return raw.status();
+        }
+        u64 e = *raw;
+        if (!(e & kPtePresent)) {
+            return errNotFound("non-present page table entry");
+        }
+        c_bit = (e & c_bit_mask_) != 0;
+        writable = writable && (e & kPteWrite);
+
+        bool leaf = (level == 3) ||
+                    ((level == 1 || level == 2) && (e & kPteHuge));
+        u64 next = e & kAddrMask & ~c_bit_mask_;
+        if (leaf) {
+            u64 page_size = level == 3   ? kPageSize
+                            : level == 2 ? kHugePageSize
+                                         : kGiB;
+            u64 offset = va & (page_size - 1);
+            return WalkResult{next + offset, c_bit, writable, page_size};
+        }
+        table_pa = next;
+    }
+    return errNotFound("walk fell through all levels");
+}
+
+} // namespace sevf::memory

@@ -1,0 +1,17 @@
+#include "memory/sev_mode.h"
+
+namespace sevf::memory {
+
+const char *
+sevModeName(SevMode mode)
+{
+    switch (mode) {
+      case SevMode::kNone: return "none";
+      case SevMode::kSev: return "sev";
+      case SevMode::kSevEs: return "sev-es";
+      case SevMode::kSevSnp: return "sev-snp";
+    }
+    return "unknown";
+}
+
+} // namespace sevf::memory

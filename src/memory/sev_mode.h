@@ -1,0 +1,45 @@
+/**
+ * @file
+ * SEV generations. The paper's Firecracker port supports launching
+ * plain SEV, SEV-ES, and SEV-SNP guests (§5); the generations differ
+ * in what the hardware protects:
+ *
+ *  - kSev:    memory encryption only. The host cannot *read* guest
+ *             data, but can still scribble ciphertext over guest pages
+ *             (corruption, not disclosure).
+ *  - kSevEs:  + encrypted register state: the VMSA is encrypted and
+ *             measured at launch.
+ *  - kSevSnp: + memory integrity: the RMP blocks host writes, guests
+ *             pvalidate their pages, remapping faults with #VC.
+ */
+#ifndef SEVF_MEMORY_SEV_MODE_H_
+#define SEVF_MEMORY_SEV_MODE_H_
+
+namespace sevf::memory {
+
+enum class SevMode {
+    kNone = 0, //!< non-confidential guest
+    kSev,
+    kSevEs,
+    kSevSnp,
+};
+
+const char *sevModeName(SevMode mode);
+
+/** True for modes with an encrypted VMSA (SEV-ES and SEV-SNP). */
+constexpr bool
+hasEncryptedState(SevMode mode)
+{
+    return mode == SevMode::kSevEs || mode == SevMode::kSevSnp;
+}
+
+/** True for the mode with RMP-enforced memory integrity. */
+constexpr bool
+hasIntegrity(SevMode mode)
+{
+    return mode == SevMode::kSevSnp;
+}
+
+} // namespace sevf::memory
+
+#endif // SEVF_MEMORY_SEV_MODE_H_

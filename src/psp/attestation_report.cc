@@ -1,0 +1,98 @@
+#include "psp/attestation_report.h"
+
+#include "base/bytes.h"
+#include "crypto/hmac.h"
+
+namespace sevf::psp {
+
+ByteVec
+AttestationReport::body() const
+{
+    ByteWriter w;
+    w.u32le(version);
+    w.u32le(static_cast<u32>(chip_id.size()));
+    w.str(chip_id);
+    w.u32le(policy);
+    w.u32le(asid);
+    w.bytes(ByteSpan(measurement.data(), measurement.size()));
+    w.bytes(ByteSpan(report_data.data(), report_data.size()));
+    return w.take();
+}
+
+ByteVec
+AttestationReport::serialize() const
+{
+    ByteVec out = body();
+    out.insert(out.end(), signature.begin(), signature.end());
+    return out;
+}
+
+Result<AttestationReport>
+AttestationReport::parse(ByteSpan wire)
+{
+    ByteReader r(wire);
+    AttestationReport rep;
+    Result<u32> version = r.u32le();
+    if (!version.isOk()) {
+        return version.status();
+    }
+    rep.version = *version;
+    Result<u32> id_len = r.u32le();
+    if (!id_len.isOk()) {
+        return id_len.status();
+    }
+    if (*id_len > 256) {
+        return errCorrupted("report: absurd chip id length");
+    }
+    Result<ByteVec> id = r.bytes(*id_len);
+    if (!id.isOk()) {
+        return id.status();
+    }
+    rep.chip_id.assign(id->begin(), id->end());
+    Result<u32> policy = r.u32le();
+    if (!policy.isOk()) {
+        return policy.status();
+    }
+    rep.policy = *policy;
+    Result<u32> asid = r.u32le();
+    if (!asid.isOk()) {
+        return asid.status();
+    }
+    rep.asid = *asid;
+
+    Result<ByteVec> meas = r.bytes(rep.measurement.size());
+    if (!meas.isOk()) {
+        return meas.status();
+    }
+    std::copy(meas->begin(), meas->end(), rep.measurement.begin());
+    Result<ByteVec> rdata = r.bytes(rep.report_data.size());
+    if (!rdata.isOk()) {
+        return rdata.status();
+    }
+    std::copy(rdata->begin(), rdata->end(), rep.report_data.begin());
+    Result<ByteVec> sig = r.bytes(rep.signature.size());
+    if (!sig.isOk()) {
+        return sig.status();
+    }
+    std::copy(sig->begin(), sig->end(), rep.signature.begin());
+    if (!r.atEnd()) {
+        return errCorrupted("report: trailing bytes");
+    }
+    return rep;
+}
+
+void
+AttestationReport::sign(const ChipKey &key)
+{
+    signature = crypto::hmacSha256(key, body());
+}
+
+bool
+AttestationReport::verify(const ChipKey &key) const
+{
+    crypto::Sha256Digest expected = crypto::hmacSha256(key, body());
+    return digestEqual(ByteSpan(expected.data(), expected.size()),
+                       ByteSpan(signature.data(), signature.size()));
+}
+
+} // namespace sevf::psp

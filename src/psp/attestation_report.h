@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Attestation report (MSG_REPORT_REQ response, simplified from the
+ * SEV-SNP ABI): the launch measurement plus guest-supplied report data,
+ * signed with the chip key. The PSP writes it directly into encrypted
+ * guest memory (Fig 1 step 6); the guest forwards it to the guest owner.
+ */
+#ifndef SEVF_PSP_ATTESTATION_REPORT_H_
+#define SEVF_PSP_ATTESTATION_REPORT_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "crypto/sha256.h"
+#include "psp/key_server.h"
+
+namespace sevf::psp {
+
+/** Guest-chosen data bound into the report (nonce, DH public key...). */
+using ReportData = std::array<u8, 64>;
+
+struct AttestationReport {
+    u32 version = 2;
+    std::string chip_id;
+    u32 policy = 0;
+    u32 asid = 0;
+    crypto::Sha256Digest measurement{}; //!< the launch digest
+    ReportData report_data{};
+    crypto::Sha256Digest signature{};   //!< HMAC(chip key, body)
+
+    /** Serialized body (everything but the signature). */
+    ByteVec body() const;
+
+    /** Full wire format: body || signature. */
+    ByteVec serialize() const;
+
+    /** Parse the wire format (does not verify the signature). */
+    static Result<AttestationReport> parse(ByteSpan wire);
+
+    /** Sign in place with @p key. */
+    void sign(const ChipKey &key);
+
+    /** True iff the signature verifies under @p key. */
+    bool verify(const ChipKey &key) const;
+};
+
+} // namespace sevf::psp
+
+#endif // SEVF_PSP_ATTESTATION_REPORT_H_

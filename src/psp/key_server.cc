@@ -1,0 +1,25 @@
+#include "psp/key_server.h"
+
+namespace sevf::psp {
+
+Status
+KeyServer::provision(const std::string &chip_id, const ChipKey &key)
+{
+    if (keys_.contains(chip_id)) {
+        return errInvalidArgument("chip already provisioned: " + chip_id);
+    }
+    keys_.emplace(chip_id, key);
+    return Status::ok();
+}
+
+Result<ChipKey>
+KeyServer::keyFor(const std::string &chip_id) const
+{
+    auto it = keys_.find(chip_id);
+    if (it == keys_.end()) {
+        return errNotFound("unknown chip: " + chip_id);
+    }
+    return it->second;
+}
+
+} // namespace sevf::psp

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Model of AMD's key distribution service (KDS).
+ *
+ * Each PSP is provisioned with a chip-unique signing key; the guest
+ * owner verifies attestation-report signatures against the key the KDS
+ * vouches for. HMAC substitutes for the real ECDSA chain (DESIGN.md):
+ * the trust structure - chip binding, third-party verification - is the
+ * same.
+ */
+#ifndef SEVF_PSP_KEY_SERVER_H_
+#define SEVF_PSP_KEY_SERVER_H_
+
+#include <map>
+#include <string>
+
+#include "base/status.h"
+#include "base/types.h"
+
+namespace sevf::psp {
+
+/** A 32-byte chip signing key. */
+using ChipKey = std::array<u8, 32>;
+
+class KeyServer
+{
+  public:
+    KeyServer() = default;
+    KeyServer(const KeyServer &) = delete;
+    KeyServer &operator=(const KeyServer &) = delete;
+
+    /**
+     * Provision a chip at manufacturing time. Fails if @p chip_id is
+     * already registered.
+     */
+    Status provision(const std::string &chip_id, const ChipKey &key);
+
+    /** Verification key for @p chip_id (guest-owner side). */
+    Result<ChipKey> keyFor(const std::string &chip_id) const;
+
+  private:
+    std::map<std::string, ChipKey> keys_;
+};
+
+} // namespace sevf::psp
+
+#endif // SEVF_PSP_KEY_SERVER_H_

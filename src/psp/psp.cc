@@ -1,0 +1,213 @@
+#include "psp/psp.h"
+
+#include <memory>
+
+#include "base/logging.h"
+#include "base/bytes.h"
+#include "crypto/sha256.h"
+#include "crypto/xex.h"
+
+namespace sevf::psp {
+
+ByteVec
+synthesizeVmsa(u32 vcpu_index, u32 policy)
+{
+    ByteVec vmsa(kPageSize, 0);
+    storeLe<u32>(vmsa.data(), vcpu_index);
+    storeLe<u32>(vmsa.data() + 4, policy);
+    storeLe<u64>(vmsa.data() + 8, 0xfff0); // reset %rip convention
+    return vmsa;
+}
+
+Psp::Psp(std::string chip_id, KeyServer &key_server, u64 seed)
+    : chip_id_(std::move(chip_id)), rng_(seed)
+{
+    rng_.fill(chip_key_);
+    Status provisioned = key_server.provision(chip_id_, chip_key_);
+    if (!provisioned.isOk()) {
+        fatal("PSP chip provisioning failed: ", provisioned.toString());
+    }
+}
+
+Result<Psp::GuestContext *>
+Psp::contextFor(GuestHandle handle)
+{
+    auto it = guests_.find(handle);
+    if (it == guests_.end()) {
+        return errNotFound("unknown guest handle");
+    }
+    return &it->second;
+}
+
+Result<const Psp::GuestContext *>
+Psp::contextFor(GuestHandle handle) const
+{
+    auto it = guests_.find(handle);
+    if (it == guests_.end()) {
+        return errNotFound("unknown guest handle");
+    }
+    return &it->second;
+}
+
+Result<GuestHandle>
+Psp::launchStart(memory::GuestMemory &mem, u32 policy)
+{
+    if (mem.sevEnabled()) {
+        return errInvalidState("guest memory already has an encryption key");
+    }
+    if (mem.asid() == 0) {
+        return errInvalidArgument("SEV guest needs a non-zero ASID");
+    }
+
+    // Generate the per-guest VEK + tweak key and hand the engine to the
+    // memory controller.
+    crypto::Aes128Key vek, tweak;
+    rng_.fill(vek);
+    rng_.fill(tweak);
+    mem.attachEncryption(std::make_unique<crypto::XexCipher>(vek, tweak));
+
+    GuestHandle handle = next_handle_++;
+    GuestContext ctx;
+    ctx.asid = mem.asid();
+    ctx.policy = policy;
+    guests_.emplace(handle, std::move(ctx));
+    return handle;
+}
+
+Result<GuestHandle>
+Psp::launchStartShared(memory::GuestMemory &mem, u32 policy)
+{
+    if (mem.sevEnabled()) {
+        return errInvalidState("guest memory already has an encryption key");
+    }
+    if (mem.asid() == 0) {
+        return errInvalidArgument("SEV guest needs a non-zero ASID");
+    }
+    if (!shared_key_ready_) {
+        rng_.fill(shared_vek_);
+        rng_.fill(shared_tweak_);
+        shared_key_ready_ = true;
+    }
+    mem.attachEncryption(
+        std::make_unique<crypto::XexCipher>(shared_vek_, shared_tweak_));
+
+    GuestHandle handle = next_handle_++;
+    GuestContext ctx;
+    ctx.asid = mem.asid();
+    ctx.policy = policy;
+    guests_.emplace(handle, std::move(ctx));
+    return handle;
+}
+
+Status
+Psp::launchUpdateData(GuestHandle handle, memory::GuestMemory &mem, Gpa gpa,
+                      u64 len)
+{
+    Result<GuestContext *> ctx = contextFor(handle);
+    if (!ctx.isOk()) {
+        return ctx.status();
+    }
+    if ((*ctx)->state != LaunchState::kStarted) {
+        return errInvalidState(
+            "LAUNCH_UPDATE_DATA after LAUNCH_FINISH is rejected");
+    }
+    if ((*ctx)->asid != mem.asid()) {
+        return errInvalidArgument("guest memory ASID mismatch");
+    }
+    if (len == 0) {
+        return errInvalidArgument("empty LAUNCH_UPDATE_DATA region");
+    }
+
+    // Measure the plaintext the hypervisor staged, page by page, exactly
+    // like the expected-measurement tool will (attest module).
+    Result<ByteVec> plaintext = mem.hostRead(gpa, len);
+    if (!plaintext.isOk()) {
+        return plaintext.status();
+    }
+    (*ctx)->measured_pages += (*ctx)->digest.extendRegion(
+        crypto::MeasuredPageType::kNormal, gpa, *plaintext);
+
+    // Then convert the pages to encrypted guest-owned state.
+    return mem.pspEncryptInPlace(gpa, len);
+}
+
+Status
+Psp::launchUpdateVmsa(GuestHandle handle, memory::GuestMemory &mem,
+                      u32 vcpu_index, Gpa vmsa_gpa)
+{
+    Result<GuestContext *> ctx = contextFor(handle);
+    if (!ctx.isOk()) {
+        return ctx.status();
+    }
+    if ((*ctx)->state != LaunchState::kStarted) {
+        return errInvalidState("LAUNCH_UPDATE_VMSA after LAUNCH_FINISH");
+    }
+    if (!hasEncryptedState(mem.sevMode())) {
+        return errUnsupported("VMSA measurement needs SEV-ES or SEV-SNP");
+    }
+
+    ByteVec vmsa = synthesizeVmsa(vcpu_index, (*ctx)->policy);
+    SEVF_RETURN_IF_ERROR(mem.hostWrite(vmsa_gpa, vmsa));
+
+    (*ctx)->digest.extend(crypto::MeasuredPageType::kVmsa, vmsa_gpa,
+                          crypto::Sha256::digest(vmsa));
+    (*ctx)->measured_pages += 1;
+    return mem.pspEncryptInPlace(vmsa_gpa, kPageSize);
+}
+
+Result<crypto::Sha256Digest>
+Psp::launchMeasure(GuestHandle handle) const
+{
+    Result<const GuestContext *> ctx = contextFor(handle);
+    if (!ctx.isOk()) {
+        return ctx.status();
+    }
+    return (*ctx)->digest.value();
+}
+
+Status
+Psp::launchFinish(GuestHandle handle)
+{
+    Result<GuestContext *> ctx = contextFor(handle);
+    if (!ctx.isOk()) {
+        return ctx.status();
+    }
+    if ((*ctx)->state != LaunchState::kStarted) {
+        return errInvalidState("guest launch already finished");
+    }
+    (*ctx)->state = LaunchState::kFinished;
+    return Status::ok();
+}
+
+Result<AttestationReport>
+Psp::guestRequestReport(GuestHandle handle,
+                        const ReportData &report_data) const
+{
+    Result<const GuestContext *> ctx = contextFor(handle);
+    if (!ctx.isOk()) {
+        return ctx.status();
+    }
+    if ((*ctx)->state != LaunchState::kFinished) {
+        return errInvalidState("report requested before LAUNCH_FINISH");
+    }
+    AttestationReport report;
+    report.chip_id = chip_id_;
+    report.policy = (*ctx)->policy;
+    report.asid = (*ctx)->asid;
+    report.measurement = (*ctx)->digest.value();
+    report.report_data = report_data;
+    report.sign(chip_key_);
+    return report;
+}
+
+Result<u64>
+Psp::measuredPageCount(GuestHandle handle) const
+{
+    Result<const GuestContext *> ctx = contextFor(handle);
+    if (!ctx.isOk()) {
+        return ctx.status();
+    }
+    return (*ctx)->measured_pages;
+}
+
+} // namespace sevf::psp

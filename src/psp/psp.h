@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The Platform Security Processor device model.
+ *
+ * Implements the SEV-SNP launch command flow of §2.4/Fig 1: per-guest
+ * contexts with a launch state machine, VEK generation, page
+ * measurement + in-place encryption for LAUNCH_UPDATE_DATA, launch
+ * finalization, and signed attestation-report generation. Everything is
+ * functional (real hashes, real encryption); the PSP's single-core
+ * serialization is timing, expressed by charging StepKind::kPsp steps
+ * in the boot traces and replaying them through sim::FifoResource.
+ */
+#ifndef SEVF_PSP_PSP_H_
+#define SEVF_PSP_PSP_H_
+
+#include <map>
+#include <string>
+
+#include "base/rng.h"
+#include "crypto/measurement.h"
+#include "memory/guest_memory.h"
+#include "psp/attestation_report.h"
+#include "psp/key_server.h"
+
+namespace sevf::psp {
+
+/** Handle to a per-guest PSP context. */
+using GuestHandle = u32;
+
+/**
+ * Deterministic initial VMSA page for @p vcpu_index under @p policy:
+ * what LAUNCH_UPDATE_VMSA measures. Exposed so the guest owner's
+ * expected-measurement tool reproduces the same bytes.
+ */
+ByteVec synthesizeVmsa(u32 vcpu_index, u32 policy);
+
+/** Launch state machine (subset of the SNP GCTX states). */
+enum class LaunchState {
+    kStarted,   //!< LAUNCH_START done; LAUNCH_UPDATE_DATA legal
+    kFinished,  //!< LAUNCH_FINISH done; reports may be requested
+};
+
+class Psp
+{
+  public:
+    /**
+     * @param chip_id unique platform identity
+     * @param key_server KDS to provision this chip's signing key with
+     * @param seed deterministic source for key generation
+     */
+    Psp(std::string chip_id, KeyServer &key_server, u64 seed);
+
+    Psp(const Psp &) = delete;
+    Psp &operator=(const Psp &) = delete;
+
+    const std::string &chipId() const { return chip_id_; }
+
+    /** Allocate a fresh ASID for a new guest (KVM does this pre-launch). */
+    u32 allocateAsid() { return next_asid_++; }
+
+    /**
+     * SNP_LAUNCH_START: create the guest context, generate its VEK, and
+     * attach the encryption engine to @p mem. @p mem's ASID identifies
+     * the guest from here on.
+     */
+    Result<GuestHandle> launchStart(memory::GuestMemory &mem, u32 policy);
+
+    /**
+     * FUTURE-WORK EXTENSION (paper §6.2): launch with a shared platform
+     * key instead of a fresh VEK, skipping per-guest key generation to
+     * relieve the single-core PSP. This deliberately weakens the trust
+     * model - guests sharing the key share a cryptographic domain (see
+     * the keyshare tests/bench for the consequences) - which is exactly
+     * the trade-off the paper flags.
+     */
+    Result<GuestHandle> launchStartShared(memory::GuestMemory &mem,
+                                          u32 policy);
+
+    /**
+     * SNP_LAUNCH_UPDATE (page type NORMAL): measure @p len bytes at
+     * @p gpa into the launch digest and encrypt them in place. Pages
+     * arrive in the guest assigned + validated.
+     */
+    Status launchUpdateData(GuestHandle handle, memory::GuestMemory &mem,
+                            Gpa gpa, u64 len);
+
+    /**
+     * LAUNCH_UPDATE_VMSA (SEV-ES/SNP): measure + encrypt the vCPU's
+     * initial register state so a malicious host cannot pick the guest
+     * entry context. The VMSA page is synthesized from the vCPU index
+     * and policy.
+     */
+    Status launchUpdateVmsa(GuestHandle handle, memory::GuestMemory &mem,
+                            u32 vcpu_index, Gpa vmsa_gpa);
+
+    /** Current launch digest (LAUNCH_MEASURE). */
+    Result<crypto::Sha256Digest> launchMeasure(GuestHandle handle) const;
+
+    /**
+     * SNP_LAUNCH_FINISH: lock the measurement. Further
+     * launchUpdateData calls fail with kInvalidState - the property
+     * that stops a host from encrypting extra memory post-attestation.
+     */
+    Status launchFinish(GuestHandle handle);
+
+    /**
+     * MSG_REPORT_REQ from the guest: a signed report over the locked
+     * launch digest and @p report_data. Only legal after LAUNCH_FINISH.
+     */
+    Result<AttestationReport> guestRequestReport(
+        GuestHandle handle, const ReportData &report_data) const;
+
+    /** Number of LAUNCH_UPDATE_DATA pages measured for @p handle. */
+    Result<u64> measuredPageCount(GuestHandle handle) const;
+
+  private:
+    struct GuestContext {
+        LaunchState state = LaunchState::kStarted;
+        u32 asid = 0;
+        u32 policy = 0;
+        crypto::LaunchDigest digest;
+        u64 measured_pages = 0;
+    };
+
+    Result<GuestContext *> contextFor(GuestHandle handle);
+    Result<const GuestContext *> contextFor(GuestHandle handle) const;
+
+    std::string chip_id_;
+    ChipKey chip_key_;
+    Rng rng_;
+    /** Lazily generated shared platform key (future-work extension). */
+    bool shared_key_ready_ = false;
+    crypto::Aes128Key shared_vek_{};
+    crypto::Aes128Key shared_tweak_{};
+    u32 next_asid_ = 1;
+    GuestHandle next_handle_ = 1;
+    std::map<GuestHandle, GuestContext> guests_;
+};
+
+} // namespace sevf::psp
+
+#endif // SEVF_PSP_PSP_H_

@@ -1,0 +1,26 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace sevf::sim {
+
+std::string
+Duration::toString() const
+{
+    char buf[64];
+    double abs_ns = static_cast<double>(ns_ < 0 ? -ns_ : ns_);
+    if (abs_ns >= 1e9) {
+        std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns_) / 1e9);
+    } else if (abs_ns >= 1e6) {
+        std::snprintf(buf, sizeof(buf), "%.2fms",
+                      static_cast<double>(ns_) / 1e6);
+    } else if (abs_ns >= 1e3) {
+        std::snprintf(buf, sizeof(buf), "%.2fus",
+                      static_cast<double>(ns_) / 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(ns_));
+    }
+    return buf;
+}
+
+} // namespace sevf::sim

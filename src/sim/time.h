@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Virtual time. All simulation timing is integer nanoseconds so runs are
+ * exactly reproducible across machines (no hardware clocks on the data
+ * path; see DESIGN.md §5).
+ */
+#ifndef SEVF_SIM_TIME_H_
+#define SEVF_SIM_TIME_H_
+
+#include <compare>
+#include <string>
+
+#include "base/types.h"
+
+namespace sevf::sim {
+
+/**
+ * A span of virtual time, in nanoseconds. Also used as a time point
+ * (nanoseconds since simulation start).
+ */
+class Duration
+{
+  public:
+    constexpr Duration() : ns_(0) {}
+    constexpr explicit Duration(i64 ns) : ns_(ns) {}
+
+    static constexpr Duration zero() { return Duration(0); }
+    static constexpr Duration nanos(i64 v) { return Duration(v); }
+    static constexpr Duration micros(i64 v) { return Duration(v * 1000); }
+    static constexpr Duration millis(i64 v) { return Duration(v * 1000000); }
+    static constexpr Duration seconds(i64 v)
+    {
+        return Duration(v * 1000000000);
+    }
+
+    /** From floating-point milliseconds (used by the cost model). */
+    static Duration
+    fromMsF(double ms)
+    {
+        return Duration(static_cast<i64>(ms * 1e6));
+    }
+
+    /** From floating-point seconds. */
+    static Duration
+    fromSecF(double sec)
+    {
+        return Duration(static_cast<i64>(sec * 1e9));
+    }
+
+    constexpr i64 ns() const { return ns_; }
+    double toMsF() const { return static_cast<double>(ns_) / 1e6; }
+    double toSecF() const { return static_cast<double>(ns_) / 1e9; }
+
+    /** e.g. "24.73ms" or "3.24s", for tables and timelines. */
+    std::string toString() const;
+
+    constexpr Duration operator+(Duration o) const
+    {
+        return Duration(ns_ + o.ns_);
+    }
+    constexpr Duration operator-(Duration o) const
+    {
+        return Duration(ns_ - o.ns_);
+    }
+    Duration &operator+=(Duration o)
+    {
+        ns_ += o.ns_;
+        return *this;
+    }
+    Duration &operator-=(Duration o)
+    {
+        ns_ -= o.ns_;
+        return *this;
+    }
+    constexpr auto operator<=>(const Duration &) const = default;
+
+  private:
+    i64 ns_;
+};
+
+/** A point in virtual time is a Duration since simulation start. */
+using TimePoint = Duration;
+
+/** The later of two time points. */
+inline TimePoint
+maxTime(TimePoint a, TimePoint b)
+{
+    return a < b ? b : a;
+}
+
+} // namespace sevf::sim
+
+#endif // SEVF_SIM_TIME_H_

@@ -1,0 +1,141 @@
+#include "stats/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "base/logging.h"
+
+namespace sevf::stats {
+
+AsciiChart::AsciiChart(int width, int height)
+    : width_(width), height_(height)
+{
+    SEVF_CHECK(width >= 10 && height >= 4);
+}
+
+void
+AsciiChart::addSeries(std::string name, char marker,
+                      std::vector<std::pair<double, double>> points)
+{
+    series_.push_back({std::move(name), marker, std::move(points)});
+}
+
+void
+AsciiChart::setXBounds(double lo, double hi)
+{
+    has_x_bounds_ = true;
+    x_lo_ = lo;
+    x_hi_ = hi;
+}
+
+void
+AsciiChart::setYBounds(double lo, double hi)
+{
+    has_y_bounds_ = true;
+    y_lo_ = lo;
+    y_hi_ = hi;
+}
+
+std::string
+AsciiChart::render(const std::string &x_label,
+                   const std::string &y_label) const
+{
+    double x_lo = x_lo_, x_hi = x_hi_, y_lo = y_lo_, y_hi = y_hi_;
+    if (!has_x_bounds_ || !has_y_bounds_) {
+        bool first = true;
+        for (const Series &s : series_) {
+            for (const auto &[x, y] : s.points) {
+                if (first) {
+                    if (!has_x_bounds_) {
+                        x_lo = x_hi = x;
+                    }
+                    if (!has_y_bounds_) {
+                        y_lo = y_hi = y;
+                    }
+                    first = false;
+                }
+                if (!has_x_bounds_) {
+                    x_lo = std::min(x_lo, x);
+                    x_hi = std::max(x_hi, x);
+                }
+                if (!has_y_bounds_) {
+                    y_lo = std::min(y_lo, y);
+                    y_hi = std::max(y_hi, y);
+                }
+            }
+        }
+    }
+    if (x_hi <= x_lo) {
+        x_hi = x_lo + 1;
+    }
+    if (y_hi <= y_lo) {
+        y_hi = y_lo + 1;
+    }
+
+    std::vector<std::string> grid(height_, std::string(width_, ' '));
+    auto plot = [&](double x, double y, char marker) {
+        int col = static_cast<int>(
+            std::lround((x - x_lo) / (x_hi - x_lo) * (width_ - 1)));
+        int row = static_cast<int>(
+            std::lround((y - y_lo) / (y_hi - y_lo) * (height_ - 1)));
+        if (col < 0 || col >= width_ || row < 0 || row >= height_) {
+            return;
+        }
+        grid[height_ - 1 - row][col] = marker;
+    };
+
+    for (const Series &s : series_) {
+        for (std::size_t i = 0; i < s.points.size(); ++i) {
+            plot(s.points[i].first, s.points[i].second, s.marker);
+            if (i + 1 < s.points.size()) {
+                // Interpolate along the segment for a line feel.
+                double x0 = s.points[i].first, y0 = s.points[i].second;
+                double x1 = s.points[i + 1].first,
+                       y1 = s.points[i + 1].second;
+                for (int step = 1; step < 8; ++step) {
+                    double t = step / 8.0;
+                    plot(x0 + (x1 - x0) * t, y0 + (y1 - y0) * t, s.marker);
+                }
+            }
+        }
+    }
+
+    std::string out;
+    char buf[64];
+    // Y-axis top label.
+    std::snprintf(buf, sizeof(buf), "%10.4g |", y_hi);
+    for (int r = 0; r < height_; ++r) {
+        if (r == 0) {
+            out += buf;
+        } else if (r == height_ - 1) {
+            std::snprintf(buf, sizeof(buf), "%10.4g |", y_lo);
+            out += buf;
+        } else if (r == height_ / 2) {
+            std::snprintf(buf, sizeof(buf), "%10.4g |",
+                          (y_lo + y_hi) / 2.0);
+            out += buf;
+        } else {
+            out += "           |";
+        }
+        out += grid[r];
+        out += "\n";
+    }
+    out += "           +" + std::string(width_, '-') + "\n";
+    std::snprintf(buf, sizeof(buf), "%12.4g", x_lo);
+    out += buf;
+    std::string x_hi_str;
+    std::snprintf(buf, sizeof(buf), "%.4g", x_hi);
+    x_hi_str = buf;
+    int pad = width_ - static_cast<int>(x_hi_str.size());
+    out += std::string(std::max(1, pad - 1), ' ') + x_hi_str + "\n";
+    out += "            x: " + x_label + ", y: " + y_label + "\n";
+    for (const Series &s : series_) {
+        out += "            ";
+        out.push_back(s.marker);
+        out += " = " + s.name + "\n";
+    }
+    return out;
+}
+
+} // namespace sevf::stats

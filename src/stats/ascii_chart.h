@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ASCII chart renderer for the bench harness: multi-series scatter/line
+ * plots in a fixed-size character grid, so the Fig 9 CDFs and the
+ * Fig 12 concurrency lines are visible directly in the console output.
+ */
+#ifndef SEVF_STATS_ASCII_CHART_H_
+#define SEVF_STATS_ASCII_CHART_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sevf::stats {
+
+class AsciiChart
+{
+  public:
+    /**
+     * @param width plot-area columns
+     * @param height plot-area rows
+     */
+    AsciiChart(int width, int height);
+
+    /**
+     * Add one series. Consecutive points are connected with marker
+     * characters along the segment (a poor man's line).
+     */
+    void addSeries(std::string name, char marker,
+                   std::vector<std::pair<double, double>> points);
+
+    /** Optional fixed axis bounds (otherwise min/max of the data). */
+    void setXBounds(double lo, double hi);
+    void setYBounds(double lo, double hi);
+
+    /** Render grid + axes + legend. */
+    std::string render(const std::string &x_label,
+                       const std::string &y_label) const;
+
+  private:
+    struct Series {
+        std::string name;
+        char marker;
+        std::vector<std::pair<double, double>> points;
+    };
+
+    int width_;
+    int height_;
+    std::vector<Series> series_;
+    bool has_x_bounds_ = false;
+    bool has_y_bounds_ = false;
+    double x_lo_ = 0, x_hi_ = 1, y_lo_ = 0, y_hi_ = 1;
+};
+
+} // namespace sevf::stats
+
+#endif // SEVF_STATS_ASCII_CHART_H_

@@ -1,0 +1,164 @@
+#include "stats/json.h"
+
+#include <cstdio>
+
+#include "base/logging.h"
+
+namespace sevf::stats {
+
+void
+JsonWriter::comma()
+{
+    if (after_key_) {
+        after_key_ = false;
+        return;
+    }
+    if (need_comma_) {
+        out_ += ',';
+    }
+}
+
+void
+JsonWriter::raw(std::string_view text)
+{
+    out_ += text;
+}
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    comma();
+    raw("{");
+    stack_.push_back('{');
+    need_comma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    SEVF_CHECK(!stack_.empty() && stack_.back() == '{');
+    stack_.pop_back();
+    raw("}");
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    comma();
+    raw("[");
+    stack_.push_back('[');
+    need_comma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    SEVF_CHECK(!stack_.empty() && stack_.back() == '[');
+    stack_.pop_back();
+    raw("]");
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    SEVF_CHECK(!stack_.empty() && stack_.back() == '{');
+    comma();
+    raw(escape(name));
+    raw(":");
+    need_comma_ = false;
+    after_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view s)
+{
+    comma();
+    raw(escape(s));
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string_view(s));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    comma();
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    raw(buf);
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(u64 v)
+{
+    comma();
+    raw(std::to_string(v));
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(i64 v)
+{
+    comma();
+    raw(std::to_string(v));
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    comma();
+    raw(v ? "true" : "false");
+    need_comma_ = true;
+    return *this;
+}
+
+std::string
+JsonWriter::take()
+{
+    SEVF_CHECK(stack_.empty());
+    return std::move(out_);
+}
+
+} // namespace sevf::stats

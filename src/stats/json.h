@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal JSON writer (objects, arrays, strings, numbers, booleans)
+ * used to export launch reports for external plotting/tooling - the
+ * counterpart of the paper artifact's severifast/data files.
+ */
+#ifndef SEVF_STATS_JSON_H_
+#define SEVF_STATS_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace sevf::stats {
+
+/**
+ * Streaming JSON writer with an explicit nesting stack; emits compact
+ * one-line output. Keys/values are escaped per RFC 8259.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Key inside an object; must be followed by a value. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(double v);
+    JsonWriter &value(u64 v);
+    JsonWriter &value(i64 v);
+    JsonWriter &value(bool v);
+
+    /** Final document; valid only when all scopes are closed. */
+    std::string take();
+
+  private:
+    void comma();
+    void raw(std::string_view text);
+    static std::string escape(std::string_view s);
+
+    std::string out_;
+    std::vector<char> stack_;  // '{' or '['
+    bool need_comma_ = false;
+    bool after_key_ = false;
+};
+
+} // namespace sevf::stats
+
+#endif // SEVF_STATS_JSON_H_

@@ -1,0 +1,61 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace sevf::stats {
+
+Summary
+summarize(const std::vector<sim::Duration> &samples)
+{
+    Summary s;
+    s.count = samples.size();
+    if (samples.empty()) {
+        return s;
+    }
+    double sum = 0, sumsq = 0;
+    s.min_ms = samples.front().toMsF();
+    s.max_ms = s.min_ms;
+    for (sim::Duration d : samples) {
+        double ms = d.toMsF();
+        sum += ms;
+        sumsq += ms * ms;
+        s.min_ms = std::min(s.min_ms, ms);
+        s.max_ms = std::max(s.max_ms, ms);
+    }
+    s.mean_ms = sum / static_cast<double>(s.count);
+    double var = sumsq / static_cast<double>(s.count) - s.mean_ms * s.mean_ms;
+    s.stddev_ms = var > 0 ? std::sqrt(var) : 0.0;
+    return s;
+}
+
+double
+percentileMs(std::vector<sim::Duration> samples, double p)
+{
+    SEVF_CHECK(!samples.empty());
+    SEVF_CHECK(p >= 0.0 && p <= 100.0);
+    std::sort(samples.begin(), samples.end());
+    double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples[lo].toMsF() * (1 - frac) + samples[hi].toMsF() * frac;
+}
+
+std::vector<CdfPoint>
+cdfOf(std::vector<sim::Duration> samples)
+{
+    std::sort(samples.begin(), samples.end());
+    std::vector<CdfPoint> out;
+    out.reserve(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        out.push_back({samples[i].toMsF(),
+                       static_cast<double>(i + 1) /
+                           static_cast<double>(samples.size())});
+    }
+    return out;
+}
+
+} // namespace sevf::stats

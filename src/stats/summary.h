@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Summary statistics and CDFs for the bench harness (mean/stddev for
+ * the breakdown tables, CDF series for Fig 9).
+ */
+#ifndef SEVF_STATS_SUMMARY_H_
+#define SEVF_STATS_SUMMARY_H_
+
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sevf::stats {
+
+/** Mean/stddev/min/max over a sample of durations. */
+struct Summary {
+    double mean_ms = 0;
+    double stddev_ms = 0;
+    double min_ms = 0;
+    double max_ms = 0;
+    std::size_t count = 0;
+};
+
+Summary summarize(const std::vector<sim::Duration> &samples);
+
+/** p in [0,100]; linear interpolation between order statistics. */
+double percentileMs(std::vector<sim::Duration> samples, double p);
+
+/** One CDF point. */
+struct CdfPoint {
+    double value_ms;
+    double fraction; //!< P(X <= value)
+};
+
+/** Empirical CDF (sorted samples, fraction = rank/n). */
+std::vector<CdfPoint> cdfOf(std::vector<sim::Duration> samples);
+
+} // namespace sevf::stats
+
+#endif // SEVF_STATS_SUMMARY_H_

@@ -1,0 +1,100 @@
+#include "stats/table.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "base/logging.h"
+#include "base/types.h"
+
+namespace sevf::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    SEVF_CHECK(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            line.append(widths[c] - row[c].size() + 2, ' ');
+        }
+        while (!line.empty() && line.back() == ' ') {
+            line.pop_back();
+        }
+        return line + "\n";
+    };
+
+    std::string out = render_row(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        rule.append(widths[c], '-');
+        if (c + 1 < widths.size()) {
+            rule.append(2, ' ');
+        }
+    }
+    out += rule + "\n";
+    for (const auto &row : rows_) {
+        out += render_row(row);
+    }
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::cout << render();
+}
+
+std::string
+fmtMs(double ms, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*fms", precision, ms);
+    return buf;
+}
+
+std::string
+fmtBytes(double bytes)
+{
+    char buf[48];
+    if (bytes >= static_cast<double>(kMiB)) {
+        std::snprintf(buf, sizeof(buf), "%.1fM",
+                      bytes / static_cast<double>(kMiB));
+    } else if (bytes >= static_cast<double>(kKiB)) {
+        std::snprintf(buf, sizeof(buf), "%.1fK",
+                      bytes / static_cast<double>(kKiB));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.0fB", bytes);
+    }
+    return buf;
+}
+
+std::string
+fmtPercent(double fraction, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+} // namespace sevf::stats

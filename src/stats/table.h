@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fixed-width console table/series printers so every bench binary
+ * reports the paper's rows in a uniform format.
+ */
+#ifndef SEVF_STATS_TABLE_H_
+#define SEVF_STATS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace sevf::stats {
+
+/** A simple console table: set headers, add string rows, print. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Add one row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column auto-sizing. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format helpers. */
+std::string fmtMs(double ms, int precision = 2);
+std::string fmtBytes(double bytes);
+std::string fmtPercent(double fraction, int precision = 1);
+
+} // namespace sevf::stats
+
+#endif // SEVF_STATS_TABLE_H_

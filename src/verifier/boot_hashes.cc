@@ -1,0 +1,86 @@
+#include "verifier/boot_hashes.h"
+
+#include "base/bytes.h"
+
+namespace sevf::verifier {
+
+namespace {
+
+constexpr u32 kMagic = 0x48534653; // "SFSH"
+
+} // namespace
+
+BootHashes
+BootHashes::compute(ByteSpan kernel, ByteSpan initrd,
+                    std::optional<ByteSpan> cmdline)
+{
+    BootHashes h;
+    h.kernel = crypto::Sha256::digest(kernel);
+    h.kernel_size = kernel.size();
+    h.initrd = crypto::Sha256::digest(initrd);
+    h.initrd_size = initrd.size();
+    if (cmdline) {
+        h.cmdline = crypto::Sha256::digest(*cmdline);
+    }
+    return h;
+}
+
+ByteVec
+BootHashes::toPage() const
+{
+    ByteWriter w;
+    w.u32le(kMagic);
+    w.u32le(cmdline.has_value() ? 1 : 0);
+    w.u64le(kernel_size);
+    w.u64le(initrd_size);
+    w.bytes(ByteSpan(kernel.data(), kernel.size()));
+    w.bytes(ByteSpan(initrd.data(), initrd.size()));
+    if (cmdline) {
+        w.bytes(ByteSpan(cmdline->data(), cmdline->size()));
+    } else {
+        w.zeros(32);
+    }
+    w.padTo(kPageSize);
+    return w.take();
+}
+
+Result<BootHashes>
+BootHashes::fromPage(ByteSpan page)
+{
+    ByteReader r(page);
+    Result<u32> magic = r.u32le();
+    if (!magic.isOk()) {
+        return magic.status();
+    }
+    if (*magic != kMagic) {
+        return errCorrupted("hash table page: bad magic");
+    }
+    BootHashes h;
+    Result<u32> flags = r.u32le();
+    if (!flags.isOk()) {
+        return flags.status();
+    }
+    Result<u64> ksize = r.u64le();
+    Result<u64> isize = r.u64le();
+    if (!ksize.isOk() || !isize.isOk()) {
+        return errCorrupted("hash table page: truncated sizes");
+    }
+    h.kernel_size = *ksize;
+    h.initrd_size = *isize;
+    Result<ByteVec> kd = r.bytes(32);
+    Result<ByteVec> id = r.bytes(32);
+    Result<ByteVec> cd = r.bytes(32);
+    if (!kd.isOk() || !id.isOk() || !cd.isOk()) {
+        return errCorrupted("hash table page: truncated digests");
+    }
+    std::copy(kd->begin(), kd->end(), h.kernel.begin());
+    std::copy(id->begin(), id->end(), h.initrd.begin());
+    if (*flags & 1) {
+        crypto::Sha256Digest c;
+        std::copy(cd->begin(), cd->end(), c.begin());
+        h.cmdline = c;
+    }
+    return h;
+}
+
+} // namespace sevf::verifier

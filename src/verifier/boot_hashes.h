@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The pre-encrypted component-hash table (Fig 2 step 2).
+ *
+ * One page holding the SHA-256 digests (and sizes) of the kernel,
+ * initrd, and optionally the cmdline. SEVeriFast pre-encrypts this page
+ * so the hashes join the launch measurement; the boot verifier re-hashes
+ * the protected components and compares. The hashes are computed
+ * out-of-band (§4.3) and handed to the VMM as a file, taking ~23 ms of
+ * redundant hashing off the critical path.
+ */
+#ifndef SEVF_VERIFIER_BOOT_HASHES_H_
+#define SEVF_VERIFIER_BOOT_HASHES_H_
+
+#include <optional>
+
+#include "base/status.h"
+#include "crypto/sha256.h"
+
+namespace sevf::verifier {
+
+/** Digests + sizes of the measured-direct-boot components. */
+struct BootHashes {
+    crypto::Sha256Digest kernel{};
+    u64 kernel_size = 0;
+    crypto::Sha256Digest initrd{};
+    u64 initrd_size = 0;
+    /** Only the QEMU/OVMF path hashes the cmdline; SEVeriFast
+     *  pre-encrypts the cmdline itself (Fig 7). */
+    std::optional<crypto::Sha256Digest> cmdline;
+
+    /** Compute from component bytes (the out-of-band tool). */
+    static BootHashes compute(ByteSpan kernel, ByteSpan initrd,
+                              std::optional<ByteSpan> cmdline);
+
+    /** Serialize into one 4 KiB page. */
+    ByteVec toPage() const;
+
+    /** Parse from the page the verifier reads out of C-bit memory. */
+    static Result<BootHashes> fromPage(ByteSpan page);
+};
+
+} // namespace sevf::verifier
+
+#endif // SEVF_VERIFIER_BOOT_HASHES_H_

@@ -1,0 +1,91 @@
+#include "vmm/boot_params.h"
+
+#include "base/bytes.h"
+
+namespace sevf::vmm {
+
+namespace {
+
+// bootparam.h offsets.
+constexpr std::size_t kOffE820Entries = 0x1e8; // u8 count
+constexpr std::size_t kOffSetupHeader = 0x1f1;
+constexpr std::size_t kOffRamdiskImage = 0x218;
+constexpr std::size_t kOffRamdiskSize = 0x21c;
+constexpr std::size_t kOffCmdLinePtr = 0x228;
+constexpr std::size_t kOffCmdlineSize = 0x238;
+constexpr std::size_t kOffHdrSMagicInZp = 0x202;
+// ext_ramdisk/ext_cmd_line live in boot_params proper; we reuse two
+// scratch fields for the 64-bit kernel entry handoff (the real verifier
+// gets this from the loaded image, ours records it for the simulation).
+constexpr std::size_t kOffKernelEntry = 0x0f0;
+constexpr std::size_t kOffE820Table = 0x2d0; // 20-byte entries
+constexpr std::size_t kMaxE820 = 128;
+
+constexpr u32 kHdrS = 0x53726448;
+
+} // namespace
+
+ByteVec
+buildBootParams(const BootParamsInput &input)
+{
+    ByteVec page(kPageSize, 0);
+
+    // Minimal valid setup header inside the zero page.
+    storeLe<u32>(page.data() + kOffHdrSMagicInZp, kHdrS);
+    page[kOffSetupHeader] = 0; // setup_sects unused here
+
+    storeLe<u32>(page.data() + kOffRamdiskImage,
+                 static_cast<u32>(input.initrd_gpa));
+    storeLe<u32>(page.data() + kOffRamdiskSize,
+                 static_cast<u32>(input.initrd_size));
+    storeLe<u32>(page.data() + kOffCmdLinePtr,
+                 static_cast<u32>(input.cmdline_gpa));
+    storeLe<u32>(page.data() + kOffCmdlineSize, input.cmdline_size);
+    storeLe<u64>(page.data() + kOffKernelEntry, input.kernel_entry);
+
+    // e820: the classic microVM map - low RAM under 1 MiB minus the
+    // EBDA, then everything above 1 MiB.
+    std::vector<E820Entry> map = {
+        {0x0, 0x9fc00, 1},
+        {0x9fc00, 0x100000 - 0x9fc00, 2},
+        {0x100000, input.memory_size - 0x100000, 1},
+    };
+    page[kOffE820Entries] = static_cast<u8>(map.size());
+    for (std::size_t i = 0; i < map.size(); ++i) {
+        u8 *e = page.data() + kOffE820Table + i * 20;
+        storeLe<u64>(e, map[i].addr);
+        storeLe<u64>(e + 8, map[i].size);
+        storeLe<u32>(e + 16, map[i].type);
+    }
+    return page;
+}
+
+Result<BootParamsView>
+parseBootParams(ByteSpan page)
+{
+    if (page.size() < kPageSize) {
+        return errCorrupted("boot_params: not a full page");
+    }
+    if (loadLe<u32>(page.data() + kOffHdrSMagicInZp) != kHdrS) {
+        return errCorrupted("boot_params: missing HdrS in setup header");
+    }
+    BootParamsView view;
+    view.initrd_gpa = loadLe<u32>(page.data() + kOffRamdiskImage);
+    view.initrd_size = loadLe<u32>(page.data() + kOffRamdiskSize);
+    view.cmdline_gpa = loadLe<u32>(page.data() + kOffCmdLinePtr);
+    view.cmdline_size = loadLe<u32>(page.data() + kOffCmdlineSize);
+    view.kernel_entry = loadLe<u64>(page.data() + kOffKernelEntry);
+
+    u8 count = page[kOffE820Entries];
+    if (count > kMaxE820) {
+        return errCorrupted("boot_params: absurd e820 count");
+    }
+    for (u8 i = 0; i < count; ++i) {
+        const u8 *e = page.data() + kOffE820Table + i * 20;
+        view.e820.push_back({loadLe<u64>(e), loadLe<u64>(e + 8),
+                             loadLe<u32>(e + 16)});
+    }
+    return view;
+}
+
+} // namespace sevf::vmm

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Linux boot_params ("zero page") builder - the 4 KiB structure the
+ * kernel reads at entry (Fig 7: pre-encrypted, since its ~5 KB of
+ * generator code exceeds the 4 KiB structure).
+ *
+ * Field offsets follow arch/x86/include/uapi/asm/bootparam.h: the e820
+ * memory map, the embedded setup header with cmdline pointer and initrd
+ * location, and the SEVeriFast-specific handoff fields the boot
+ * verifier reads (staged component locations).
+ */
+#ifndef SEVF_VMM_BOOT_PARAMS_H_
+#define SEVF_VMM_BOOT_PARAMS_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+
+namespace sevf::vmm {
+
+/** One e820 map entry. */
+struct E820Entry {
+    u64 addr;
+    u64 size;
+    u32 type; //!< 1 = RAM, 2 = reserved
+};
+
+/** Inputs to the zero-page builder. */
+struct BootParamsInput {
+    u64 memory_size = 0;
+    Gpa cmdline_gpa = 0;
+    u32 cmdline_size = 0;
+    Gpa initrd_gpa = 0;
+    u64 initrd_size = 0;
+    Gpa kernel_entry = 0; //!< 64-bit entry the verifier/VMM will use
+};
+
+/** Parsed view for the guest side (and tests). */
+struct BootParamsView {
+    std::vector<E820Entry> e820;
+    Gpa cmdline_gpa = 0;
+    u32 cmdline_size = 0;
+    Gpa initrd_gpa = 0;
+    u64 initrd_size = 0;
+    Gpa kernel_entry = 0;
+};
+
+/** Build the 4 KiB zero page. */
+ByteVec buildBootParams(const BootParamsInput &input);
+
+/** Parse/validate a zero page. */
+Result<BootParamsView> parseBootParams(ByteSpan page);
+
+} // namespace sevf::vmm
+
+#endif // SEVF_VMM_BOOT_PARAMS_H_

@@ -1,0 +1,20 @@
+#include "vmm/debug_port.h"
+
+#include <cstdio>
+
+namespace sevf::vmm {
+
+std::string
+DebugPort::render() const
+{
+    std::string out;
+    for (const Event &e : events_) {
+        char line[160];
+        std::snprintf(line, sizeof(line), "[%10.3fms] %s\n",
+                      e.time.toMsF(), e.label.c_str());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace sevf::vmm

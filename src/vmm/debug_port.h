@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The debug-port timeline device (§6.1 testing methodology).
+ *
+ * Firecracker is modified to attach a port-0x80 device: the boot
+ * verifier and guest kernel write event markers, the VMM timestamps and
+ * logs them (with GHCB-MSR fallbacks early in SEV boot when no #VC
+ * handler is installed yet). Here events carry virtual timestamps from
+ * the accumulating boot trace.
+ */
+#ifndef SEVF_VMM_DEBUG_PORT_H_
+#define SEVF_VMM_DEBUG_PORT_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sevf::vmm {
+
+class DebugPort
+{
+  public:
+    struct Event {
+        sim::TimePoint time;
+        std::string label;
+    };
+
+    /** Record a marker at virtual time @p t. */
+    void
+    record(sim::TimePoint t, std::string label)
+    {
+        events_.push_back({t, std::move(label)});
+    }
+
+    const std::vector<Event> &events() const { return events_; }
+
+    /** Multi-line "[  12.34ms] label" rendering for logs/examples. */
+    std::string render() const;
+
+  private:
+    std::vector<Event> events_;
+};
+
+} // namespace sevf::vmm
+
+#endif // SEVF_VMM_DEBUG_PORT_H_

@@ -1,0 +1,84 @@
+#include "vmm/fw_cfg.h"
+
+#include "image/elf.h"
+
+namespace sevf::vmm {
+
+Result<FwCfg::Item>
+FwCfg::addItem(std::string name, ByteSpan data)
+{
+    return addItemAt(std::move(name), cursor_, data);
+}
+
+Result<FwCfg::Item>
+FwCfg::addItemAt(std::string name, u64 offset, ByteSpan data)
+{
+    if (offset + data.size() > capacity_) {
+        return errResourceExhausted("fw_cfg staging window overflow");
+    }
+    SEVF_RETURN_IF_ERROR(mem_.hostWrite(base_ + offset, data));
+    Item item{std::move(name), base_ + offset, data.size()};
+    items_.push_back(item);
+    cursor_ = std::max(cursor_, offset + data.size());
+    return item;
+}
+
+Result<FwCfg::Item>
+FwCfg::find(std::string_view name) const
+{
+    for (const Item &item : items_) {
+        if (item.name == name) {
+            return item;
+        }
+    }
+    return errNotFound(std::string("fw_cfg item not found: ") +
+                       std::string(name));
+}
+
+Status
+stageVmlinuxViaFwCfg(FwCfg &fw_cfg, ByteSpan vmlinux)
+{
+    Result<image::ElfLayout> layout = image::parseElfHeader(vmlinux);
+    if (!layout.isOk()) {
+        return layout.status();
+    }
+    Result<FwCfg::Item> ehdr = fw_cfg.addItemAt(
+        "kernel/ehdr", 0, vmlinux.first(image::kEhdrSize));
+    if (!ehdr.isOk()) {
+        return ehdr.status();
+    }
+
+    u64 phdr_bytes = static_cast<u64>(layout->phnum) * image::kPhdrSize;
+    if (layout->phoff + phdr_bytes > vmlinux.size()) {
+        return errCorrupted("vmlinux: phdr table past end");
+    }
+    Result<FwCfg::Item> phdrs = fw_cfg.addItemAt(
+        "kernel/phdrs", layout->phoff,
+        vmlinux.subspan(layout->phoff, phdr_bytes));
+    if (!phdrs.isOk()) {
+        return phdrs.status();
+    }
+
+    for (u16 i = 0; i < layout->phnum; ++i) {
+        Result<image::ElfPhdr> p = image::parseElfPhdr(
+            vmlinux.subspan(layout->phoff + i * image::kPhdrSize));
+        if (!p.isOk()) {
+            return p.status();
+        }
+        if (p->type != image::kPtLoad) {
+            continue;
+        }
+        if (p->offset + p->filesz > vmlinux.size()) {
+            return errCorrupted("vmlinux: segment past end");
+        }
+        Result<FwCfg::Item> seg = fw_cfg.addItemAt(
+            "kernel/seg" + std::to_string(i), p->offset,
+            vmlinux.subspan(p->offset, p->filesz));
+        if (!seg.isOk()) {
+            return seg.status();
+        }
+    }
+    return Status::ok();
+}
+
+} // namespace sevf::vmm

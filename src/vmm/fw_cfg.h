@@ -1,0 +1,81 @@
+/**
+ * @file
+ * fw_cfg-style staging device (§5).
+ *
+ * For the optimized vmlinux loader we reimplemented a version of QEMU's
+ * fw_cfg: the VMM parses the kernel ELF host-side and exposes the ELF
+ * header, program-header table, and loadable segments as named items
+ * staged through shared guest memory, so the boot verifier can protect
+ * them piecewise without an extra whole-file copy.
+ */
+#ifndef SEVF_VMM_FW_CFG_H_
+#define SEVF_VMM_FW_CFG_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "memory/guest_memory.h"
+
+namespace sevf::vmm {
+
+class FwCfg
+{
+  public:
+    /** A staged item: where in shared guest memory its bytes sit. */
+    struct Item {
+        std::string name;
+        Gpa gpa = 0;
+        u64 size = 0;
+    };
+
+    /**
+     * @param mem guest memory to stage into
+     * @param staging_base start of the shared staging window
+     * @param staging_size window capacity
+     */
+    FwCfg(memory::GuestMemory &mem, Gpa staging_base, u64 staging_size)
+        : mem_(mem), base_(staging_base), capacity_(staging_size)
+    {
+    }
+
+    FwCfg(const FwCfg &) = delete;
+    FwCfg &operator=(const FwCfg &) = delete;
+
+    /** Stage @p data under @p name; items pack back to back. */
+    Result<Item> addItem(std::string name, ByteSpan data);
+
+    /**
+     * Stage @p data at a caller-chosen offset inside the window (the
+     * vmlinux path stages each piece at its ELF file offset so the
+     * verifier's reads line up with the file geometry).
+     */
+    Result<Item> addItemAt(std::string name, u64 offset, ByteSpan data);
+
+    /** Look up a previously staged item. */
+    Result<Item> find(std::string_view name) const;
+
+    /** Total bytes staged so far. */
+    u64 bytesStaged() const { return cursor_; }
+
+    const std::vector<Item> &items() const { return items_; }
+
+  private:
+    memory::GuestMemory &mem_;
+    Gpa base_;
+    u64 capacity_;
+    u64 cursor_ = 0;
+    std::vector<Item> items_;
+};
+
+/**
+ * Stage a parsed vmlinux through @p fw_cfg the way the modified VMM
+ * does: "kernel/ehdr", "kernel/phdrs", then "kernel/seg<i>" items.
+ * The staged layout matches what BootVerifier::streamVmlinux expects
+ * when given the window base as kernel_staging.
+ */
+Status stageVmlinuxViaFwCfg(FwCfg &fw_cfg, ByteSpan vmlinux);
+
+} // namespace sevf::vmm
+
+#endif // SEVF_VMM_FW_CFG_H_

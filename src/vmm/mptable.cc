@@ -1,0 +1,182 @@
+#include "vmm/mptable.h"
+
+#include <cstring>
+
+#include "base/bytes.h"
+
+namespace sevf::vmm {
+
+namespace {
+
+constexpr std::size_t kFloatingSize = 16;
+constexpr std::size_t kConfigHeaderSize = 44;
+constexpr std::size_t kProcessorEntrySize = 20;
+constexpr std::size_t kBusEntrySize = 8;
+constexpr std::size_t kIoApicEntrySize = 8;
+constexpr std::size_t kIntEntrySize = 8;
+constexpr int kIoIntEntries = 24;
+constexpr int kLocalIntEntries = 2;
+
+u8
+checksumOf(ByteSpan bytes)
+{
+    u32 sum = 0;
+    for (u8 b : bytes) {
+        sum += b;
+    }
+    return static_cast<u8>(0x100 - (sum & 0xff));
+}
+
+} // namespace
+
+u64
+mptableSize(u32 vcpus)
+{
+    return kFloatingSize + kConfigHeaderSize +
+           static_cast<u64>(vcpus) * kProcessorEntrySize + kBusEntrySize +
+           kIoApicEntrySize + kIoIntEntries * kIntEntrySize +
+           kLocalIntEntries * kIntEntrySize;
+}
+
+ByteVec
+buildMptable(u32 vcpus)
+{
+    ByteWriter w;
+
+    // --- MP configuration table (built first; the floating pointer is
+    // prepended with its checksum over the final bytes). ---
+    ByteWriter cfg;
+    cfg.str("PCMP");
+    const u64 cfg_len = mptableSize(vcpus) - kFloatingSize;
+    cfg.u16le(static_cast<u16>(cfg_len));
+    cfg.u8le(4); // spec rev 1.4
+    cfg.u8le(0); // checksum patched below
+    cfg.str("SEVF    ");        // OEM id (8)
+    cfg.str("MICROVM     ");    // product id (12)
+    cfg.u32le(0);               // OEM table pointer
+    cfg.u16le(0);               // OEM table size
+    cfg.u16le(static_cast<u16>(vcpus + 1 + 1 + kIoIntEntries +
+                               kLocalIntEntries)); // entry count
+    cfg.u32le(0xfee00000);      // local APIC address
+    cfg.u16le(0);               // extended table length
+    cfg.u8le(0);                // extended checksum
+    cfg.u8le(0);                // reserved
+
+    // Processor entries.
+    for (u32 cpu = 0; cpu < vcpus; ++cpu) {
+        cfg.u8le(0);                    // entry type: processor
+        cfg.u8le(static_cast<u8>(cpu)); // local APIC id
+        cfg.u8le(0x14);                 // APIC version
+        cfg.u8le(cpu == 0 ? 0x03 : 0x01); // flags: enabled (+BSP)
+        cfg.u32le(0x00800f12);          // cpu signature (EPYC-like)
+        cfg.u32le(0x1781fbff);          // feature flags
+        cfg.u64le(0);                   // reserved
+    }
+    // Bus entry (ISA).
+    cfg.u8le(1);
+    cfg.u8le(0);
+    cfg.str("ISA   ");
+    // IO-APIC entry.
+    cfg.u8le(2);
+    cfg.u8le(static_cast<u8>(vcpus)); // IO-APIC id
+    cfg.u8le(0x11);                   // version
+    cfg.u8le(1);                      // enabled
+    cfg.u32le(0xfec00000);
+    // I/O interrupt entries (ISA IRQs 0-23 -> IO-APIC pins).
+    for (int irq = 0; irq < kIoIntEntries; ++irq) {
+        cfg.u8le(3);
+        cfg.u8le(0); // INT type: vectored
+        cfg.u16le(0);
+        cfg.u8le(0); // source bus: ISA
+        cfg.u8le(static_cast<u8>(irq));
+        cfg.u8le(static_cast<u8>(vcpus)); // dest IO-APIC
+        cfg.u8le(static_cast<u8>(irq));
+    }
+    // Local interrupt entries (ExtINT + NMI).
+    for (int i = 0; i < kLocalIntEntries; ++i) {
+        cfg.u8le(4);
+        cfg.u8le(i == 0 ? 3 : 1); // ExtINT / NMI
+        cfg.u16le(0);
+        cfg.u8le(0);
+        cfg.u8le(0);
+        cfg.u8le(0xff); // all local APICs
+        cfg.u8le(static_cast<u8>(i));
+    }
+
+    ByteVec cfg_bytes = cfg.take();
+    cfg_bytes[7] = checksumOf(cfg_bytes);
+
+    // --- MP floating pointer structure. ---
+    w.str("_MP_");
+    w.u32le(static_cast<u32>(kFloatingSize + 0)); // phys ptr patched by VMM
+    w.u8le(1);  // length in 16-byte units
+    w.u8le(4);  // spec rev 1.4
+    w.u8le(0);  // checksum patched below
+    w.u8le(0);  // MP feature byte 1: config table present
+    w.u32le(0); // feature bytes 2-5
+    ByteVec out = w.take();
+    out[10] = checksumOf(out);
+
+    out.insert(out.end(), cfg_bytes.begin(), cfg_bytes.end());
+    return out;
+}
+
+Result<u32>
+validateMptable(ByteSpan table)
+{
+    if (table.size() < kFloatingSize + kConfigHeaderSize) {
+        return errCorrupted("mptable: too short");
+    }
+    if (std::memcmp(table.data(), "_MP_", 4) != 0) {
+        return errCorrupted("mptable: bad floating pointer signature");
+    }
+    u32 fp_sum = 0;
+    for (std::size_t i = 0; i < kFloatingSize; ++i) {
+        fp_sum += table[i];
+    }
+    if ((fp_sum & 0xff) != 0) {
+        return errCorrupted("mptable: floating pointer checksum");
+    }
+    ByteSpan cfg = table.subspan(kFloatingSize);
+    if (std::memcmp(cfg.data(), "PCMP", 4) != 0) {
+        return errCorrupted("mptable: bad config table signature");
+    }
+    u16 len = loadLe<u16>(cfg.data() + 4);
+    if (len > cfg.size()) {
+        return errCorrupted("mptable: config table length past end");
+    }
+    u32 sum = 0;
+    for (u16 i = 0; i < len; ++i) {
+        sum += cfg[i];
+    }
+    if ((sum & 0xff) != 0) {
+        return errCorrupted("mptable: config table checksum");
+    }
+
+    // Count processor entries.
+    u16 entries = loadLe<u16>(cfg.data() + 34);
+    std::size_t pos = kConfigHeaderSize;
+    u32 cpus = 0;
+    for (u16 i = 0; i < entries; ++i) {
+        if (pos >= len) {
+            return errCorrupted("mptable: entry past table length");
+        }
+        switch (cfg[pos]) {
+          case 0:
+            ++cpus;
+            pos += kProcessorEntrySize;
+            break;
+          case 1:
+          case 2:
+          case 3:
+          case 4:
+            pos += 8;
+            break;
+          default:
+            return errCorrupted("mptable: unknown entry type");
+        }
+    }
+    return cpus;
+}
+
+} // namespace sevf::vmm

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Intel MultiProcessor Specification table builder (the mptable row of
+ * Fig 7: 284 B + 20 B per CPU, pre-encrypted because the ~4 KB of
+ * generator code would be larger than the structure).
+ */
+#ifndef SEVF_VMM_MPTABLE_H_
+#define SEVF_VMM_MPTABLE_H_
+
+#include "base/status.h"
+#include "base/types.h"
+
+namespace sevf::vmm {
+
+/**
+ * Build the MP floating pointer + configuration table for @p vcpus
+ * CPUs: processor entries, one ISA bus, the IO-APIC, 24 I/O interrupt
+ * entries and 2 local interrupt entries, with valid checksums.
+ */
+ByteVec buildMptable(u32 vcpus);
+
+/** Size formula (tested against buildMptable): fixed + 20/CPU. */
+u64 mptableSize(u32 vcpus);
+
+/** Validate signatures and checksums; returns the CPU count. */
+Result<u32> validateMptable(ByteSpan table);
+
+} // namespace sevf::vmm
+
+#endif // SEVF_VMM_MPTABLE_H_

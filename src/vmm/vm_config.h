@@ -1,0 +1,37 @@
+/**
+ * @file
+ * MicroVM configuration, mirroring a Firecracker machine config plus the
+ * SEVeriFast extensions (§4.3/§5: boot verifier path and out-of-band
+ * kernel/initrd hash files passed as extra arguments).
+ */
+#ifndef SEVF_VMM_VM_CONFIG_H_
+#define SEVF_VMM_VM_CONFIG_H_
+
+#include <string>
+
+#include "base/types.h"
+
+namespace sevf::vmm {
+
+/**
+ * Firecracker's default microVM kernel command line (155 bytes, the
+ * number Fig 7 quotes for the pre-encrypted cmdline).
+ */
+inline constexpr std::string_view kDefaultCmdline =
+    "reboot=k panic=1 pci=off 8250.nr_uarts=0 i8042.noaux i8042.nomux "
+    "i8042.nopnp i8042.dumbkbd console=ttyS0 root=/dev/vda rw "
+    "virtio_mmio.device=4K@0xd000000:5";
+
+struct VmConfig {
+    u64 memory_size = 256 * kMiB; //!< §6.1: each VM has 256 MiB
+    u32 vcpus = 1;                //!< §6.1: 1 vCPU
+    std::string cmdline{kDefaultCmdline};
+    /** Transparent huge pages (§6.1: drops pvalidate from >60ms to <1ms). */
+    bool hugepages = true;
+    /** SEV policy bits passed to LAUNCH_START (SNP, no debug). */
+    u32 sev_policy = 0x30000;
+};
+
+} // namespace sevf::vmm
+
+#endif // SEVF_VMM_VM_CONFIG_H_

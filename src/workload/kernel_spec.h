@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Guest kernel configurations used throughout the evaluation (Fig 8):
+ * Lupine (smallest kernel that boots in Firecracker), AWS (the
+ * Firecracker microVM config), and Ubuntu (a distro generic config).
+ */
+#ifndef SEVF_WORKLOAD_KERNEL_SPEC_H_
+#define SEVF_WORKLOAD_KERNEL_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+#include "sim/time.h"
+
+namespace sevf::workload {
+
+/** Identifier for a predefined kernel configuration. */
+enum class KernelConfig { kLupine, kAws, kUbuntu };
+
+/** Everything the workload generator and cost model need per config. */
+struct KernelSpec {
+    KernelConfig config;
+    std::string name;
+    u64 vmlinux_size;        //!< Fig 8: ELF file size
+    u64 bzimage_target_size; //!< Fig 8: LZ4 bzImage size to synthesize
+    /**
+     * Calibrated non-SEV kernel boot time (decompressed-kernel entry to
+     * init). Fits the paper's stock-Firecracker reference points and
+     * the Fig 11 breakdown.
+     */
+    sim::Duration base_linux_boot;
+    /**
+     * Lupine is built without networking (§6.1), so attestation is
+     * skipped for it in end-to-end results.
+     */
+    bool has_network;
+};
+
+/** The spec for @p config (sizes per Fig 8). */
+const KernelSpec &kernelSpec(KernelConfig config);
+
+/** All three configs in paper order (small, medium, large). */
+const std::vector<KernelSpec> &allKernelSpecs();
+
+const char *kernelConfigName(KernelConfig config);
+
+/**
+ * Initrd sizing (§3.2, §4): the attestation initrd is ~12 MiB LZ4
+ * compressed; we synthesize ~14 MiB uncompressed, which also fits the
+ * Fig 10 boot-verification intercept.
+ */
+inline constexpr u64 kInitrdUncompressedSize = 14 * kMiB;
+
+} // namespace sevf::workload
+
+#endif // SEVF_WORKLOAD_KERNEL_SPEC_H_

@@ -1,0 +1,268 @@
+#include "workload/synthetic.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iterator>
+#include <map>
+#include <mutex>
+
+#include "base/bytes.h"
+#include "base/logging.h"
+#include "base/rng.h"
+#include "image/bzimage.h"
+#include "image/cpio.h"
+#include "image/elf.h"
+
+namespace sevf::workload {
+
+namespace {
+
+/** Motifs standing in for repetitive machine code / tables. */
+constexpr std::string_view kMotifs[] = {
+    "\x55\x48\x89\xe5\x41\x57\x41\x56\x53\x48\x83\xec",
+    "\x48\x8b\x05\x00\x00\x00\x00\x48\x85\xc0\x74",
+    "mov rax, qword ptr [rip+0x0]; test rax, rax; jz ",
+    "\x0f\x1f\x84\x00\x00\x00\x00\x00\x66\x90",
+};
+
+} // namespace
+
+ByteVec
+compressibleBytes(u64 size, double random_fraction, u64 seed)
+{
+    ByteVec out;
+    out.reserve(size);
+    Rng rng(seed);
+    constexpr u64 kChunk = 1024;
+
+    while (out.size() < size) {
+        u64 take = std::min<u64>(kChunk, size - out.size());
+        if (rng.nextDouble() < random_fraction) {
+            std::size_t off = out.size();
+            out.resize(off + take);
+            rng.fill(MutByteSpan(out.data() + off, take));
+        } else {
+            std::string_view motif =
+                kMotifs[rng.nextBelow(std::size(kMotifs))];
+            u64 written = 0;
+            while (written < take) {
+                u64 n = std::min<u64>(motif.size(), take - written);
+                out.insert(out.end(), motif.begin(), motif.begin() + n);
+                written += n;
+            }
+            // One mutated byte per chunk keeps long-range matches from
+            // being trivially infinite while staying very compressible.
+            out[out.size() - 1 - rng.nextBelow(take)] =
+                static_cast<u8>(rng.next());
+        }
+    }
+    out.resize(size);
+    return out;
+}
+
+double
+calibrateRandomFraction(u64 size, u64 target_compressed, u64 seed,
+                        double tolerance)
+{
+    const compress::Codec &lz4 = compress::codecFor(compress::CodecKind::kLz4);
+    double lo = 0.0, hi = 1.0;
+    double best = 0.5;
+    for (int iter = 0; iter < 10; ++iter) {
+        double mid = (lo + hi) / 2.0;
+        u64 got = lz4.compress(compressibleBytes(size, mid, seed)).size();
+        double rel =
+            (static_cast<double>(got) - static_cast<double>(target_compressed)) /
+            static_cast<double>(target_compressed);
+        best = mid;
+        if (rel > -tolerance && rel < tolerance) {
+            break;
+        }
+        if (got < target_compressed) {
+            lo = mid; // need more entropy
+        } else {
+            hi = mid;
+        }
+    }
+    return best;
+}
+
+KernelArtifacts
+buildKernelArtifacts(const KernelSpec &spec, u64 seed, double scale)
+{
+    SEVF_CHECK(scale > 0.0 && scale <= 1.0);
+    const u64 vmlinux_target =
+        alignUp(static_cast<u64>(static_cast<double>(spec.vmlinux_size) * scale),
+                kPageSize);
+    const u64 bz_target =
+        static_cast<u64>(static_cast<double>(spec.bzimage_target_size) * scale);
+
+    // The ELF file overhead (headers + padding) is small; aim the
+    // segment payload at the vmlinux size minus a page of headers.
+    const u64 payload = vmlinux_target - kPageSize;
+    // Segment split approximating a kernel: text 62%, rodata 22%,
+    // data 16% (+ BSS as memsz-only).
+    const u64 text_size = payload * 62 / 100;
+    const u64 rodata_size = payload * 22 / 100;
+    const u64 data_size = payload - text_size - rodata_size;
+
+    double frac = calibrateRandomFraction(
+        vmlinux_target, bz_target > 32 * kKiB ? bz_target - 32 * kKiB
+                                              : bz_target,
+        seed);
+
+    // Use one calibrated stream cut into segments so total
+    // compressibility matches the calibration run.
+    ByteVec blob = compressibleBytes(payload, frac, seed);
+
+    image::ElfImage elf;
+    elf.entry = 0x1000000 + 0x200; // conventional 16 MiB kernel base
+    image::ElfSegment text;
+    text.vaddr = 0x1000000;
+    text.flags = image::kPfR | image::kPfX;
+    text.data.assign(blob.begin(), blob.begin() + text_size);
+    text.memsz = text_size;
+    image::ElfSegment rodata;
+    rodata.vaddr = alignUp(text.vaddr + text_size, kPageSize);
+    rodata.flags = image::kPfR;
+    rodata.data.assign(blob.begin() + text_size,
+                       blob.begin() + text_size + rodata_size);
+    rodata.memsz = rodata_size;
+    image::ElfSegment data;
+    data.vaddr = alignUp(rodata.vaddr + rodata_size, kPageSize);
+    data.flags = image::kPfR | image::kPfW;
+    data.data.assign(blob.begin() + text_size + rodata_size, blob.end());
+    data.memsz = data_size + data_size / 2; // BSS tail
+    elf.segments = {std::move(text), std::move(rodata), std::move(data)};
+
+    KernelArtifacts art;
+    art.spec = spec;
+    art.scale = scale;
+    art.entry = elf.entry;
+    art.vmlinux = image::writeElf(elf);
+
+    image::BzImageBuildConfig bz_cfg;
+    bz_cfg.codec = compress::CodecKind::kLz4;
+    art.bzimage = image::buildBzImage(art.vmlinux, bz_cfg);
+    return art;
+}
+
+const KernelArtifacts &
+cachedKernelArtifacts(KernelConfig config, double scale)
+{
+    static std::mutex mu;
+    static std::map<std::pair<int, long>, KernelArtifacts> cache;
+    std::scoped_lock lock(mu);
+    auto key = std::make_pair(static_cast<int>(config),
+                              std::lround(scale * 1e6));
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        const KernelSpec &spec = kernelSpec(config);
+        it = cache
+                 .emplace(key, buildKernelArtifacts(
+                                   spec, 0x5ef0 + static_cast<u64>(config),
+                                   scale))
+                 .first;
+    }
+    return it->second;
+}
+
+ByteVec
+syntheticInitrd(u64 uncompressed_size, u64 seed)
+{
+    std::vector<image::CpioEntry> entries;
+
+    auto text_entry = [&](std::string name, std::string_view body) {
+        image::CpioEntry e;
+        e.name = std::move(name);
+        e.mode = 0100755;
+        e.data = toBytes(body);
+        entries.push_back(std::move(e));
+    };
+
+    text_entry("init",
+               "#!/bin/sh\n"
+               "# Attestation-only initramfs (paper §2.4): request the\n"
+               "# report, send it to the guest owner, receive secrets.\n"
+               "/sbin/attest --report /dev/sev-guest \\\n"
+               "  --owner https://guest-owner.example \\\n"
+               "  && exec /sbin/real-init\n");
+    text_entry("sbin/attest",
+               "#!/bin/sh\n"
+               "exec /bin/attest-tool \"$@\"\n");
+
+    // Binary-ish members: a busybox-like tool, the sev-guest kernel
+    // module, and a certificate bundle. Nominal sizes shrink
+    // proportionally when the caller asks for a tiny (test-scale) initrd.
+    double member_scale = 1.0;
+    constexpr u64 kNominalMembers = (768 + 192 + 16) * kKiB;
+    if (uncompressed_size < 2 * kNominalMembers) {
+        member_scale = static_cast<double>(uncompressed_size) / 2.0 /
+                       static_cast<double>(kNominalMembers);
+    }
+    auto scaled = [member_scale](u64 nominal) {
+        return std::max<u64>(1024,
+                             static_cast<u64>(static_cast<double>(nominal) *
+                                              member_scale));
+    };
+
+    image::CpioEntry busybox;
+    busybox.name = "bin/attest-tool";
+    busybox.mode = 0100755;
+    busybox.data = compressibleBytes(scaled(768 * kKiB), 0.35, seed ^ 0xb5b0);
+    entries.push_back(std::move(busybox));
+
+    image::CpioEntry module;
+    module.name = "lib/modules/sev-guest.ko";
+    module.mode = 0100644;
+    module.data = compressibleBytes(scaled(192 * kKiB), 0.45, seed ^ 0x5e9);
+    entries.push_back(std::move(module));
+
+    image::CpioEntry certs;
+    certs.name = "etc/certs/ark-ask.pem";
+    certs.mode = 0100644;
+    certs.data = compressibleBytes(scaled(16 * kKiB), 0.8, seed ^ 0xce57);
+    entries.push_back(std::move(certs));
+
+    // Filler to the target size. Mostly incompressible: the real
+    // attestation initrd only shrinks 14 MiB -> ~12 MiB under LZ4.
+    ByteVec probe = image::writeCpio(entries);
+    if (uncompressed_size > probe.size() + 1024) {
+        image::CpioEntry filler;
+        filler.name = "usr/share/attest/runtime.img";
+        filler.mode = 0100644;
+        filler.data = compressibleBytes(
+            uncompressed_size - probe.size() - 256, 0.82, seed ^ 0xf111);
+        entries.push_back(std::move(filler));
+    }
+    return image::writeCpio(entries);
+}
+
+const ByteVec &
+cachedInitrd(double scale)
+{
+    static std::mutex mu;
+    static std::map<long, ByteVec> cache;
+    std::scoped_lock lock(mu);
+    long key = std::lround(scale * 1e6);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        u64 size = static_cast<u64>(
+            static_cast<double>(kInitrdUncompressedSize) * scale);
+        it = cache.emplace(key, syntheticInitrd(size, 0x1217d)).first;
+    }
+    return it->second;
+}
+
+ByteVec
+firmwareBlob(u64 size, u64 seed)
+{
+    // Firmware volumes are dense code: moderately compressible, but the
+    // QEMU path never compresses them - it pre-encrypts the whole blob.
+    ByteVec blob = compressibleBytes(size, 0.5, seed);
+    // A recognizable volume header, because the PSP measures real bytes.
+    const char header[] = "_FVH-OVMF-SEVF-SIM";
+    std::copy(std::begin(header), std::end(header), blob.begin());
+    return blob;
+}
+
+} // namespace sevf::workload

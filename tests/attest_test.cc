@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Attestation tests: expected-measurement tool agrees with the PSP,
+ * guest-owner verification accepts good reports and rejects every §2.6
+ * host attack, DH/seal secure channel end to end.
+ */
+#include <gtest/gtest.h>
+
+#include "attest/expected_measurement.h"
+#include "attest/guest_owner.h"
+#include "base/bytes.h"
+#include "base/rng.h"
+#include "crypto/dh.h"
+#include "crypto/seal.h"
+#include "memory/guest_memory.h"
+#include "psp/psp.h"
+
+namespace sevf::attest {
+namespace {
+
+class AttestFlowTest : public ::testing::Test
+{
+  protected:
+    AttestFlowTest()
+        : psp_("CHIP-SIM", ks_, 0xfeed),
+          mem_(4 * kMiB, 0x100000000ull, 0)
+    {
+        mem_ptr_ = std::make_unique<memory::GuestMemory>(
+            4 * kMiB, 0x100000000ull, psp_.allocateAsid());
+    }
+
+    /** Launch a guest measuring @p regions; returns the handle. */
+    psp::GuestHandle
+    launch(const std::vector<PreEncryptedRegion> &regions)
+    {
+        psp::GuestHandle h = *psp_.launchStart(*mem_ptr_, 0);
+        for (const PreEncryptedRegion &r : regions) {
+            EXPECT_TRUE(mem_ptr_->hostWrite(r.gpa, r.bytes).isOk());
+            EXPECT_TRUE(
+                psp_.launchUpdateData(h, *mem_ptr_, r.gpa, r.bytes.size())
+                    .isOk());
+        }
+        EXPECT_TRUE(psp_.launchFinish(h).isOk());
+        return h;
+    }
+
+    std::vector<PreEncryptedRegion>
+    sampleRegions() const
+    {
+        ByteVec verifier = toBytes("SEVeriFast boot verifier binary");
+        verifier.resize(13 * kKiB, 0x90);
+        ByteVec mptable(304, 0x01);
+        ByteVec boot_params(kPageSize, 0x02);
+        ByteVec cmdline = toBytes("console=ttyS0 reboot=k panic=1");
+        return {
+            {"boot_verifier", 0x8000, verifier},
+            {"mptable", 0x9000 + 12 * kKiB, mptable},
+            {"boot_params", 0x10000 + 12 * kKiB, boot_params},
+            {"cmdline", 0x20000 + 12 * kKiB, cmdline},
+        };
+    }
+
+    psp::KeyServer ks_;
+    psp::Psp psp_;
+    memory::GuestMemory mem_; // unused placeholder for ctor ordering
+    std::unique_ptr<memory::GuestMemory> mem_ptr_;
+};
+
+TEST_F(AttestFlowTest, ExpectedMeasurementMatchesPsp)
+{
+    std::vector<PreEncryptedRegion> regions = sampleRegions();
+    psp::GuestHandle h = launch(regions);
+    EXPECT_EQ(*psp_.launchMeasure(h), expectedMeasurement(regions));
+}
+
+TEST_F(AttestFlowTest, RegionOrderChangesMeasurement)
+{
+    std::vector<PreEncryptedRegion> regions = sampleRegions();
+    std::vector<PreEncryptedRegion> swapped = regions;
+    std::swap(swapped[1], swapped[2]);
+    EXPECT_NE(expectedMeasurement(regions), expectedMeasurement(swapped));
+}
+
+TEST_F(AttestFlowTest, TotalBytesHelper)
+{
+    std::vector<PreEncryptedRegion> regions = sampleRegions();
+    u64 expected = 13 * kKiB + 304 + kPageSize + regions[3].bytes.size();
+    EXPECT_EQ(totalPreEncryptedBytes(regions), expected);
+    EXPECT_LT(totalPreEncryptedBytes(regions), 32 * kKiB)
+        << "SEVeriFast's root of trust must stay tiny";
+}
+
+TEST_F(AttestFlowTest, EndToEndSecretProvisioning)
+{
+    std::vector<PreEncryptedRegion> regions = sampleRegions();
+    psp::GuestHandle h = launch(regions);
+
+    // Guest side: ephemeral DH key generated in encrypted memory.
+    Rng guest_rng(0x9e57);
+    crypto::DhKeyPair guest_key = crypto::dhGenerate(guest_rng);
+    psp::ReportData rdata{};
+    storeLe<u64>(rdata.data(), guest_key.public_value);
+
+    Result<psp::AttestationReport> report =
+        psp_.guestRequestReport(h, rdata);
+    ASSERT_TRUE(report.isOk());
+
+    ByteVec secret = toBytes("disk-encryption-key-0123456789abcdef");
+    GuestOwner owner(ks_, expectedMeasurement(regions), secret, 0x0143);
+    Result<ProvisionResponse> resp = owner.handleReport(report->serialize());
+    ASSERT_TRUE(resp.isOk()) << resp.status().toString();
+    EXPECT_EQ(owner.acceptedCount(), 1u);
+
+    // Guest unwraps with its private exponent.
+    crypto::Sha256Digest channel = crypto::dhSharedKey(
+        guest_key.private_exponent, resp->owner_dh_public);
+    Result<ByteVec> unwrapped = crypto::open(channel, resp->sealed_secret);
+    ASSERT_TRUE(unwrapped.isOk());
+    EXPECT_EQ(*unwrapped, secret);
+
+    // The host, seeing only public values, cannot unwrap.
+    crypto::Sha256Digest host_guess = crypto::dhSharedKey(
+        12345, resp->owner_dh_public);
+    EXPECT_FALSE(crypto::open(host_guess, resp->sealed_secret).isOk());
+}
+
+TEST_F(AttestFlowTest, Attack1WrongMeasurementRejected)
+{
+    // Host pre-encrypts different components than the owner expects
+    // (§2.6 attack 2/3): launch digest mismatch.
+    std::vector<PreEncryptedRegion> regions = sampleRegions();
+    std::vector<PreEncryptedRegion> evil = regions;
+    evil[0].bytes[0] ^= 0xff; // malicious boot verifier
+    psp::GuestHandle h = launch(evil);
+
+    GuestOwner owner(ks_, expectedMeasurement(regions), toBytes("s"), 1);
+    Result<psp::AttestationReport> report =
+        psp_.guestRequestReport(h, psp::ReportData{});
+    ASSERT_TRUE(report.isOk());
+    Result<ProvisionResponse> resp = owner.handleReport(report->serialize());
+    EXPECT_FALSE(resp.isOk());
+    EXPECT_EQ(resp.status().code(), ErrorCode::kIntegrityFailure);
+    EXPECT_EQ(owner.rejectedCount(), 1u);
+}
+
+TEST_F(AttestFlowTest, Attack2ForgedReportRejected)
+{
+    // Host fabricates a report claiming the expected measurement but
+    // cannot sign it with the chip key.
+    std::vector<PreEncryptedRegion> regions = sampleRegions();
+    psp::AttestationReport forged;
+    forged.chip_id = "CHIP-SIM";
+    forged.measurement = expectedMeasurement(regions);
+    psp::ChipKey wrong_key{};
+    wrong_key.fill(0x99);
+    forged.sign(wrong_key);
+
+    GuestOwner owner(ks_, expectedMeasurement(regions), toBytes("s"), 2);
+    Result<ProvisionResponse> resp = owner.handleReport(forged.serialize());
+    EXPECT_FALSE(resp.isOk());
+    EXPECT_EQ(resp.status().code(), ErrorCode::kIntegrityFailure);
+}
+
+TEST_F(AttestFlowTest, Attack3UnknownChipRejected)
+{
+    std::vector<PreEncryptedRegion> regions = sampleRegions();
+    psp::AttestationReport forged;
+    forged.chip_id = "STOLEN-CHIP";
+    forged.measurement = expectedMeasurement(regions);
+    forged.sign(psp::ChipKey{});
+
+    GuestOwner owner(ks_, expectedMeasurement(regions), toBytes("s"), 3);
+    EXPECT_FALSE(owner.handleReport(forged.serialize()).isOk());
+}
+
+TEST_F(AttestFlowTest, GarbageReportRejected)
+{
+    GuestOwner owner(ks_, crypto::Sha256Digest{}, toBytes("s"), 4);
+    ByteVec garbage(37, 0xaa);
+    EXPECT_FALSE(owner.handleReport(garbage).isOk());
+}
+
+// ------------------------------------------------------------ DH/seal
+
+TEST(Dh, SharedKeyAgrees)
+{
+    Rng ra(1), rb(2);
+    crypto::DhKeyPair a = crypto::dhGenerate(ra);
+    crypto::DhKeyPair b = crypto::dhGenerate(rb);
+    EXPECT_EQ(crypto::dhSharedKey(a.private_exponent, b.public_value),
+              crypto::dhSharedKey(b.private_exponent, a.public_value));
+    EXPECT_EQ(crypto::dhPublic(a.private_exponent), a.public_value);
+}
+
+TEST(Dh, DistinctPairsDistinctSecrets)
+{
+    Rng ra(1), rb(2), rc(3);
+    crypto::DhKeyPair a = crypto::dhGenerate(ra);
+    crypto::DhKeyPair b = crypto::dhGenerate(rb);
+    crypto::DhKeyPair c = crypto::dhGenerate(rc);
+    EXPECT_NE(crypto::dhSharedKey(a.private_exponent, b.public_value),
+              crypto::dhSharedKey(a.private_exponent, c.public_value));
+}
+
+TEST(Seal, RoundTrip)
+{
+    crypto::Sha256Digest key{};
+    key.fill(0x42);
+    ByteVec msg = toBytes("the secret payload");
+    ByteVec sealed = crypto::seal(key, 7, msg);
+    Result<ByteVec> back = crypto::open(key, sealed);
+    ASSERT_TRUE(back.isOk());
+    EXPECT_EQ(*back, msg);
+}
+
+TEST(Seal, EmptyPayload)
+{
+    crypto::Sha256Digest key{};
+    ByteVec sealed = crypto::seal(key, 1, {});
+    Result<ByteVec> back = crypto::open(key, sealed);
+    ASSERT_TRUE(back.isOk());
+    EXPECT_TRUE(back->empty());
+}
+
+TEST(Seal, TamperDetected)
+{
+    crypto::Sha256Digest key{};
+    key.fill(0x42);
+    ByteVec sealed = crypto::seal(key, 7, toBytes("payload"));
+    sealed[20] ^= 1;
+    Result<ByteVec> back = crypto::open(key, sealed);
+    EXPECT_FALSE(back.isOk());
+    EXPECT_EQ(back.status().code(), ErrorCode::kIntegrityFailure);
+}
+
+TEST(Seal, WrongKeyRejected)
+{
+    crypto::Sha256Digest key{}, other{};
+    key.fill(1);
+    other.fill(2);
+    ByteVec sealed = crypto::seal(key, 7, toBytes("payload"));
+    EXPECT_FALSE(crypto::open(other, sealed).isOk());
+}
+
+TEST(Seal, TooShortRejected)
+{
+    crypto::Sha256Digest key{};
+    ByteVec tiny(10, 0);
+    EXPECT_FALSE(crypto::open(key, tiny).isOk());
+}
+
+} // namespace
+} // namespace sevf::attest

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Firmware (OVMF model) tests and QEMU-path integration invariants:
+ * the full state-of-the-art boot flow with its firmware pre-encryption,
+ * measured cmdline, and launch-digest agreement.
+ */
+#include <gtest/gtest.h>
+
+#include "attest/expected_measurement.h"
+#include "base/bytes.h"
+#include "core/launch.h"
+#include "firmware/ovmf.h"
+#include "vmm/microvm.h"
+#include "vmm/layout.h"
+#include "workload/synthetic.h"
+
+namespace sevf::firmware {
+namespace {
+
+class OvmfModelTest : public ::testing::Test
+{
+  protected:
+    OvmfModelTest() : model_(sim::CostParams::deterministic()) {}
+    sim::CostModel model_;
+};
+
+TEST_F(OvmfModelTest, PhasesInPiOrder)
+{
+    std::vector<UefiPhase> phases = uefiPhases(model_);
+    ASSERT_EQ(phases.size(), 4u);
+    EXPECT_EQ(phases[0].name, "SEC");
+    EXPECT_EQ(phases[1].name, "PEI");
+    EXPECT_EQ(phases[2].name, "DXE");
+    EXPECT_EQ(phases[3].name, "BDS");
+    // DXE dominates (Fig 3).
+    for (const UefiPhase &p : phases) {
+        if (p.name != "DXE") {
+            EXPECT_LT(p.duration, phases[2].duration);
+        }
+    }
+}
+
+TEST_F(OvmfModelTest, TotalMatchesFig3Scale)
+{
+    // Phases alone land just above 3 s; boot verification rides on top.
+    double total = uefiPhasesTotal(model_).toSecF();
+    EXPECT_GT(total, 2.9);
+    EXPECT_LT(total, 3.3);
+}
+
+TEST_F(OvmfModelTest, ImageIsOneMiBAndDeterministic)
+{
+    ByteVec image = ovmfImage(model_);
+    EXPECT_EQ(image.size(), 1 * kMiB);
+    EXPECT_EQ(image, ovmfImage(model_));
+    std::string head(image.begin(), image.begin() + 4);
+    EXPECT_EQ(head, "_FVH");
+}
+
+// ------------------------------------------------- QEMU path integration
+
+class QemuIntegration : public ::testing::Test
+{
+  protected:
+    QemuIntegration() : platform_(sim::CostParams::deterministic())
+    {
+        request_.kernel = workload::KernelConfig::kLupine;
+        request_.scale = 1.0 / 32.0;
+    }
+
+    core::Platform platform_;
+    core::LaunchRequest request_;
+};
+
+TEST_F(QemuIntegration, FirmwareIsPreEncryptedAndLocked)
+{
+    request_.keep_vm = true;
+    Result<core::LaunchResult> run =
+        core::makeStrategy(core::StrategyKind::kQemuOvmfSev)
+            ->launch(platform_, request_);
+    ASSERT_TRUE(run.isOk()) << run.status().toString();
+
+    // The 1 MiB firmware dominates the measured payload.
+    EXPECT_GT(run->pre_encrypted_bytes, 1 * kMiB);
+    // DRAM at the firmware base is ciphertext and host-locked.
+    memory::GuestMemory &mem = run->vm->memory();
+    ByteVec dram = *mem.hostRead(kOvmfBaseGpa, 64);
+    ByteVec plain = ovmfImage(platform_.cost());
+    EXPECT_NE(dram, ByteVec(plain.begin(), plain.begin() + 64));
+    EXPECT_FALSE(
+        mem.hostWrite(kOvmfBaseGpa, ByteVec(16, 0)).isOk());
+    // The guest sees the firmware through the C-bit.
+    EXPECT_EQ(*mem.guestRead(kOvmfBaseGpa, 64, true),
+              ByteVec(plain.begin(), plain.begin() + 64));
+}
+
+TEST_F(QemuIntegration, CmdlineVerifiedAndProtected)
+{
+    request_.keep_vm = true;
+    Result<core::LaunchResult> run =
+        core::makeStrategy(core::StrategyKind::kQemuOvmfSev)
+            ->launch(platform_, request_);
+    ASSERT_TRUE(run.isOk());
+    memory::GuestMemory &mem = run->vm->memory();
+
+    // The verified cmdline lives in protected memory at the boot-struct
+    // location (QEMU hashes it rather than pre-encrypting it, Fig 7).
+    ByteVec in_guest = *mem.guestRead(
+        vmm::layout::kCmdlineGpa, request_.vm.cmdline.size(), true);
+    EXPECT_EQ(std::string(in_guest.begin(), in_guest.end()),
+              request_.vm.cmdline);
+}
+
+TEST_F(QemuIntegration, MeasurementCoversFirmwareNotKernel)
+{
+    Result<core::LaunchResult> run =
+        core::makeStrategy(core::StrategyKind::kQemuOvmfSev)
+            ->launch(platform_, request_);
+    ASSERT_TRUE(run.isOk());
+
+    // Reconstruct the expected digest: OVMF + hash page + VMSA. The
+    // kernel itself is NOT in the chain (measured-direct-boot).
+    const workload::KernelArtifacts &art =
+        workload::cachedKernelArtifacts(request_.kernel, request_.scale);
+    const ByteVec &initrd = workload::cachedInitrd(request_.scale);
+    verifier::BootHashes hashes = verifier::BootHashes::compute(
+        art.bzimage, initrd, asBytes(request_.vm.cmdline));
+    std::vector<attest::PreEncryptedRegion> plan;
+    plan.push_back({"ovmf", kOvmfBaseGpa, ovmfImage(platform_.cost())});
+    plan.push_back({"component_hashes", vmm::layout::kHashTableGpa,
+                    hashes.toPage()});
+    attest::VmsaInfo vmsa{request_.vm.vcpus, request_.vm.sev_policy,
+                          vmm::layout::kVmsaGpa};
+    EXPECT_EQ(run->measurement,
+              attest::expectedMeasurement(plan, vmsa));
+}
+
+TEST_F(QemuIntegration, TamperedCmdlineRejected)
+{
+    // The host substitutes a different cmdline after hashing: detected
+    // by the firmware's boot verifier.
+    request_.keep_vm = true;
+    // Run a good launch first, then replay with a poisoned staging: the
+    // easiest injection point is a different cmdline in the request vs
+    // the staged bytes - emulate by corrupting staging post-hash via
+    // the strategy-internal flow being inaccessible, so instead check
+    // the equivalent property at the verifier level in verifier_test.
+    // Here: assert that changing the cmdline changes the hash page and
+    // hence the measurement.
+    Result<core::LaunchResult> a =
+        core::makeStrategy(core::StrategyKind::kQemuOvmfSev)
+            ->launch(platform_, request_);
+    request_.vm.cmdline += " panic=0";
+    Result<core::LaunchResult> b =
+        core::makeStrategy(core::StrategyKind::kQemuOvmfSev)
+            ->launch(platform_, request_);
+    ASSERT_TRUE(a.isOk());
+    ASSERT_TRUE(b.isOk());
+    EXPECT_NE(a->measurement, b->measurement);
+}
+
+TEST_F(QemuIntegration, FirmwarePhaseDwarfsVerification)
+{
+    Result<core::LaunchResult> run =
+        core::makeStrategy(core::StrategyKind::kQemuOvmfSev)
+            ->launch(platform_, request_);
+    ASSERT_TRUE(run.isOk());
+    sim::Duration fw = run->trace.phaseTotal(sim::phase::kFirmware);
+    sim::Duration verify =
+        run->trace.phaseTotal(sim::phase::kBootVerification);
+    EXPECT_GT(fw.toMsF(), verify.toMsF() * 20.0)
+        << "Fig 3: the verifier is a small slice of the OVMF runtime";
+}
+
+} // namespace
+} // namespace sevf::firmware

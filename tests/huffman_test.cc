@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Canonical Huffman + bitstream unit tests (the entropy stage of the
+ * gzip-lite codec).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.h"
+#include "compress/bitstream.h"
+#include "compress/huffman.h"
+
+namespace sevf::compress {
+namespace {
+
+TEST(BitStream, RoundTripVariousWidths)
+{
+    BitWriter w;
+    w.put(0b1, 1);
+    w.put(0b1010, 4);
+    w.put(0xdead, 16);
+    w.put(0x3, 2);
+    ByteVec bytes = w.finish();
+
+    BitReader r(bytes);
+    EXPECT_EQ(*r.get(1), 0b1u);
+    EXPECT_EQ(*r.get(4), 0b1010u);
+    EXPECT_EQ(*r.get(16), 0xdeadu);
+    EXPECT_EQ(*r.get(2), 0x3u);
+}
+
+TEST(BitStream, ReadPastEndFails)
+{
+    BitWriter w;
+    w.put(0xff, 8);
+    ByteVec bytes = w.finish();
+    BitReader r(bytes);
+    EXPECT_TRUE(r.get(8).isOk());
+    EXPECT_FALSE(r.get(1).isOk());
+}
+
+TEST(Huffman, LengthsRespectLimitEvenForSkewedInput)
+{
+    // Fibonacci-ish frequencies force deep trees without limiting.
+    std::vector<u64> freqs(40, 0);
+    u64 a = 1, b = 1;
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+        freqs[i] = a;
+        u64 next = a + b;
+        a = b;
+        b = next;
+    }
+    std::vector<u8> lengths = huffmanCodeLengths(freqs);
+    for (u8 len : lengths) {
+        EXPECT_LE(len, kMaxHuffmanBits);
+        EXPECT_GE(len, 1);
+    }
+}
+
+TEST(Huffman, KraftInequalityHolds)
+{
+    Rng rng(3);
+    std::vector<u64> freqs(300);
+    for (u64 &f : freqs) {
+        f = rng.nextBelow(10000);
+    }
+    std::vector<u8> lengths = huffmanCodeLengths(freqs);
+    double kraft = 0;
+    for (std::size_t s = 0; s < freqs.size(); ++s) {
+        if (lengths[s] > 0) {
+            kraft += std::pow(2.0, -static_cast<double>(lengths[s]));
+        }
+        EXPECT_EQ(lengths[s] == 0, freqs[s] == 0);
+    }
+    EXPECT_LE(kraft, 1.0 + 1e-9);
+}
+
+TEST(Huffman, EncodeDecodeRoundTrip)
+{
+    Rng rng(7);
+    std::vector<u64> freqs(64);
+    for (u64 &f : freqs) {
+        f = 1 + rng.nextBelow(1000);
+    }
+    std::vector<u8> lengths = huffmanCodeLengths(freqs);
+    HuffmanEncoder enc(lengths);
+    Result<HuffmanDecoder> dec = HuffmanDecoder::build(lengths);
+    ASSERT_TRUE(dec.isOk());
+
+    std::vector<u32> symbols;
+    for (int i = 0; i < 5000; ++i) {
+        symbols.push_back(static_cast<u32>(rng.nextBelow(64)));
+    }
+    BitWriter w;
+    for (u32 s : symbols) {
+        enc.encode(w, s);
+    }
+    ByteVec bytes = w.finish();
+    BitReader r(bytes);
+    for (u32 expected : symbols) {
+        Result<u32> got = dec->decode(r);
+        ASSERT_TRUE(got.isOk());
+        EXPECT_EQ(*got, expected);
+    }
+}
+
+TEST(Huffman, FrequentSymbolsGetShorterCodes)
+{
+    std::vector<u64> freqs(4, 0);
+    freqs[0] = 1000;
+    freqs[1] = 10;
+    freqs[2] = 10;
+    freqs[3] = 1;
+    std::vector<u8> lengths = huffmanCodeLengths(freqs);
+    EXPECT_LT(lengths[0], lengths[3]);
+}
+
+TEST(Huffman, SingleSymbolAlphabet)
+{
+    std::vector<u64> freqs(10, 0);
+    freqs[4] = 123;
+    std::vector<u8> lengths = huffmanCodeLengths(freqs);
+    EXPECT_EQ(lengths[4], 1);
+    HuffmanEncoder enc(lengths);
+    Result<HuffmanDecoder> dec = HuffmanDecoder::build(lengths);
+    ASSERT_TRUE(dec.isOk());
+    BitWriter w;
+    enc.encode(w, 4);
+    ByteVec bytes = w.finish();
+    BitReader r(bytes);
+    EXPECT_EQ(*dec->decode(r), 4u);
+}
+
+TEST(Huffman, OverSubscribedCodeRejected)
+{
+    // Three symbols of length 1 cannot coexist.
+    std::vector<u8> lengths = {1, 1, 1};
+    EXPECT_FALSE(HuffmanDecoder::build(lengths).isOk());
+}
+
+} // namespace
+} // namespace sevf::compress

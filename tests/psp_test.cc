@@ -1,0 +1,321 @@
+/**
+ * @file
+ * PSP device tests: SEV-SNP launch state machine, measurement chain,
+ * in-place pre-encryption, attestation report signing, key server.
+ */
+#include <gtest/gtest.h>
+
+#include "base/bytes.h"
+#include "crypto/measurement.h"
+#include "memory/guest_memory.h"
+#include "psp/attestation_report.h"
+#include "psp/key_server.h"
+#include "psp/psp.h"
+
+namespace sevf::psp {
+namespace {
+
+class PspTest : public ::testing::Test
+{
+  protected:
+    PspTest()
+        : psp_("EPYC-7313P-SIM-0", ks_, 0xca11ab1e),
+          mem_(4 * kMiB, 0x100000000ull, 0)
+    {
+    }
+
+    /** Re-create guest memory with a PSP-allocated ASID. */
+    memory::GuestMemory &
+    freshMemory()
+    {
+        mem_storage_ = std::make_unique<memory::GuestMemory>(
+            4 * kMiB, 0x100000000ull, psp_.allocateAsid());
+        return *mem_storage_;
+    }
+
+    KeyServer ks_;
+    Psp psp_;
+    memory::GuestMemory mem_; // asid 0, for negative tests
+    std::unique_ptr<memory::GuestMemory> mem_storage_;
+};
+
+TEST_F(PspTest, LaunchStartAttachesEncryption)
+{
+    memory::GuestMemory &mem = freshMemory();
+    EXPECT_FALSE(mem.sevEnabled());
+    Result<GuestHandle> h = psp_.launchStart(mem, /*policy=*/0x30000);
+    ASSERT_TRUE(h.isOk());
+    EXPECT_TRUE(mem.sevEnabled());
+}
+
+TEST_F(PspTest, LaunchStartRejectsAsidZero)
+{
+    EXPECT_FALSE(psp_.launchStart(mem_, 0).isOk());
+}
+
+TEST_F(PspTest, LaunchStartRejectsDoubleKeying)
+{
+    memory::GuestMemory &mem = freshMemory();
+    ASSERT_TRUE(psp_.launchStart(mem, 0).isOk());
+    EXPECT_FALSE(psp_.launchStart(mem, 0).isOk());
+}
+
+TEST_F(PspTest, UpdateMeasuresAndEncrypts)
+{
+    memory::GuestMemory &mem = freshMemory();
+    GuestHandle h = *psp_.launchStart(mem, 0);
+
+    ByteVec verifier = toBytes("minimal boot verifier");
+    verifier.resize(2 * kPageSize, 0x90);
+    ASSERT_TRUE(mem.hostWrite(0x8000, verifier).isOk());
+    ASSERT_TRUE(
+        psp_.launchUpdateData(h, mem, 0x8000, verifier.size()).isOk());
+
+    EXPECT_EQ(*psp_.measuredPageCount(h), 2u);
+    // Memory is now ciphertext for the host, plaintext for the guest.
+    EXPECT_NE(*mem.hostRead(0x8000, 64),
+              ByteVec(verifier.begin(), verifier.begin() + 64));
+    EXPECT_EQ(*mem.guestRead(0x8000, verifier.size(), true), verifier);
+}
+
+TEST_F(PspTest, MeasurementMatchesManualChain)
+{
+    memory::GuestMemory &mem = freshMemory();
+    GuestHandle h = *psp_.launchStart(mem, 0);
+
+    ByteVec region_a(kPageSize, 0x11);
+    ByteVec region_b(3000, 0x22); // sub-page: tail is zero-padded
+    ASSERT_TRUE(mem.hostWrite(0x4000, region_a).isOk());
+    ASSERT_TRUE(mem.hostWrite(0x10000, region_b).isOk());
+    ASSERT_TRUE(psp_.launchUpdateData(h, mem, 0x4000, region_a.size()).isOk());
+    ASSERT_TRUE(psp_.launchUpdateData(h, mem, 0x10000, region_b.size()).isOk());
+
+    crypto::LaunchDigest manual;
+    manual.extendRegion(crypto::MeasuredPageType::kNormal, 0x4000, region_a);
+    manual.extendRegion(crypto::MeasuredPageType::kNormal, 0x10000, region_b);
+    EXPECT_EQ(*psp_.launchMeasure(h), manual.value());
+}
+
+TEST_F(PspTest, FinishLocksTheLaunchFlow)
+{
+    memory::GuestMemory &mem = freshMemory();
+    GuestHandle h = *psp_.launchStart(mem, 0);
+    ByteVec page(kPageSize, 0x33);
+    ASSERT_TRUE(mem.hostWrite(0, page).isOk());
+    ASSERT_TRUE(psp_.launchUpdateData(h, mem, 0, kPageSize).isOk());
+    ASSERT_TRUE(psp_.launchFinish(h).isOk());
+
+    // The §2.4 property: no more pre-encryption after finish.
+    ASSERT_TRUE(mem.hostWrite(0x1000, page).isOk());
+    Status late = psp_.launchUpdateData(h, mem, 0x1000, kPageSize);
+    EXPECT_EQ(late.code(), ErrorCode::kInvalidState);
+    // And finishing twice is also rejected.
+    EXPECT_FALSE(psp_.launchFinish(h).isOk());
+}
+
+TEST_F(PspTest, ReportOnlyAfterFinish)
+{
+    memory::GuestMemory &mem = freshMemory();
+    GuestHandle h = *psp_.launchStart(mem, 0);
+    ReportData rdata{};
+    EXPECT_FALSE(psp_.guestRequestReport(h, rdata).isOk());
+    ASSERT_TRUE(psp_.launchFinish(h).isOk());
+    EXPECT_TRUE(psp_.guestRequestReport(h, rdata).isOk());
+}
+
+TEST_F(PspTest, ReportBindsMeasurementAndData)
+{
+    memory::GuestMemory &mem = freshMemory();
+    GuestHandle h = *psp_.launchStart(mem, 0x5);
+    ByteVec page(kPageSize, 0x44);
+    ASSERT_TRUE(mem.hostWrite(0, page).isOk());
+    ASSERT_TRUE(psp_.launchUpdateData(h, mem, 0, kPageSize).isOk());
+    ASSERT_TRUE(psp_.launchFinish(h).isOk());
+
+    ReportData rdata{};
+    rdata[0] = 0xaa;
+    Result<AttestationReport> report = psp_.guestRequestReport(h, rdata);
+    ASSERT_TRUE(report.isOk());
+    EXPECT_EQ(report->measurement, *psp_.launchMeasure(h));
+    EXPECT_EQ(report->policy, 0x5u);
+    EXPECT_EQ(report->chip_id, "EPYC-7313P-SIM-0");
+    EXPECT_TRUE(report->verify(*ks_.keyFor(report->chip_id)));
+}
+
+TEST_F(PspTest, UnknownHandleRejected)
+{
+    EXPECT_FALSE(psp_.launchFinish(999).isOk());
+    EXPECT_FALSE(psp_.launchMeasure(999).isOk());
+}
+
+TEST_F(PspTest, DistinctGuestsGetDistinctKeys)
+{
+    memory::GuestMemory a(64 * kPageSize, 0x100000000ull,
+                          psp_.allocateAsid());
+    memory::GuestMemory b(64 * kPageSize, 0x100000000ull,
+                          psp_.allocateAsid());
+    GuestHandle ha = *psp_.launchStart(a, 0);
+    GuestHandle hb = *psp_.launchStart(b, 0);
+    (void)ha;
+    (void)hb;
+    // Same plaintext, same GPA, same SPA base: only the keys differ.
+    ByteVec page(kPageSize, 0x77);
+    ASSERT_TRUE(a.hostWrite(0, page).isOk());
+    ASSERT_TRUE(b.hostWrite(0, page).isOk());
+    ASSERT_TRUE(a.pspEncryptInPlace(0, kPageSize).isOk());
+    ASSERT_TRUE(b.pspEncryptInPlace(0, kPageSize).isOk());
+    EXPECT_NE(*a.hostRead(0, kPageSize), *b.hostRead(0, kPageSize));
+}
+
+
+TEST_F(PspTest, VmsaMeasuredOnSnp)
+{
+    memory::GuestMemory &mem = freshMemory();
+    GuestHandle h = *psp_.launchStart(mem, 0x30000);
+    ASSERT_TRUE(psp_.launchUpdateVmsa(h, mem, 0, 0x5000).isOk());
+    EXPECT_EQ(*psp_.measuredPageCount(h), 1u);
+    // Encrypted + locked like any launch page.
+    EXPECT_FALSE(mem.hostWrite(0x5000, ByteVec(16, 0)).isOk());
+    // Digest depends on the vCPU index.
+    memory::GuestMemory other(4 * kMiB, 0x100000000ull,
+                              psp_.allocateAsid());
+    GuestHandle h2 = *psp_.launchStart(other, 0x30000);
+    ASSERT_TRUE(psp_.launchUpdateVmsa(h2, other, 1, 0x5000).isOk());
+    EXPECT_NE(*psp_.launchMeasure(h), *psp_.launchMeasure(h2));
+}
+
+TEST_F(PspTest, VmsaRejectedOnBaseSev)
+{
+    memory::GuestMemory mem(4 * kMiB, 0x100000000ull, psp_.allocateAsid(),
+                            memory::SevMode::kSev);
+    GuestHandle h = *psp_.launchStart(mem, 0);
+    Status s = psp_.launchUpdateVmsa(h, mem, 0, 0x5000);
+    EXPECT_EQ(s.code(), ErrorCode::kUnsupported);
+}
+
+TEST_F(PspTest, VmsaRejectedAfterFinish)
+{
+    memory::GuestMemory &mem = freshMemory();
+    GuestHandle h = *psp_.launchStart(mem, 0);
+    ASSERT_TRUE(psp_.launchFinish(h).isOk());
+    EXPECT_EQ(psp_.launchUpdateVmsa(h, mem, 0, 0x5000).code(),
+              ErrorCode::kInvalidState);
+}
+
+TEST_F(PspTest, VmsaSynthesizerDeterministic)
+{
+    ByteVec a = synthesizeVmsa(0, 0x30000);
+    ByteVec b = synthesizeVmsa(0, 0x30000);
+    ByteVec c = synthesizeVmsa(1, 0x30000);
+    ByteVec d = synthesizeVmsa(0, 0x30001);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(a, d);
+    EXPECT_EQ(a.size(), kPageSize);
+}
+
+
+TEST_F(PspTest, SharedKeyLaunchSharesCryptoDomain)
+{
+    // Future-work extension (§6.2): key sharing works, and its cost is
+    // visible - same plaintext at the same SPA encrypts identically
+    // across guests, unlike per-VM keys.
+    memory::GuestMemory a(64 * kPageSize, 0x100000000ull,
+                          psp_.allocateAsid());
+    memory::GuestMemory b(64 * kPageSize, 0x100000000ull,
+                          psp_.allocateAsid());
+    ASSERT_TRUE(psp_.launchStartShared(a, 0).isOk());
+    ASSERT_TRUE(psp_.launchStartShared(b, 0).isOk());
+    ByteVec page(kPageSize, 0x42);
+    ASSERT_TRUE(a.hostWrite(0, page).isOk());
+    ASSERT_TRUE(b.hostWrite(0, page).isOk());
+    ASSERT_TRUE(a.pspEncryptInPlace(0, kPageSize).isOk());
+    ASSERT_TRUE(b.pspEncryptInPlace(0, kPageSize).isOk());
+    EXPECT_EQ(*a.hostRead(0, kPageSize), *b.hostRead(0, kPageSize));
+}
+
+TEST_F(PspTest, SharedKeyLaunchStillMeasuresAndLocks)
+{
+    memory::GuestMemory &mem = freshMemory();
+    Result<GuestHandle> h = psp_.launchStartShared(mem, 0x30000);
+    ASSERT_TRUE(h.isOk());
+    ByteVec page(kPageSize, 0x11);
+    ASSERT_TRUE(mem.hostWrite(0, page).isOk());
+    ASSERT_TRUE(psp_.launchUpdateData(*h, mem, 0, kPageSize).isOk());
+    ASSERT_TRUE(psp_.launchFinish(*h).isOk());
+    EXPECT_FALSE(psp_.launchUpdateData(*h, mem, 0x1000, kPageSize).isOk());
+    EXPECT_TRUE(psp_.guestRequestReport(*h, ReportData{}).isOk());
+}
+
+// ----------------------------------------------------------- reports
+
+TEST(AttestationReportWire, SerializeParseRoundTrip)
+{
+    AttestationReport rep;
+    rep.chip_id = "CHIP-42";
+    rep.policy = 0x30000;
+    rep.asid = 9;
+    rep.measurement.fill(0xab);
+    rep.report_data.fill(0xcd);
+    ChipKey key{};
+    key.fill(0x55);
+    rep.sign(key);
+
+    Result<AttestationReport> back = AttestationReport::parse(rep.serialize());
+    ASSERT_TRUE(back.isOk());
+    EXPECT_EQ(back->chip_id, "CHIP-42");
+    EXPECT_EQ(back->policy, 0x30000u);
+    EXPECT_EQ(back->measurement, rep.measurement);
+    EXPECT_TRUE(back->verify(key));
+}
+
+TEST(AttestationReportWire, TamperBreaksSignature)
+{
+    AttestationReport rep;
+    rep.chip_id = "CHIP-1";
+    rep.measurement.fill(0x01);
+    ChipKey key{};
+    key.fill(0x66);
+    rep.sign(key);
+
+    ByteVec wire = rep.serialize();
+    // Flip a measurement byte in the wire image.
+    wire[4 + 4 + rep.chip_id.size() + 4 + 4] ^= 0xff;
+    Result<AttestationReport> back = AttestationReport::parse(wire);
+    ASSERT_TRUE(back.isOk());
+    EXPECT_FALSE(back->verify(key));
+}
+
+TEST(AttestationReportWire, RejectsTruncation)
+{
+    AttestationReport rep;
+    rep.chip_id = "CHIP-1";
+    ByteVec wire = rep.serialize();
+    wire.resize(wire.size() - 10);
+    EXPECT_FALSE(AttestationReport::parse(wire).isOk());
+}
+
+TEST(AttestationReportWire, RejectsTrailingBytes)
+{
+    AttestationReport rep;
+    rep.chip_id = "CHIP-1";
+    ByteVec wire = rep.serialize();
+    wire.push_back(0);
+    EXPECT_FALSE(AttestationReport::parse(wire).isOk());
+}
+
+// --------------------------------------------------------- key server
+
+TEST(KeyServerTest, ProvisionOnceLookupMany)
+{
+    KeyServer ks;
+    ChipKey k{};
+    k.fill(7);
+    ASSERT_TRUE(ks.provision("chip-a", k).isOk());
+    EXPECT_FALSE(ks.provision("chip-a", k).isOk());
+    EXPECT_TRUE(ks.keyFor("chip-a").isOk());
+    EXPECT_FALSE(ks.keyFor("chip-b").isOk());
+}
+
+} // namespace
+} // namespace sevf::psp

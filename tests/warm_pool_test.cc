@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Warm-start exploration tests (§7.1): keep-alive pool behaviour and
+ * the measured dedup gap between plain and SEV guest memory.
+ */
+#include <gtest/gtest.h>
+
+#include "core/warm_pool.h"
+#include "vmm/microvm.h"
+#include "workload/synthetic.h"
+
+namespace sevf::core {
+namespace {
+
+constexpr double kScale = 1.0 / 32.0;
+
+class WarmPoolTest : public ::testing::Test
+{
+  protected:
+    WarmPoolTest() : platform_(sim::CostParams::deterministic())
+    {
+        base_.kernel = workload::KernelConfig::kAws;
+        base_.scale = kScale;
+        base_.attest = false;
+    }
+
+    Platform platform_;
+    LaunchRequest base_;
+};
+
+TEST_F(WarmPoolTest, FirstInvocationColdThenWarm)
+{
+    WarmPool pool(platform_, StrategyKind::kSeveriFastBz, base_, 4);
+    Result<Invocation> first = pool.invoke(1);
+    ASSERT_TRUE(first.isOk()) << first.status().toString();
+    EXPECT_FALSE(first->warm);
+    EXPECT_GT(first->startup_latency, sim::Duration::millis(50));
+
+    Result<Invocation> second = pool.invoke(2);
+    ASSERT_TRUE(second.isOk());
+    EXPECT_TRUE(second->warm);
+    EXPECT_LT(second->startup_latency, sim::Duration::millis(10));
+
+    EXPECT_EQ(pool.stats().cold_starts, 1u);
+    EXPECT_EQ(pool.stats().warm_hits, 1u);
+    EXPECT_EQ(pool.stats().resident_guest_bytes, base_.vm.memory_size);
+}
+
+TEST_F(WarmPoolTest, WarmLatencyFarBelowCold)
+{
+    WarmPool pool(platform_, StrategyKind::kSeveriFastBz, base_, 2);
+    double cold = 0, warm = 0;
+    for (u64 i = 0; i < 10; ++i) {
+        Result<Invocation> inv = pool.invoke(i);
+        ASSERT_TRUE(inv.isOk());
+        (inv->warm ? warm : cold) = inv->startup_latency.toMsF();
+    }
+    EXPECT_GT(cold / warm, 10.0);
+}
+
+TEST_F(WarmPoolTest, KeepVmRetainsBootedMemory)
+{
+    LaunchRequest req = base_;
+    req.keep_vm = true;
+    Result<LaunchResult> run =
+        makeStrategy(StrategyKind::kSeveriFastBz)->launch(platform_, req);
+    ASSERT_TRUE(run.isOk());
+    ASSERT_NE(run->vm, nullptr);
+    EXPECT_EQ(run->vm->memory().size(), req.vm.memory_size);
+
+    // Without the flag, no VM is retained.
+    req.keep_vm = false;
+    Result<LaunchResult> light =
+        makeStrategy(StrategyKind::kSeveriFastBz)->launch(platform_, req);
+    ASSERT_TRUE(light.isOk());
+    EXPECT_EQ(light->vm, nullptr);
+}
+
+TEST_F(WarmPoolTest, DedupCollapsesUnderSev)
+{
+    auto boot_pair = [&](StrategyKind kind) {
+        LaunchRequest req = base_;
+        req.keep_vm = true;
+        req.seed = 11;
+        Result<LaunchResult> a =
+            makeStrategy(kind)->launch(platform_, req);
+        req.seed = 12;
+        Result<LaunchResult> b =
+            makeStrategy(kind)->launch(platform_, req);
+        EXPECT_TRUE(a.isOk());
+        EXPECT_TRUE(b.isOk());
+        return std::make_pair(a.take(), b.take());
+    };
+
+    auto [sa, sb] = boot_pair(StrategyKind::kStockFirecracker);
+    DedupStats stock = measureCrossVmDedup(sa.vm->memory(),
+                                           sb.vm->memory());
+    auto [ea, eb] = boot_pair(StrategyKind::kSeveriFastBz);
+    DedupStats sev = measureCrossVmDedup(ea.vm->memory(),
+                                         eb.vm->memory());
+
+    // Identical plain guests dedup (nearly) everything; SEV guests
+    // lose most of the non-zero pages to unique ciphertext.
+    EXPECT_GT(stock.nonzeroDedupFraction(), 0.95);
+    EXPECT_LT(sev.nonzeroDedupFraction(),
+              stock.nonzeroDedupFraction() * 0.6);
+    EXPECT_GT(sev.nonzero_pages, stock.nonzero_pages)
+        << "encrypted copies inflate the non-zero footprint";
+}
+
+TEST_F(WarmPoolTest, DedupScannerCountsExactlyOnSyntheticImages)
+{
+    memory::GuestMemory a(8 * kPageSize, 0x100000000ull, 0);
+    memory::GuestMemory b(8 * kPageSize, 0x100000000ull, 0);
+    // b shares pages 0..3 with a; pages 4..5 differ; 6..7 zero in both.
+    for (u64 p = 0; p < 6; ++p) {
+        ByteVec page(kPageSize, static_cast<u8>(p + 1));
+        ASSERT_TRUE(a.hostWrite(p * kPageSize, page).isOk());
+        if (p < 4) {
+            ASSERT_TRUE(b.hostWrite(p * kPageSize, page).isOk());
+        } else {
+            ByteVec other(kPageSize, static_cast<u8>(0xf0 + p));
+            ASSERT_TRUE(b.hostWrite(p * kPageSize, other).isOk());
+        }
+    }
+    DedupStats stats = measureCrossVmDedup(a, b);
+    EXPECT_EQ(stats.pages_scanned, 8u);
+    EXPECT_EQ(stats.dedupable_pages, 6u); // 4 shared + 2 zero
+    EXPECT_EQ(stats.nonzero_pages, 6u);
+    EXPECT_EQ(stats.dedupable_nonzero, 4u);
+}
+
+} // namespace
+} // namespace sevf::core

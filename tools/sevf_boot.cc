@@ -1,0 +1,139 @@
+/**
+ * @file
+ * sevf_boot: boot one microVM with any strategy/kernel/mode and print
+ * either the human-readable timeline or a JSON launch report.
+ *
+ *   usage: sevf_boot [--strategy stock|qemu|direct|severifast|
+ *                      severifast-vmlinux]
+ *                    [--kernel lupine|aws|ubuntu] [--mode sev|sev-es|sev-snp]
+ *                    [--vcpus N] [--scale 0..1] [--no-attest] [--kaslr]
+ *                    [--share-key] [--json] [--seed N]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/launch.h"
+#include "core/report.h"
+#include "stats/table.h"
+#include "workload/synthetic.h"
+
+using namespace sevf;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--strategy stock|qemu|direct|severifast|"
+        "severifast-vmlinux]\n"
+        "          [--kernel lupine|aws|ubuntu] [--mode sev|sev-es|sev-snp]\n"
+        "          [--vcpus N] [--scale 0..1] [--no-attest] [--kaslr]\n"
+        "          [--share-key] [--json] [--seed N]\n",
+        argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    core::LaunchRequest request;
+    core::StrategyKind kind = core::StrategyKind::kSeveriFastBz;
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+            }
+            return argv[++i];
+        };
+        if (arg == "--strategy") {
+            std::string v = next();
+            if (v == "stock") {
+                kind = core::StrategyKind::kStockFirecracker;
+            } else if (v == "qemu") {
+                kind = core::StrategyKind::kQemuOvmfSev;
+            } else if (v == "direct") {
+                kind = core::StrategyKind::kSevDirectBoot;
+            } else if (v == "severifast") {
+                kind = core::StrategyKind::kSeveriFastBz;
+            } else if (v == "severifast-vmlinux") {
+                kind = core::StrategyKind::kSeveriFastVmlinux;
+            } else {
+                usage(argv[0]);
+            }
+        } else if (arg == "--kernel") {
+            std::string v = next();
+            if (v == "lupine") {
+                request.kernel = workload::KernelConfig::kLupine;
+            } else if (v == "aws") {
+                request.kernel = workload::KernelConfig::kAws;
+            } else if (v == "ubuntu") {
+                request.kernel = workload::KernelConfig::kUbuntu;
+            } else {
+                usage(argv[0]);
+            }
+        } else if (arg == "--mode") {
+            std::string v = next();
+            if (v == "sev") {
+                request.sev_mode = memory::SevMode::kSev;
+            } else if (v == "sev-es") {
+                request.sev_mode = memory::SevMode::kSevEs;
+            } else if (v == "sev-snp") {
+                request.sev_mode = memory::SevMode::kSevSnp;
+            } else {
+                usage(argv[0]);
+            }
+        } else if (arg == "--vcpus") {
+            request.vm.vcpus = static_cast<u32>(std::atoi(next()));
+        } else if (arg == "--scale") {
+            request.scale = std::atof(next());
+        } else if (arg == "--seed") {
+            request.seed = static_cast<u64>(std::atoll(next()));
+        } else if (arg == "--no-attest") {
+            request.attest = false;
+        } else if (arg == "--kaslr") {
+            request.guest_kaslr = true;
+        } else if (arg == "--share-key") {
+            request.share_platform_key = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    core::Platform platform;
+    Result<core::LaunchResult> result =
+        core::makeStrategy(kind)->launch(platform, request);
+    if (!result.isOk()) {
+        std::fprintf(stderr, "launch failed: %s\n",
+                     result.status().toString().c_str());
+        return 1;
+    }
+
+    if (json) {
+        std::printf("%s\n", core::launchResultToJson(*result).c_str());
+        return 0;
+    }
+
+    std::printf("%s\n", result->timeline.render().c_str());
+    stats::Table phases({"phase", "time"});
+    for (const std::string &phase : result->trace.phases()) {
+        phases.addRow(
+            {phase, stats::fmtMs(result->trace.phaseTotal(phase).toMsF())});
+    }
+    phases.print();
+    std::printf("boot: %s  total: %s  attested: %s\n",
+                result->bootTime().toString().c_str(),
+                result->totalTime().toString().c_str(),
+                result->attested ? "yes" : "no");
+    return 0;
+}
