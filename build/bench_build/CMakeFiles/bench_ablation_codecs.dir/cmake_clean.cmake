@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_codecs"
+  "../bench/bench_ablation_codecs.pdb"
+  "CMakeFiles/bench_ablation_codecs.dir/bench_ablation_codecs.cc.o"
+  "CMakeFiles/bench_ablation_codecs.dir/bench_ablation_codecs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_oob_hash"
+  "../bench/bench_ablation_oob_hash.pdb"
+  "CMakeFiles/bench_ablation_oob_hash.dir/bench_ablation_oob_hash.cc.o"
+  "CMakeFiles/bench_ablation_oob_hash.dir/bench_ablation_oob_hash.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_oob_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

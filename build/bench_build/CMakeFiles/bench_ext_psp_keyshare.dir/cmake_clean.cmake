@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_psp_keyshare"
+  "../bench/bench_ext_psp_keyshare.pdb"
+  "CMakeFiles/bench_ext_psp_keyshare.dir/bench_ext_psp_keyshare.cc.o"
+  "CMakeFiles/bench_ext_psp_keyshare.dir/bench_ext_psp_keyshare.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_psp_keyshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_warm_start"
+  "../bench/bench_ext_warm_start.pdb"
+  "CMakeFiles/bench_ext_warm_start.dir/bench_ext_warm_start.cc.o"
+  "CMakeFiles/bench_ext_warm_start.dir/bench_ext_warm_start.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_warm_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_preencryption"
+  "../bench/bench_fig04_preencryption.pdb"
+  "CMakeFiles/bench_fig04_preencryption.dir/bench_fig04_preencryption.cc.o"
+  "CMakeFiles/bench_fig04_preencryption.dir/bench_fig04_preencryption.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_preencryption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

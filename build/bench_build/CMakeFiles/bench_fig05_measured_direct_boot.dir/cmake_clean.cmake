@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_measured_direct_boot"
+  "../bench/bench_fig05_measured_direct_boot.pdb"
+  "CMakeFiles/bench_fig05_measured_direct_boot.dir/bench_fig05_measured_direct_boot.cc.o"
+  "CMakeFiles/bench_fig05_measured_direct_boot.dir/bench_fig05_measured_direct_boot.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_measured_direct_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig05_measured_direct_boot.
+# This may be replaced when dependencies are built.

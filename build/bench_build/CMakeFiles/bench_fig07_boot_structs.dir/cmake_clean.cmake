@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_boot_structs"
+  "../bench/bench_fig07_boot_structs.pdb"
+  "CMakeFiles/bench_fig07_boot_structs.dir/bench_fig07_boot_structs.cc.o"
+  "CMakeFiles/bench_fig07_boot_structs.dir/bench_fig07_boot_structs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_boot_structs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

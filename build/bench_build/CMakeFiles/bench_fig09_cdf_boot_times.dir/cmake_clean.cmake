@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_cdf_boot_times"
+  "../bench/bench_fig09_cdf_boot_times.pdb"
+  "CMakeFiles/bench_fig09_cdf_boot_times.dir/bench_fig09_cdf_boot_times.cc.o"
+  "CMakeFiles/bench_fig09_cdf_boot_times.dir/bench_fig09_cdf_boot_times.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_cdf_boot_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

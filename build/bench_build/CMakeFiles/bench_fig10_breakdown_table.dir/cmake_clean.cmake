@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_breakdown_table"
+  "../bench/bench_fig10_breakdown_table.pdb"
+  "CMakeFiles/bench_fig10_breakdown_table.dir/bench_fig10_breakdown_table.cc.o"
+  "CMakeFiles/bench_fig10_breakdown_table.dir/bench_fig10_breakdown_table.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_breakdown_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

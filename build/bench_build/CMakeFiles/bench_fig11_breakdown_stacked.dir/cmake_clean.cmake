@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_breakdown_stacked"
+  "../bench/bench_fig11_breakdown_stacked.pdb"
+  "CMakeFiles/bench_fig11_breakdown_stacked.dir/bench_fig11_breakdown_stacked.cc.o"
+  "CMakeFiles/bench_fig11_breakdown_stacked.dir/bench_fig11_breakdown_stacked.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_breakdown_stacked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attestation_flow.dir/attestation_flow.cpp.o"
+  "CMakeFiles/attestation_flow.dir/attestation_flow.cpp.o.d"
+  "attestation_flow"
+  "attestation_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attestation_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("crypto")
+subdirs("compress")
+subdirs("memory")
+subdirs("image")
+subdirs("workload")
+subdirs("psp")
+subdirs("firmware")
+subdirs("attest")
+subdirs("verifier")
+subdirs("vmm")
+subdirs("guest")
+subdirs("stats")
+subdirs("core")

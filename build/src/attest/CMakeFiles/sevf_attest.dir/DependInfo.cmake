@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attest/expected_measurement.cc" "src/attest/CMakeFiles/sevf_attest.dir/expected_measurement.cc.o" "gcc" "src/attest/CMakeFiles/sevf_attest.dir/expected_measurement.cc.o.d"
+  "/root/repo/src/attest/guest_owner.cc" "src/attest/CMakeFiles/sevf_attest.dir/guest_owner.cc.o" "gcc" "src/attest/CMakeFiles/sevf_attest.dir/guest_owner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sevf_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sevf_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/psp/CMakeFiles/sevf_psp.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/sevf_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

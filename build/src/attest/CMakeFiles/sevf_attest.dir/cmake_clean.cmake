@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevf_attest.dir/expected_measurement.cc.o"
+  "CMakeFiles/sevf_attest.dir/expected_measurement.cc.o.d"
+  "CMakeFiles/sevf_attest.dir/guest_owner.cc.o"
+  "CMakeFiles/sevf_attest.dir/guest_owner.cc.o.d"
+  "libsevf_attest.a"
+  "libsevf_attest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevf_attest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevf_base.dir/bytes.cc.o"
+  "CMakeFiles/sevf_base.dir/bytes.cc.o.d"
+  "CMakeFiles/sevf_base.dir/logging.cc.o"
+  "CMakeFiles/sevf_base.dir/logging.cc.o.d"
+  "CMakeFiles/sevf_base.dir/rng.cc.o"
+  "CMakeFiles/sevf_base.dir/rng.cc.o.d"
+  "CMakeFiles/sevf_base.dir/status.cc.o"
+  "CMakeFiles/sevf_base.dir/status.cc.o.d"
+  "libsevf_base.a"
+  "libsevf_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevf_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

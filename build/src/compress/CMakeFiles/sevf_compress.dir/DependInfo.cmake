@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/codec.cc" "src/compress/CMakeFiles/sevf_compress.dir/codec.cc.o" "gcc" "src/compress/CMakeFiles/sevf_compress.dir/codec.cc.o.d"
+  "/root/repo/src/compress/gzip_lite.cc" "src/compress/CMakeFiles/sevf_compress.dir/gzip_lite.cc.o" "gcc" "src/compress/CMakeFiles/sevf_compress.dir/gzip_lite.cc.o.d"
+  "/root/repo/src/compress/huffman.cc" "src/compress/CMakeFiles/sevf_compress.dir/huffman.cc.o" "gcc" "src/compress/CMakeFiles/sevf_compress.dir/huffman.cc.o.d"
+  "/root/repo/src/compress/lz4.cc" "src/compress/CMakeFiles/sevf_compress.dir/lz4.cc.o" "gcc" "src/compress/CMakeFiles/sevf_compress.dir/lz4.cc.o.d"
+  "/root/repo/src/compress/lzss.cc" "src/compress/CMakeFiles/sevf_compress.dir/lzss.cc.o" "gcc" "src/compress/CMakeFiles/sevf_compress.dir/lzss.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sevf_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevf_compress.dir/codec.cc.o"
+  "CMakeFiles/sevf_compress.dir/codec.cc.o.d"
+  "CMakeFiles/sevf_compress.dir/gzip_lite.cc.o"
+  "CMakeFiles/sevf_compress.dir/gzip_lite.cc.o.d"
+  "CMakeFiles/sevf_compress.dir/huffman.cc.o"
+  "CMakeFiles/sevf_compress.dir/huffman.cc.o.d"
+  "CMakeFiles/sevf_compress.dir/lz4.cc.o"
+  "CMakeFiles/sevf_compress.dir/lz4.cc.o.d"
+  "CMakeFiles/sevf_compress.dir/lzss.cc.o"
+  "CMakeFiles/sevf_compress.dir/lzss.cc.o.d"
+  "libsevf_compress.a"
+  "libsevf_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevf_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevf_core.dir/platform.cc.o"
+  "CMakeFiles/sevf_core.dir/platform.cc.o.d"
+  "CMakeFiles/sevf_core.dir/report.cc.o"
+  "CMakeFiles/sevf_core.dir/report.cc.o.d"
+  "CMakeFiles/sevf_core.dir/strategies.cc.o"
+  "CMakeFiles/sevf_core.dir/strategies.cc.o.d"
+  "CMakeFiles/sevf_core.dir/warm_pool.cc.o"
+  "CMakeFiles/sevf_core.dir/warm_pool.cc.o.d"
+  "libsevf_core.a"
+  "libsevf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cc" "src/crypto/CMakeFiles/sevf_crypto.dir/aes128.cc.o" "gcc" "src/crypto/CMakeFiles/sevf_crypto.dir/aes128.cc.o.d"
+  "/root/repo/src/crypto/dh.cc" "src/crypto/CMakeFiles/sevf_crypto.dir/dh.cc.o" "gcc" "src/crypto/CMakeFiles/sevf_crypto.dir/dh.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/sevf_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/sevf_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/measurement.cc" "src/crypto/CMakeFiles/sevf_crypto.dir/measurement.cc.o" "gcc" "src/crypto/CMakeFiles/sevf_crypto.dir/measurement.cc.o.d"
+  "/root/repo/src/crypto/seal.cc" "src/crypto/CMakeFiles/sevf_crypto.dir/seal.cc.o" "gcc" "src/crypto/CMakeFiles/sevf_crypto.dir/seal.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/sevf_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/sevf_crypto.dir/sha256.cc.o.d"
+  "/root/repo/src/crypto/xex.cc" "src/crypto/CMakeFiles/sevf_crypto.dir/xex.cc.o" "gcc" "src/crypto/CMakeFiles/sevf_crypto.dir/xex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sevf_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevf_crypto.dir/aes128.cc.o"
+  "CMakeFiles/sevf_crypto.dir/aes128.cc.o.d"
+  "CMakeFiles/sevf_crypto.dir/dh.cc.o"
+  "CMakeFiles/sevf_crypto.dir/dh.cc.o.d"
+  "CMakeFiles/sevf_crypto.dir/hmac.cc.o"
+  "CMakeFiles/sevf_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/sevf_crypto.dir/measurement.cc.o"
+  "CMakeFiles/sevf_crypto.dir/measurement.cc.o.d"
+  "CMakeFiles/sevf_crypto.dir/seal.cc.o"
+  "CMakeFiles/sevf_crypto.dir/seal.cc.o.d"
+  "CMakeFiles/sevf_crypto.dir/sha256.cc.o"
+  "CMakeFiles/sevf_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/sevf_crypto.dir/xex.cc.o"
+  "CMakeFiles/sevf_crypto.dir/xex.cc.o.d"
+  "libsevf_crypto.a"
+  "libsevf_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevf_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

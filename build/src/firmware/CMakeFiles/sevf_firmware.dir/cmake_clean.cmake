@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevf_firmware.dir/ovmf.cc.o"
+  "CMakeFiles/sevf_firmware.dir/ovmf.cc.o.d"
+  "libsevf_firmware.a"
+  "libsevf_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevf_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

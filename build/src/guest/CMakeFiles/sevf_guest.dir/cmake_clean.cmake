@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevf_guest.dir/attestation_client.cc.o"
+  "CMakeFiles/sevf_guest.dir/attestation_client.cc.o.d"
+  "CMakeFiles/sevf_guest.dir/bootstrap_loader.cc.o"
+  "CMakeFiles/sevf_guest.dir/bootstrap_loader.cc.o.d"
+  "libsevf_guest.a"
+  "libsevf_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevf_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

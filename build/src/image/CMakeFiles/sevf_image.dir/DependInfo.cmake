@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/bzimage.cc" "src/image/CMakeFiles/sevf_image.dir/bzimage.cc.o" "gcc" "src/image/CMakeFiles/sevf_image.dir/bzimage.cc.o.d"
+  "/root/repo/src/image/cpio.cc" "src/image/CMakeFiles/sevf_image.dir/cpio.cc.o" "gcc" "src/image/CMakeFiles/sevf_image.dir/cpio.cc.o.d"
+  "/root/repo/src/image/elf.cc" "src/image/CMakeFiles/sevf_image.dir/elf.cc.o" "gcc" "src/image/CMakeFiles/sevf_image.dir/elf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sevf_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/sevf_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

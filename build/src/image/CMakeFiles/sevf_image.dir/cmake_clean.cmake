@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevf_image.dir/bzimage.cc.o"
+  "CMakeFiles/sevf_image.dir/bzimage.cc.o.d"
+  "CMakeFiles/sevf_image.dir/cpio.cc.o"
+  "CMakeFiles/sevf_image.dir/cpio.cc.o.d"
+  "CMakeFiles/sevf_image.dir/elf.cc.o"
+  "CMakeFiles/sevf_image.dir/elf.cc.o.d"
+  "libsevf_image.a"
+  "libsevf_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevf_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/guest_memory.cc" "src/memory/CMakeFiles/sevf_memory.dir/guest_memory.cc.o" "gcc" "src/memory/CMakeFiles/sevf_memory.dir/guest_memory.cc.o.d"
+  "/root/repo/src/memory/page_table.cc" "src/memory/CMakeFiles/sevf_memory.dir/page_table.cc.o" "gcc" "src/memory/CMakeFiles/sevf_memory.dir/page_table.cc.o.d"
+  "/root/repo/src/memory/rmp.cc" "src/memory/CMakeFiles/sevf_memory.dir/rmp.cc.o" "gcc" "src/memory/CMakeFiles/sevf_memory.dir/rmp.cc.o.d"
+  "/root/repo/src/memory/sev_mode.cc" "src/memory/CMakeFiles/sevf_memory.dir/sev_mode.cc.o" "gcc" "src/memory/CMakeFiles/sevf_memory.dir/sev_mode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sevf_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sevf_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevf_memory.dir/guest_memory.cc.o"
+  "CMakeFiles/sevf_memory.dir/guest_memory.cc.o.d"
+  "CMakeFiles/sevf_memory.dir/page_table.cc.o"
+  "CMakeFiles/sevf_memory.dir/page_table.cc.o.d"
+  "CMakeFiles/sevf_memory.dir/rmp.cc.o"
+  "CMakeFiles/sevf_memory.dir/rmp.cc.o.d"
+  "CMakeFiles/sevf_memory.dir/sev_mode.cc.o"
+  "CMakeFiles/sevf_memory.dir/sev_mode.cc.o.d"
+  "libsevf_memory.a"
+  "libsevf_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevf_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

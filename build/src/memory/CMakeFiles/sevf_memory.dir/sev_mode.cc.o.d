@@ -1,0 +1,3 @@
+src/memory/CMakeFiles/sevf_memory.dir/sev_mode.cc.o: \
+ /root/repo/src/memory/sev_mode.cc /usr/include/stdc-predef.h \
+ /root/repo/src/memory/sev_mode.h

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psp/attestation_report.cc" "src/psp/CMakeFiles/sevf_psp.dir/attestation_report.cc.o" "gcc" "src/psp/CMakeFiles/sevf_psp.dir/attestation_report.cc.o.d"
+  "/root/repo/src/psp/key_server.cc" "src/psp/CMakeFiles/sevf_psp.dir/key_server.cc.o" "gcc" "src/psp/CMakeFiles/sevf_psp.dir/key_server.cc.o.d"
+  "/root/repo/src/psp/psp.cc" "src/psp/CMakeFiles/sevf_psp.dir/psp.cc.o" "gcc" "src/psp/CMakeFiles/sevf_psp.dir/psp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sevf_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sevf_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/sevf_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevf_psp.dir/attestation_report.cc.o"
+  "CMakeFiles/sevf_psp.dir/attestation_report.cc.o.d"
+  "CMakeFiles/sevf_psp.dir/key_server.cc.o"
+  "CMakeFiles/sevf_psp.dir/key_server.cc.o.d"
+  "CMakeFiles/sevf_psp.dir/psp.cc.o"
+  "CMakeFiles/sevf_psp.dir/psp.cc.o.d"
+  "libsevf_psp.a"
+  "libsevf_psp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevf_psp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevf_sim.dir/cost_model.cc.o"
+  "CMakeFiles/sevf_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/sevf_sim.dir/des.cc.o"
+  "CMakeFiles/sevf_sim.dir/des.cc.o.d"
+  "CMakeFiles/sevf_sim.dir/time.cc.o"
+  "CMakeFiles/sevf_sim.dir/time.cc.o.d"
+  "CMakeFiles/sevf_sim.dir/trace.cc.o"
+  "CMakeFiles/sevf_sim.dir/trace.cc.o.d"
+  "libsevf_sim.a"
+  "libsevf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

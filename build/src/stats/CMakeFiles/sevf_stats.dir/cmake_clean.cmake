@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevf_stats.dir/ascii_chart.cc.o"
+  "CMakeFiles/sevf_stats.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/sevf_stats.dir/json.cc.o"
+  "CMakeFiles/sevf_stats.dir/json.cc.o.d"
+  "CMakeFiles/sevf_stats.dir/summary.cc.o"
+  "CMakeFiles/sevf_stats.dir/summary.cc.o.d"
+  "CMakeFiles/sevf_stats.dir/table.cc.o"
+  "CMakeFiles/sevf_stats.dir/table.cc.o.d"
+  "libsevf_stats.a"
+  "libsevf_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevf_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verifier/boot_hashes.cc" "src/verifier/CMakeFiles/sevf_verifier.dir/boot_hashes.cc.o" "gcc" "src/verifier/CMakeFiles/sevf_verifier.dir/boot_hashes.cc.o.d"
+  "/root/repo/src/verifier/boot_verifier.cc" "src/verifier/CMakeFiles/sevf_verifier.dir/boot_verifier.cc.o" "gcc" "src/verifier/CMakeFiles/sevf_verifier.dir/boot_verifier.cc.o.d"
+  "/root/repo/src/verifier/verifier_binary.cc" "src/verifier/CMakeFiles/sevf_verifier.dir/verifier_binary.cc.o" "gcc" "src/verifier/CMakeFiles/sevf_verifier.dir/verifier_binary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sevf_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sevf_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sevf_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/sevf_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/sevf_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevf_verifier.dir/boot_hashes.cc.o"
+  "CMakeFiles/sevf_verifier.dir/boot_hashes.cc.o.d"
+  "CMakeFiles/sevf_verifier.dir/boot_verifier.cc.o"
+  "CMakeFiles/sevf_verifier.dir/boot_verifier.cc.o.d"
+  "CMakeFiles/sevf_verifier.dir/verifier_binary.cc.o"
+  "CMakeFiles/sevf_verifier.dir/verifier_binary.cc.o.d"
+  "libsevf_verifier.a"
+  "libsevf_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevf_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

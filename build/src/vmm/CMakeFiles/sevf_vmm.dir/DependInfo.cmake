@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmm/boot_params.cc" "src/vmm/CMakeFiles/sevf_vmm.dir/boot_params.cc.o" "gcc" "src/vmm/CMakeFiles/sevf_vmm.dir/boot_params.cc.o.d"
+  "/root/repo/src/vmm/debug_port.cc" "src/vmm/CMakeFiles/sevf_vmm.dir/debug_port.cc.o" "gcc" "src/vmm/CMakeFiles/sevf_vmm.dir/debug_port.cc.o.d"
+  "/root/repo/src/vmm/fw_cfg.cc" "src/vmm/CMakeFiles/sevf_vmm.dir/fw_cfg.cc.o" "gcc" "src/vmm/CMakeFiles/sevf_vmm.dir/fw_cfg.cc.o.d"
+  "/root/repo/src/vmm/microvm.cc" "src/vmm/CMakeFiles/sevf_vmm.dir/microvm.cc.o" "gcc" "src/vmm/CMakeFiles/sevf_vmm.dir/microvm.cc.o.d"
+  "/root/repo/src/vmm/mptable.cc" "src/vmm/CMakeFiles/sevf_vmm.dir/mptable.cc.o" "gcc" "src/vmm/CMakeFiles/sevf_vmm.dir/mptable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attest/CMakeFiles/sevf_attest.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sevf_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sevf_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/sevf_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sevf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/sevf_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/psp/CMakeFiles/sevf_psp.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/sevf_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sevf_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevf_vmm.dir/boot_params.cc.o"
+  "CMakeFiles/sevf_vmm.dir/boot_params.cc.o.d"
+  "CMakeFiles/sevf_vmm.dir/debug_port.cc.o"
+  "CMakeFiles/sevf_vmm.dir/debug_port.cc.o.d"
+  "CMakeFiles/sevf_vmm.dir/fw_cfg.cc.o"
+  "CMakeFiles/sevf_vmm.dir/fw_cfg.cc.o.d"
+  "CMakeFiles/sevf_vmm.dir/microvm.cc.o"
+  "CMakeFiles/sevf_vmm.dir/microvm.cc.o.d"
+  "CMakeFiles/sevf_vmm.dir/mptable.cc.o"
+  "CMakeFiles/sevf_vmm.dir/mptable.cc.o.d"
+  "libsevf_vmm.a"
+  "libsevf_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevf_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevf_workload.dir/kernel_spec.cc.o"
+  "CMakeFiles/sevf_workload.dir/kernel_spec.cc.o.d"
+  "CMakeFiles/sevf_workload.dir/synthetic.cc.o"
+  "CMakeFiles/sevf_workload.dir/synthetic.cc.o.d"
+  "libsevf_workload.a"
+  "libsevf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmware_test.dir/firmware_test.cc.o"
+  "CMakeFiles/firmware_test.dir/firmware_test.cc.o.d"
+  "firmware_test"
+  "firmware_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmware_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psp_test.dir/psp_test.cc.o"
+  "CMakeFiles/psp_test.dir/psp_test.cc.o.d"
+  "psp_test"
+  "psp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warm_pool_test.dir/warm_pool_test.cc.o"
+  "CMakeFiles/warm_pool_test.dir/warm_pool_test.cc.o.d"
+  "warm_pool_test"
+  "warm_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warm_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevf_boot.dir/sevf_boot.cc.o"
+  "CMakeFiles/sevf_boot.dir/sevf_boot.cc.o.d"
+  "sevf_boot"
+  "sevf_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevf_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

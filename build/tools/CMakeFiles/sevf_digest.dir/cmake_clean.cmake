@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevf_digest.dir/sevf_digest.cc.o"
+  "CMakeFiles/sevf_digest.dir/sevf_digest.cc.o.d"
+  "sevf_digest"
+  "sevf_digest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevf_digest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
