@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/image/CMakeFiles/sevf_image.dir/DependInfo.cmake"
   "/root/repo/build/src/attest/CMakeFiles/sevf_attest.dir/DependInfo.cmake"
   "/root/repo/build/src/psp/CMakeFiles/sevf_psp.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/sevf_check.dir/DependInfo.cmake"
   "/root/repo/build/src/stats/CMakeFiles/sevf_stats.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/sevf_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/compress/CMakeFiles/sevf_compress.dir/DependInfo.cmake"

@@ -218,5 +218,5 @@ examples/CMakeFiles/attestation_flow.dir/attestation_flow.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/crypto/xex.h \
  /root/repo/src/crypto/aes128.h /root/repo/src/memory/rmp.h \
  /root/repo/src/memory/sev_mode.h /root/repo/src/psp/psp.h \
- /root/repo/src/psp/attestation_report.h \
+ /root/repo/src/check/protocol.h /root/repo/src/psp/attestation_report.h \
  /root/repo/src/verifier/verifier_binary.h

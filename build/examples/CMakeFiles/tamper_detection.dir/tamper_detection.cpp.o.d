@@ -216,11 +216,12 @@ examples/CMakeFiles/tamper_detection.dir/tamper_detection.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/compress/codec.h /root/repo/src/memory/sev_mode.h \
  /root/repo/src/core/platform.h /root/repo/src/psp/psp.h \
- /root/repo/src/memory/guest_memory.h /root/repo/src/crypto/xex.h \
- /root/repo/src/crypto/aes128.h /root/repo/src/memory/rmp.h \
- /root/repo/src/psp/attestation_report.h /root/repo/src/sim/cost_model.h \
- /root/repo/src/sim/cost_params.h /root/repo/src/sim/time.h \
- /root/repo/src/sim/trace.h /root/repo/src/verifier/boot_verifier.h \
+ /root/repo/src/check/protocol.h /root/repo/src/memory/guest_memory.h \
+ /root/repo/src/crypto/xex.h /root/repo/src/crypto/aes128.h \
+ /root/repo/src/memory/rmp.h /root/repo/src/psp/attestation_report.h \
+ /root/repo/src/sim/cost_model.h /root/repo/src/sim/cost_params.h \
+ /root/repo/src/sim/time.h /root/repo/src/sim/trace.h \
+ /root/repo/src/verifier/boot_verifier.h \
  /root/repo/src/verifier/boot_hashes.h /root/repo/src/vmm/debug_port.h \
  /root/repo/src/vmm/vm_config.h /root/repo/src/workload/kernel_spec.h \
  /root/repo/src/verifier/verifier_binary.h /root/repo/src/vmm/layout.h \

@@ -6,6 +6,7 @@
 # testing this directory and lists subdirectories to be tested as well.
 subdirs("base")
 subdirs("sim")
+subdirs("check")
 subdirs("crypto")
 subdirs("compress")
 subdirs("memory")

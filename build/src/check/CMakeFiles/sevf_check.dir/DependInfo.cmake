@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/check/protocol.cc" "src/check/CMakeFiles/sevf_check.dir/protocol.cc.o" "gcc" "src/check/CMakeFiles/sevf_check.dir/protocol.cc.o.d"
+  "/root/repo/src/check/trace_check.cc" "src/check/CMakeFiles/sevf_check.dir/trace_check.cc.o" "gcc" "src/check/CMakeFiles/sevf_check.dir/trace_check.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sevf_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sevf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/sevf_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/sevf_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sevf_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevf_check.dir/protocol.cc.o"
+  "CMakeFiles/sevf_check.dir/protocol.cc.o.d"
+  "CMakeFiles/sevf_check.dir/trace_check.cc.o"
+  "CMakeFiles/sevf_check.dir/trace_check.cc.o.d"
+  "libsevf_check.a"
+  "libsevf_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevf_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsevf_check.a"
+)

@@ -30,6 +30,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/verifier/CMakeFiles/sevf_verifier.dir/DependInfo.cmake"
   "/root/repo/build/src/vmm/CMakeFiles/sevf_vmm.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/sevf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/sevf_check.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -212,10 +212,11 @@ src/core/CMakeFiles/sevf_core.dir/platform.cc.o: \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/psp/psp.h \
- /root/repo/src/base/rng.h /root/repo/src/crypto/measurement.h \
- /root/repo/src/crypto/sha256.h /root/repo/src/memory/guest_memory.h \
- /root/repo/src/crypto/xex.h /root/repo/src/crypto/aes128.h \
- /root/repo/src/memory/rmp.h /root/repo/src/memory/sev_mode.h \
- /root/repo/src/psp/attestation_report.h /root/repo/src/sim/cost_model.h \
- /root/repo/src/compress/codec.h /root/repo/src/sim/cost_params.h \
- /root/repo/src/sim/time.h /root/repo/src/sim/trace.h
+ /root/repo/src/base/rng.h /root/repo/src/check/protocol.h \
+ /root/repo/src/crypto/measurement.h /root/repo/src/crypto/sha256.h \
+ /root/repo/src/memory/guest_memory.h /root/repo/src/crypto/xex.h \
+ /root/repo/src/crypto/aes128.h /root/repo/src/memory/rmp.h \
+ /root/repo/src/memory/sev_mode.h /root/repo/src/psp/attestation_report.h \
+ /root/repo/src/sim/cost_model.h /root/repo/src/compress/codec.h \
+ /root/repo/src/sim/cost_params.h /root/repo/src/sim/time.h \
+ /root/repo/src/sim/trace.h

@@ -214,13 +214,13 @@ src/core/CMakeFiles/sevf_core.dir/warm_pool.cc.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/psp/psp.h \
- /root/repo/src/base/rng.h /root/repo/src/crypto/measurement.h \
- /root/repo/src/crypto/sha256.h /root/repo/src/memory/guest_memory.h \
- /root/repo/src/crypto/xex.h /root/repo/src/crypto/aes128.h \
- /root/repo/src/memory/rmp.h /root/repo/src/psp/attestation_report.h \
- /root/repo/src/sim/cost_model.h /root/repo/src/sim/cost_params.h \
- /root/repo/src/sim/time.h /root/repo/src/sim/trace.h \
- /root/repo/src/verifier/boot_verifier.h \
+ /root/repo/src/base/rng.h /root/repo/src/check/protocol.h \
+ /root/repo/src/crypto/measurement.h /root/repo/src/crypto/sha256.h \
+ /root/repo/src/memory/guest_memory.h /root/repo/src/crypto/xex.h \
+ /root/repo/src/crypto/aes128.h /root/repo/src/memory/rmp.h \
+ /root/repo/src/psp/attestation_report.h /root/repo/src/sim/cost_model.h \
+ /root/repo/src/sim/cost_params.h /root/repo/src/sim/time.h \
+ /root/repo/src/sim/trace.h /root/repo/src/verifier/boot_verifier.h \
  /root/repo/src/verifier/boot_hashes.h /root/repo/src/vmm/debug_port.h \
  /root/repo/src/vmm/vm_config.h /root/repo/src/workload/kernel_spec.h \
  /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \

@@ -21,6 +21,8 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/image/CMakeFiles/sevf_image.dir/DependInfo.cmake"
   "/root/repo/build/src/memory/CMakeFiles/sevf_memory.dir/DependInfo.cmake"
   "/root/repo/build/src/psp/CMakeFiles/sevf_psp.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/sevf_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sevf_sim.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

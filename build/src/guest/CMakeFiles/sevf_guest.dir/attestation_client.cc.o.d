@@ -215,6 +215,6 @@ src/guest/CMakeFiles/sevf_guest.dir/attestation_client.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/crypto/xex.h \
  /root/repo/src/crypto/aes128.h /root/repo/src/memory/rmp.h \
  /root/repo/src/memory/sev_mode.h /root/repo/src/psp/psp.h \
- /root/repo/src/crypto/measurement.h \
+ /root/repo/src/check/protocol.h /root/repo/src/crypto/measurement.h \
  /root/repo/src/psp/attestation_report.h /root/repo/src/base/bytes.h \
  /root/repo/src/crypto/dh.h /root/repo/src/crypto/seal.h

@@ -16,8 +16,11 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/base/CMakeFiles/sevf_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/sevf_check.dir/DependInfo.cmake"
   "/root/repo/build/src/crypto/CMakeFiles/sevf_crypto.dir/DependInfo.cmake"
   "/root/repo/build/src/memory/CMakeFiles/sevf_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sevf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/sevf_compress.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

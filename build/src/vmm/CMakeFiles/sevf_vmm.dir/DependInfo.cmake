@@ -24,6 +24,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/sim/CMakeFiles/sevf_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/verifier/CMakeFiles/sevf_verifier.dir/DependInfo.cmake"
   "/root/repo/build/src/psp/CMakeFiles/sevf_psp.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/sevf_check.dir/DependInfo.cmake"
   "/root/repo/build/src/compress/CMakeFiles/sevf_compress.dir/DependInfo.cmake"
   "/root/repo/build/src/crypto/CMakeFiles/sevf_crypto.dir/DependInfo.cmake"
   )

@@ -303,4 +303,4 @@ tests/CMakeFiles/attest_test.dir/attest_test.cc.o: \
  /root/repo/src/memory/guest_memory.h /root/repo/src/crypto/xex.h \
  /root/repo/src/crypto/aes128.h /root/repo/src/memory/rmp.h \
  /root/repo/src/memory/sev_mode.h /root/repo/src/psp/psp.h \
- /root/repo/src/psp/attestation_report.h
+ /root/repo/src/check/protocol.h /root/repo/src/psp/attestation_report.h

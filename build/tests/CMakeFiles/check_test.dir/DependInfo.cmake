@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/check_test.cc" "tests/CMakeFiles/check_test.dir/check_test.cc.o" "gcc" "tests/CMakeFiles/check_test.dir/check_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sevf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/firmware/CMakeFiles/sevf_firmware.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sevf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/sevf_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/sevf_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/sevf_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sevf_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/attest/CMakeFiles/sevf_attest.dir/DependInfo.cmake"
+  "/root/repo/build/src/psp/CMakeFiles/sevf_psp.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/sevf_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sevf_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sevf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/sevf_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/sevf_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sevf_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sevf_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -303,7 +303,7 @@ tests/CMakeFiles/guest_test.dir/guest_test.cc.o: \
  /root/repo/src/memory/guest_memory.h /root/repo/src/crypto/xex.h \
  /root/repo/src/crypto/aes128.h /root/repo/src/memory/rmp.h \
  /root/repo/src/memory/sev_mode.h /root/repo/src/psp/psp.h \
- /root/repo/src/psp/attestation_report.h \
+ /root/repo/src/check/protocol.h /root/repo/src/psp/attestation_report.h \
  /root/repo/src/guest/bootstrap_loader.h /root/repo/src/compress/codec.h \
  /root/repo/src/image/bzimage.h /root/repo/src/image/elf.h \
  /root/repo/src/workload/synthetic.h \

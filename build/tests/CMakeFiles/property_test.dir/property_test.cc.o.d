@@ -302,7 +302,8 @@ tests/CMakeFiles/property_test.dir/property_test.cc.o: \
  /root/repo/src/crypto/xex.h /root/repo/src/crypto/aes128.h \
  /root/repo/src/memory/rmp.h /root/repo/src/memory/sev_mode.h \
  /root/repo/src/memory/page_table.h /root/repo/src/psp/psp.h \
- /root/repo/src/psp/attestation_report.h /root/repo/src/psp/key_server.h \
- /root/repo/src/sim/des.h /root/repo/src/sim/trace.h \
- /root/repo/src/sim/time.h /root/repo/src/workload/synthetic.h \
+ /root/repo/src/check/protocol.h /root/repo/src/psp/attestation_report.h \
+ /root/repo/src/psp/key_server.h /root/repo/src/sim/des.h \
+ /root/repo/src/sim/trace.h /root/repo/src/sim/time.h \
+ /root/repo/src/workload/synthetic.h \
  /root/repo/src/workload/kernel_spec.h

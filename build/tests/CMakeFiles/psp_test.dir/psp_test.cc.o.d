@@ -300,4 +300,5 @@ tests/CMakeFiles/psp_test.dir/psp_test.cc.o: /root/repo/tests/psp_test.cc \
  /root/repo/src/crypto/xex.h /root/repo/src/crypto/aes128.h \
  /root/repo/src/memory/rmp.h /root/repo/src/memory/sev_mode.h \
  /root/repo/src/psp/attestation_report.h /root/repo/src/psp/key_server.h \
- /root/repo/src/psp/psp.h /root/repo/src/base/rng.h
+ /root/repo/src/psp/psp.h /root/repo/src/base/rng.h \
+ /root/repo/src/check/protocol.h

@@ -300,9 +300,10 @@ tests/CMakeFiles/verifier_test.dir/verifier_test.cc.o: \
  /root/repo/src/crypto/xex.h /root/repo/src/crypto/aes128.h \
  /root/repo/src/memory/rmp.h /root/repo/src/memory/sev_mode.h \
  /root/repo/src/image/elf.h /root/repo/src/psp/psp.h \
- /root/repo/src/base/rng.h /root/repo/src/crypto/measurement.h \
- /root/repo/src/crypto/sha256.h /root/repo/src/psp/attestation_report.h \
- /root/repo/src/psp/key_server.h /root/repo/src/verifier/boot_verifier.h \
+ /root/repo/src/base/rng.h /root/repo/src/check/protocol.h \
+ /root/repo/src/crypto/measurement.h /root/repo/src/crypto/sha256.h \
+ /root/repo/src/psp/attestation_report.h /root/repo/src/psp/key_server.h \
+ /root/repo/src/verifier/boot_verifier.h \
  /root/repo/src/verifier/boot_hashes.h \
  /root/repo/src/verifier/verifier_binary.h /root/repo/src/vmm/fw_cfg.h \
  /root/repo/src/vmm/layout.h /root/repo/src/vmm/microvm.h \

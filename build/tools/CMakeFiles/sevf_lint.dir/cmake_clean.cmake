@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sevf_lint.dir/sevf_lint.cc.o"
+  "CMakeFiles/sevf_lint.dir/sevf_lint.cc.o.d"
+  "sevf_lint"
+  "sevf_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sevf_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

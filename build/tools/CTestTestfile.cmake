@@ -4,3 +4,7 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(sevf_lint "/root/repo/build/tools/sevf_lint" "--root" "/root/repo/src")
+set_tests_properties(sevf_lint PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sevf_lint_selftest "/root/repo/build/tools/sevf_lint" "--selftest" "/root/repo/tests/lint_fixture")
+set_tests_properties(sevf_lint_selftest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -4,7 +4,8 @@
  *
  * The project avoids exceptions on the boot path (the real SEVeriFast boot
  * verifier is a no_std Rust binary); errors are explicit values that callers
- * must inspect.
+ * must inspect. Both types are [[nodiscard]]: silently dropping an error on
+ * the boot path is a compile error under -Werror (the default).
  */
 #ifndef SEVF_BASE_STATUS_H_
 #define SEVF_BASE_STATUS_H_
@@ -33,10 +34,23 @@ enum class ErrorCode {
 /** Human-readable name for an ErrorCode. */
 const char *errorCodeName(ErrorCode code);
 
+class Status;
+
+/**
+ * Tag type returned by Status::ok(). Implicitly converts to an OK Status,
+ * so `return Status::ok();` keeps working in Status-returning functions —
+ * but Result<T> deletes its OkStatus constructor, so
+ * `return Status::ok();` in a Result-returning function (always a bug:
+ * return the value instead) fails at compile time.
+ */
+struct [[nodiscard]] OkStatus {
+    operator Status() const; // implicit by design
+};
+
 /**
  * Outcome of an operation: kOk or an error code with a message.
  */
-class Status
+class [[nodiscard]] Status
 {
   public:
     /** Constructs an OK status. */
@@ -47,7 +61,7 @@ class Status
     {
     }
 
-    static Status ok() { return Status(); }
+    static OkStatus ok() { return {}; }
 
     bool isOk() const { return code_ == ErrorCode::kOk; }
     ErrorCode code() const { return code_; }
@@ -61,12 +75,19 @@ class Status
     std::string message_;
 };
 
+inline OkStatus::operator Status() const
+{
+    return Status();
+}
+
 /**
  * A value or an error. Dereferencing a failed Result panics, so callers
- * must test ok() (or use valueOr) first.
+ * must test ok() (or use valueOr) first. take() consumes the value: the
+ * Result holds an explicit kInvalidState error afterwards, so a
+ * double-take panics instead of silently yielding a moved-from value.
  */
 template <typename T>
-class Result
+class [[nodiscard]] Result
 {
   public:
     /** Success. Implicit so `return value;` works. */
@@ -76,9 +97,25 @@ class Result
     {
         SEVF_CHECK(!status_.isOk());
     }
+    /**
+     * `return Status::ok();` from a Result-returning function is a bug
+     * (return the value instead); reject it at compile time.
+     */
+    Result(OkStatus) = delete;
 
     bool isOk() const { return value_.has_value(); }
     const Status &status() const { return status_; }
+
+    /**
+     * The error, or @p fallback when this Result holds a value. Never
+     * panics, unlike value()/take(): the explicit way to propagate or
+     * inspect the error path without a prior isOk() test.
+     */
+    Status
+    errorOr(Status fallback) const
+    {
+        return value_ ? std::move(fallback) : status_;
+    }
 
     /** The contained value; panics if this Result holds an error. */
     const T &
@@ -99,14 +136,22 @@ class Result
         return *value_;
     }
 
-    /** Moves the value out; panics on error. */
+    /**
+     * Moves the value out; panics on error. The Result is left holding a
+     * kInvalidState error, so the moved-from path is explicit: a second
+     * take()/value() panics rather than returning a hollow value.
+     */
     T
     take()
     {
         if (!value_) {
             panic("Result::take() on error: ", status_.toString());
         }
-        return std::move(*value_);
+        T out = std::move(*value_);
+        value_.reset();
+        status_ = Status(ErrorCode::kInvalidState,
+                         "Result value already taken");
+        return out;
     }
 
     /** The value, or @p fallback if this Result holds an error. */
@@ -183,6 +228,27 @@ errResourceExhausted(std::string msg)
             return sevf_status_;                                             \
         }                                                                    \
     } while (0)
+
+#define SEVF_STATUS_CONCAT_INNER_(a, b) a##b
+#define SEVF_STATUS_CONCAT_(a, b) SEVF_STATUS_CONCAT_INNER_(a, b)
+
+/**
+ * Evaluate @p expr (a Result<T>); on error return its Status from the
+ * current function, otherwise move the value into @p lhs:
+ *
+ *     SEVF_ASSIGN_OR_RETURN(auto header, parseHeader(bytes));
+ *     SEVF_ASSIGN_OR_RETURN(existing_var, mem.hostRead(gpa, len));
+ */
+#define SEVF_ASSIGN_OR_RETURN(lhs, expr)                                     \
+    SEVF_ASSIGN_OR_RETURN_IMPL_(                                             \
+        SEVF_STATUS_CONCAT_(sevf_result_, __LINE__), lhs, expr)
+
+#define SEVF_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr)                       \
+    auto result = (expr);                                                    \
+    if (!result.isOk()) {                                                    \
+        return result.status();                                              \
+    }                                                                        \
+    lhs = result.take()
 
 } // namespace sevf
 

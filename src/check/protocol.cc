@@ -1,0 +1,111 @@
+#include "check/protocol.h"
+
+#include <string>
+
+namespace sevf::check {
+
+const char *
+pspCommandName(PspCommand cmd)
+{
+    switch (cmd) {
+      case PspCommand::kLaunchStart: return "LAUNCH_START";
+      case PspCommand::kLaunchUpdateData: return "LAUNCH_UPDATE_DATA";
+      case PspCommand::kLaunchUpdateVmsa: return "LAUNCH_UPDATE_VMSA";
+      case PspCommand::kLaunchMeasure: return "LAUNCH_MEASURE";
+      case PspCommand::kLaunchFinish: return "LAUNCH_FINISH";
+      case PspCommand::kReportRequest: return "REPORT_REQ";
+    }
+    return "unknown";
+}
+
+namespace {
+
+std::string
+describe(PspCommand cmd, u32 handle)
+{
+    return std::string(pspCommandName(cmd)) + " for guest " +
+           std::to_string(handle);
+}
+
+} // namespace
+
+Status
+LaunchProtocol::command(PspCommand cmd, u32 handle)
+{
+    if (cmd == PspCommand::kLaunchStart) {
+        if (handle == 0) {
+            return errInvalidArgument("LAUNCH_START with null guest handle");
+        }
+        auto [it, inserted] = guests_.try_emplace(handle);
+        (void)it;
+        if (!inserted) {
+            return errInvalidState(describe(cmd, handle) +
+                                   ": handle already launched");
+        }
+        return Status::ok();
+    }
+
+    auto it = guests_.find(handle);
+    if (it == guests_.end()) {
+        return errNotFound(describe(cmd, handle) + ": no LAUNCH_START");
+    }
+    Guest &guest = it->second;
+
+    switch (cmd) {
+      case PspCommand::kLaunchStart:
+        break; // handled above
+      case PspCommand::kLaunchUpdateData:
+      case PspCommand::kLaunchUpdateVmsa:
+        if (guest.finished) {
+            return errInvalidState(describe(cmd, handle) +
+                                   ": update after LAUNCH_FINISH");
+        }
+        ++guest.updates;
+        return Status::ok();
+      case PspCommand::kLaunchMeasure:
+        if (guest.updates == 0) {
+            return errInvalidState(describe(cmd, handle) +
+                                   ": measure before any LAUNCH_UPDATE");
+        }
+        return Status::ok();
+      case PspCommand::kLaunchFinish:
+        if (guest.finished) {
+            return errInvalidState(describe(cmd, handle) +
+                                   ": double LAUNCH_FINISH");
+        }
+        guest.finished = true;
+        return Status::ok();
+      case PspCommand::kReportRequest:
+        if (!guest.finished) {
+            return errInvalidState(describe(cmd, handle) +
+                                   ": report before LAUNCH_FINISH");
+        }
+        return Status::ok();
+    }
+    return errInvalidArgument("unknown PSP command");
+}
+
+Status
+checkCommandLog(const std::vector<CommandRecord> &records)
+{
+    LaunchProtocol protocol;
+    for (size_t i = 0; i < records.size(); ++i) {
+        const CommandRecord &rec = records[i];
+        if (!rec.accepted) {
+            // Rejected commands never mutate device state. The device may
+            // reject protocol-legal commands for non-protocol reasons
+            // (ASID mismatch, bad bounds, unsupported SEV mode).
+            continue;
+        }
+        Status legal = protocol.command(rec.cmd, rec.handle);
+        if (!legal.isOk()) {
+            return errIntegrity(
+                "command log record " + std::to_string(i) +
+                ": device accepted a protocol-illegal command: " +
+                legal.message());
+        }
+    }
+    return Status::ok();
+}
+
+} // namespace sevf::check

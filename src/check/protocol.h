@@ -1,0 +1,104 @@
+/**
+ * @file
+ * SNP launch-protocol conformance checking.
+ *
+ * "Formal Security Analysis of the AMD SEV-SNP Software Interface" shows
+ * the launch command ordering itself is security-critical: a
+ * LAUNCH_UPDATE accepted after LAUNCH_FINISH lets the host extend the
+ * guest behind the attested measurement. This module encodes the GCTX
+ * launch state machine
+ *
+ *     LAUNCH_START -> (UPDATE_DATA | UPDATE_VMSA)* -> MEASURE
+ *                  -> FINISH -> report
+ *
+ * as an explicit automaton, independent of the Psp device model, so the
+ * two can be checked against each other: the Psp records every command
+ * it handles (accepted or rejected) in a CommandLog, a live monitor
+ * panics the moment the device model accepts a protocol-illegal
+ * command, and checkCommandLog() replays recorded sequences offline.
+ */
+#ifndef SEVF_CHECK_PROTOCOL_H_
+#define SEVF_CHECK_PROTOCOL_H_
+
+#include <map>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+
+namespace sevf::check {
+
+/** The PSP launch-flow commands the automaton models. */
+enum class PspCommand {
+    kLaunchStart,      //!< SNP_LAUNCH_START (fresh or shared key)
+    kLaunchUpdateData, //!< SNP_LAUNCH_UPDATE, page type NORMAL
+    kLaunchUpdateVmsa, //!< SNP_LAUNCH_UPDATE, page type VMSA
+    kLaunchMeasure,    //!< LAUNCH_MEASURE digest query
+    kLaunchFinish,     //!< SNP_LAUNCH_FINISH
+    kReportRequest,    //!< MSG_REPORT_REQ from the guest
+};
+
+const char *pspCommandName(PspCommand cmd);
+
+/** One PSP command as the device model handled it. */
+struct CommandRecord {
+    PspCommand cmd;
+    u32 handle;    //!< guest handle (0 when a LAUNCH_START was rejected)
+    bool accepted; //!< the device model's verdict
+    ErrorCode code; //!< device status code (kOk when accepted)
+};
+
+/** Append-only record of the commands one Psp instance handled. */
+class CommandLog
+{
+  public:
+    void
+    record(PspCommand cmd, u32 handle, const Status &verdict)
+    {
+        records_.push_back({cmd, handle, verdict.isOk(), verdict.code()});
+    }
+
+    const std::vector<CommandRecord> &records() const { return records_; }
+    void clear() { records_.clear(); }
+
+  private:
+    std::vector<CommandRecord> records_;
+};
+
+/**
+ * The launch automaton itself: tracks per-guest protocol state and
+ * answers, for each command, "is this legal now?". command() advances
+ * the state only when the command is legal; an illegal command returns
+ * kInvalidState (or kNotFound for an unknown handle) and leaves the
+ * automaton unchanged, mirroring a real PSP rejecting the mailbox call.
+ */
+class LaunchProtocol
+{
+  public:
+    /** Validate @p cmd against @p handle's state; advance on success. */
+    Status command(PspCommand cmd, u32 handle);
+
+    /** Number of guests the automaton has seen LAUNCH_START for. */
+    u64 guestCount() const { return guests_.size(); }
+
+  private:
+    struct Guest {
+        bool finished = false;
+        u64 updates = 0;
+    };
+
+    std::map<u32, Guest> guests_;
+};
+
+/**
+ * Offline conformance check: replay @p records against a fresh
+ * automaton and fail on the first command the device model accepted
+ * that the protocol forbids. Commands the device rejected are allowed
+ * to be protocol-legal (the device also validates ASIDs, bounds, and
+ * SEV modes, which the automaton deliberately does not model).
+ */
+Status checkCommandLog(const std::vector<CommandRecord> &records);
+
+} // namespace sevf::check
+
+#endif // SEVF_CHECK_PROTOCOL_H_

@@ -1,0 +1,107 @@
+#include "check/trace_check.h"
+
+#include <array>
+#include <string>
+#include <string_view>
+
+namespace sevf::check {
+
+namespace {
+
+/** The paper's boot phases in the order a launch traverses them. */
+constexpr std::array<const char *, 7> kCanonicalPhases = {
+    sim::phase::kVmm,           sim::phase::kPreEncryption,
+    sim::phase::kFirmware,      sim::phase::kBootVerification,
+    sim::phase::kBootstrapLoader, sim::phase::kLinuxBoot,
+    sim::phase::kAttestation,
+};
+
+int
+phaseRank(std::string_view phase)
+{
+    for (size_t i = 0; i < kCanonicalPhases.size(); ++i) {
+        if (phase == kCanonicalPhases[i]) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+} // namespace
+
+Status
+checkPhaseOrder(const sim::BootTrace &trace)
+{
+    // Launches legitimately return to an earlier phase for bookkeeping
+    // steps (LAUNCH_FINISH and page pinning are charged to "vmm" after
+    // pre-encryption), so the invariant is on first appearances: a
+    // phase may not *begin* after a canonically later phase has begun.
+    std::array<bool, kCanonicalPhases.size()> seen{};
+    int max_first_rank = -1;
+    for (const sim::Step &step : trace.steps()) {
+        int rank = phaseRank(step.phase);
+        if (rank < 0) {
+            return errIntegrity("trace: unknown phase '" + step.phase +
+                                "' (label '" + step.label + "')");
+        }
+        if (seen[rank]) {
+            continue;
+        }
+        if (rank < max_first_rank) {
+            return errIntegrity(
+                "trace: phase '" + step.phase +
+                "' first appears after a canonically later phase");
+        }
+        seen[rank] = true;
+        max_first_rank = rank;
+    }
+    return Status::ok();
+}
+
+Status
+checkLaunchOrder(const sim::BootTrace &trace)
+{
+    bool started = false;
+    bool finished = false;
+    for (const sim::Step &step : trace.steps()) {
+        std::string_view label = step.label;
+        if (label == "sev_launch_start" ||
+            label == "sev_launch_start_shared_key") {
+            if (started) {
+                return errIntegrity("trace: second LAUNCH_START");
+            }
+            started = true;
+        } else if (label.substr(0, 14) == "launch_update:") {
+            if (!started) {
+                return errIntegrity(
+                    "trace: LAUNCH_UPDATE before LAUNCH_START");
+            }
+            if (finished) {
+                return errIntegrity(
+                    "trace: LAUNCH_UPDATE after LAUNCH_FINISH");
+            }
+        } else if (label == "sev_launch_finish") {
+            if (!started) {
+                return errIntegrity(
+                    "trace: LAUNCH_FINISH before LAUNCH_START");
+            }
+            if (finished) {
+                return errIntegrity("trace: double LAUNCH_FINISH");
+            }
+            finished = true;
+        }
+    }
+    if (started && !finished) {
+        return errIntegrity("trace: LAUNCH_START without LAUNCH_FINISH");
+    }
+    return Status::ok();
+}
+
+Status
+checkTrace(const sim::BootTrace &trace)
+{
+    SEVF_RETURN_IF_ERROR(checkPhaseOrder(trace));
+    return checkLaunchOrder(trace);
+}
+
+} // namespace sevf::check

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Offline conformance checks over recorded sim::BootTrace sequences.
+ *
+ * A BootTrace is the timing record of one VM launch; its step labels
+ * name the PSP commands the launch issued and its phases follow the
+ * paper's boot-time breakdown. Two invariants are machine-checkable
+ * after the fact:
+ *
+ *  - checkPhaseOrder: phases appear in the paper's canonical boot
+ *    order (a launch never returns to pre-encryption after the guest
+ *    kernel started), and every step uses a known phase label.
+ *  - checkLaunchOrder: the PSP launch commands embedded in the step
+ *    labels respect the GCTX state machine (no update after finish,
+ *    no update or finish before start, at most one start/finish).
+ */
+#ifndef SEVF_CHECK_TRACE_CHECK_H_
+#define SEVF_CHECK_TRACE_CHECK_H_
+
+#include "base/status.h"
+#include "sim/trace.h"
+
+namespace sevf::check {
+
+/** Phases of @p trace follow the canonical paper ordering. */
+Status checkPhaseOrder(const sim::BootTrace &trace);
+
+/** PSP launch-command labels in @p trace respect the GCTX automaton. */
+Status checkLaunchOrder(const sim::BootTrace &trace);
+
+/** Both trace checks; the conformance entry point for recorded boots. */
+Status checkTrace(const sim::BootTrace &trace);
+
+} // namespace sevf::check
+
+#endif // SEVF_CHECK_TRACE_CHECK_H_

@@ -22,26 +22,17 @@ writeHeader(ByteWriter &w, CodecKind kind, u64 decompressed_size)
 Result<Header>
 readHeader(ByteReader &r)
 {
-    Result<ByteVec> magic = r.bytes(4);
-    if (!magic.isOk()) {
-        return magic.status();
-    }
-    if (!std::equal(magic->begin(), magic->end(), kMagic)) {
+    SEVF_ASSIGN_OR_RETURN(ByteVec magic, r.bytes(4));
+    if (!std::equal(magic.begin(), magic.end(), kMagic)) {
         return errCorrupted("bad compression frame magic");
     }
-    Result<u8> kind = r.u8le();
-    if (!kind.isOk()) {
-        return kind.status();
-    }
-    if (*kind > static_cast<u8>(CodecKind::kGzipLite)) {
+    SEVF_ASSIGN_OR_RETURN(u8 kind, r.u8le());
+    if (kind > static_cast<u8>(CodecKind::kGzipLite)) {
         return errCorrupted("unknown codec kind in frame header");
     }
     SEVF_RETURN_IF_ERROR(r.skip(3));
-    Result<u64> size = r.u64le();
-    if (!size.isOk()) {
-        return size.status();
-    }
-    return Header{static_cast<CodecKind>(*kind), *size};
+    SEVF_ASSIGN_OR_RETURN(u64 size, r.u64le());
+    return Header{static_cast<CodecKind>(kind), size};
 }
 
 } // namespace detail
@@ -62,22 +53,16 @@ Result<u64>
 Codec::decompressedSize(ByteSpan stream)
 {
     ByteReader r(stream);
-    Result<detail::Header> h = detail::readHeader(r);
-    if (!h.isOk()) {
-        return h.status();
-    }
-    return h->decompressed_size;
+    SEVF_ASSIGN_OR_RETURN(detail::Header h, detail::readHeader(r));
+    return h.decompressed_size;
 }
 
 Result<CodecKind>
 Codec::streamKind(ByteSpan stream)
 {
     ByteReader r(stream);
-    Result<detail::Header> h = detail::readHeader(r);
-    if (!h.isOk()) {
-        return h.status();
-    }
-    return h->kind;
+    SEVF_ASSIGN_OR_RETURN(detail::Header h, detail::readHeader(r));
+    return h.kind;
 }
 
 namespace {
@@ -101,14 +86,11 @@ class NoneCodec : public Codec
     decompress(ByteSpan stream) const override
     {
         ByteReader r(stream);
-        Result<detail::Header> h = detail::readHeader(r);
-        if (!h.isOk()) {
-            return h.status();
-        }
-        if (h->kind != CodecKind::kNone) {
+        SEVF_ASSIGN_OR_RETURN(detail::Header h, detail::readHeader(r));
+        if (h.kind != CodecKind::kNone) {
             return errCorrupted("frame is not a 'none' stream");
         }
-        if (h->decompressed_size != r.remaining()) {
+        if (h.decompressed_size != r.remaining()) {
             return errCorrupted("'none' frame size mismatch");
         }
         return r.bytes(r.remaining());

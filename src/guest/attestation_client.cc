@@ -23,32 +23,24 @@ runAttestation(psp::Psp &psp, psp::GuestHandle handle,
 
     // Step 5-6: the PSP signs a report binding our public key to the
     // launch measurement and places it in guest memory.
-    Result<psp::AttestationReport> report =
-        psp.guestRequestReport(handle, rdata);
-    if (!report.isOk()) {
-        return report.status();
-    }
+    SEVF_ASSIGN_OR_RETURN(psp::AttestationReport report,
+                          psp.guestRequestReport(handle, rdata));
 
     // Step 7: report travels over the (untrusted) network to the owner.
-    Result<attest::ProvisionResponse> resp =
-        owner.handleReport(report->serialize());
-    if (!resp.isOk()) {
-        return resp.status();
-    }
+    SEVF_ASSIGN_OR_RETURN(attest::ProvisionResponse resp,
+                          owner.handleReport(report.serialize()));
 
     // Step 8: unwrap with the private exponent that never left
     // encrypted memory.
     crypto::Sha256Digest channel = crypto::dhSharedKey(
-        guest_key.private_exponent, resp->owner_dh_public);
-    Result<ByteVec> secret = crypto::open(channel, resp->sealed_secret);
-    if (!secret.isOk()) {
-        return secret.status();
-    }
+        guest_key.private_exponent, resp.owner_dh_public);
+    SEVF_ASSIGN_OR_RETURN(ByteVec secret,
+                          crypto::open(channel, resp.sealed_secret));
 
-    SEVF_RETURN_IF_ERROR(mem.guestWrite(secret_dest, *secret, true));
+    SEVF_RETURN_IF_ERROR(mem.guestWrite(secret_dest, secret, true));
     AttestationOutcome out;
     out.secret_gpa = secret_dest;
-    out.secret_size = secret->size();
+    out.secret_size = secret.size();
     return out;
 }
 

@@ -46,35 +46,21 @@ Result<LoadedKernel>
 runBootstrapLoader(memory::GuestMemory &mem, Gpa bzimage_gpa, u64 size,
                    bool c_bit, const KaslrConfig &kaslr)
 {
-    Result<ByteVec> file = mem.guestRead(bzimage_gpa, size, c_bit);
-    if (!file.isOk()) {
-        return file.status();
-    }
+    SEVF_ASSIGN_OR_RETURN(ByteVec file,
+                          mem.guestRead(bzimage_gpa, size, c_bit));
 
-    Result<image::BzImageInfo> info = image::parseBzImage(*file);
-    if (!info.isOk()) {
-        return info.status();
-    }
-    Result<ByteVec> vmlinux = image::extractVmlinux(*file);
-    if (!vmlinux.isOk()) {
-        return vmlinux.status();
-    }
-    Result<image::ElfImage> elf = image::parseElf(*vmlinux);
-    if (!elf.isOk()) {
-        return elf.status();
-    }
+    SEVF_ASSIGN_OR_RETURN(image::BzImageInfo info, image::parseBzImage(file));
+    SEVF_ASSIGN_OR_RETURN(ByteVec vmlinux, image::extractVmlinux(file));
+    SEVF_ASSIGN_OR_RETURN(image::ElfImage elf, image::parseElf(vmlinux));
     u64 slide = pickSlide(kaslr);
-    Result<u64> loaded = placeSegments(mem, *elf, c_bit, slide);
-    if (!loaded.isOk()) {
-        return loaded.status();
-    }
+    SEVF_ASSIGN_OR_RETURN(u64 loaded, placeSegments(mem, elf, c_bit, slide));
 
     LoadedKernel out;
-    out.entry = elf->entry + slide;
-    out.decompressed_bytes = vmlinux->size();
-    out.loaded_bytes = *loaded;
+    out.entry = elf.entry + slide;
+    out.decompressed_bytes = vmlinux.size();
+    out.loaded_bytes = loaded;
     out.kaslr_slide = slide;
-    out.codec = info->codec;
+    out.codec = info.codec;
     return out;
 }
 
@@ -82,22 +68,14 @@ Result<LoadedKernel>
 loadVmlinuxAt(memory::GuestMemory &mem, Gpa vmlinux_gpa, u64 size,
               bool c_bit)
 {
-    Result<ByteVec> file = mem.guestRead(vmlinux_gpa, size, c_bit);
-    if (!file.isOk()) {
-        return file.status();
-    }
-    Result<image::ElfImage> elf = image::parseElf(*file);
-    if (!elf.isOk()) {
-        return elf.status();
-    }
-    Result<u64> loaded = placeSegments(mem, *elf, c_bit);
-    if (!loaded.isOk()) {
-        return loaded.status();
-    }
+    SEVF_ASSIGN_OR_RETURN(ByteVec file,
+                          mem.guestRead(vmlinux_gpa, size, c_bit));
+    SEVF_ASSIGN_OR_RETURN(image::ElfImage elf, image::parseElf(file));
+    SEVF_ASSIGN_OR_RETURN(u64 loaded, placeSegments(mem, elf, c_bit));
     LoadedKernel out;
-    out.entry = elf->entry;
+    out.entry = elf.entry;
     out.decompressed_bytes = size;
-    out.loaded_bytes = *loaded;
+    out.loaded_bytes = loaded;
     return out;
 }
 

@@ -114,26 +114,17 @@ parseBzImage(ByteSpan file)
 Result<ByteSpan>
 bzImagePayload(ByteSpan file)
 {
-    Result<BzImageInfo> info = parseBzImage(file);
-    if (!info.isOk()) {
-        return info.status();
-    }
-    return file.subspan(info->pm_offset + info->payload_offset,
-                        info->payload_length);
+    SEVF_ASSIGN_OR_RETURN(BzImageInfo info, parseBzImage(file));
+    return file.subspan(info.pm_offset + info.payload_offset,
+                        info.payload_length);
 }
 
 Result<ByteVec>
 extractVmlinux(ByteSpan file)
 {
-    Result<BzImageInfo> info = parseBzImage(file);
-    if (!info.isOk()) {
-        return info.status();
-    }
-    Result<ByteSpan> payload = bzImagePayload(file);
-    if (!payload.isOk()) {
-        return payload.status();
-    }
-    return compress::codecFor(info->codec).decompress(*payload);
+    SEVF_ASSIGN_OR_RETURN(BzImageInfo info, parseBzImage(file));
+    SEVF_ASSIGN_OR_RETURN(ByteSpan payload, bzImagePayload(file));
+    return compress::codecFor(info.codec).decompress(payload);
 }
 
 } // namespace sevf::image

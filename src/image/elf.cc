@@ -149,38 +149,32 @@ parseElfPhdr(ByteSpan phdr)
 Result<ElfImage>
 parseElf(ByteSpan file)
 {
-    Result<ElfLayout> layout = parseElfHeader(file);
-    if (!layout.isOk()) {
-        return layout.status();
-    }
-    if (layout->phoff + static_cast<u64>(layout->phnum) * kPhdrSize >
+    SEVF_ASSIGN_OR_RETURN(ElfLayout layout, parseElfHeader(file));
+    if (layout.phoff + static_cast<u64>(layout.phnum) * kPhdrSize >
         file.size()) {
         return errCorrupted("elf: phdr table past end of file");
     }
 
     ElfImage image;
-    image.entry = layout->entry;
-    for (u16 i = 0; i < layout->phnum; ++i) {
-        Result<ElfPhdr> p =
-            parseElfPhdr(file.subspan(layout->phoff + i * kPhdrSize));
-        if (!p.isOk()) {
-            return p.status();
-        }
-        if (p->type != kPtLoad) {
+    image.entry = layout.entry;
+    for (u16 i = 0; i < layout.phnum; ++i) {
+        SEVF_ASSIGN_OR_RETURN(
+            ElfPhdr p, parseElfPhdr(file.subspan(layout.phoff + i * kPhdrSize)));
+        if (p.type != kPtLoad) {
             continue;
         }
-        if (p->offset + p->filesz > file.size()) {
+        if (p.offset + p.filesz > file.size()) {
             return errCorrupted("elf: segment data past end of file");
         }
-        if (p->memsz < p->filesz) {
+        if (p.memsz < p.filesz) {
             return errCorrupted("elf: memsz smaller than filesz");
         }
         ElfSegment seg;
-        seg.vaddr = p->vaddr;
-        seg.flags = p->flags;
-        seg.memsz = p->memsz;
-        seg.data.assign(file.begin() + p->offset,
-                        file.begin() + p->offset + p->filesz);
+        seg.vaddr = p.vaddr;
+        seg.flags = p.flags;
+        seg.memsz = p.memsz;
+        seg.data.assign(file.begin() + p.offset,
+                        file.begin() + p.offset + p.filesz);
         image.segments.push_back(std::move(seg));
     }
     if (image.segments.empty()) {

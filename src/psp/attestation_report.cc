@@ -32,49 +32,22 @@ AttestationReport::parse(ByteSpan wire)
 {
     ByteReader r(wire);
     AttestationReport rep;
-    Result<u32> version = r.u32le();
-    if (!version.isOk()) {
-        return version.status();
-    }
-    rep.version = *version;
-    Result<u32> id_len = r.u32le();
-    if (!id_len.isOk()) {
-        return id_len.status();
-    }
-    if (*id_len > 256) {
+    SEVF_ASSIGN_OR_RETURN(rep.version, r.u32le());
+    SEVF_ASSIGN_OR_RETURN(u32 id_len, r.u32le());
+    if (id_len > 256) {
         return errCorrupted("report: absurd chip id length");
     }
-    Result<ByteVec> id = r.bytes(*id_len);
-    if (!id.isOk()) {
-        return id.status();
-    }
-    rep.chip_id.assign(id->begin(), id->end());
-    Result<u32> policy = r.u32le();
-    if (!policy.isOk()) {
-        return policy.status();
-    }
-    rep.policy = *policy;
-    Result<u32> asid = r.u32le();
-    if (!asid.isOk()) {
-        return asid.status();
-    }
-    rep.asid = *asid;
+    SEVF_ASSIGN_OR_RETURN(ByteVec id, r.bytes(id_len));
+    rep.chip_id.assign(id.begin(), id.end());
+    SEVF_ASSIGN_OR_RETURN(rep.policy, r.u32le());
+    SEVF_ASSIGN_OR_RETURN(rep.asid, r.u32le());
 
-    Result<ByteVec> meas = r.bytes(rep.measurement.size());
-    if (!meas.isOk()) {
-        return meas.status();
-    }
-    std::copy(meas->begin(), meas->end(), rep.measurement.begin());
-    Result<ByteVec> rdata = r.bytes(rep.report_data.size());
-    if (!rdata.isOk()) {
-        return rdata.status();
-    }
-    std::copy(rdata->begin(), rdata->end(), rep.report_data.begin());
-    Result<ByteVec> sig = r.bytes(rep.signature.size());
-    if (!sig.isOk()) {
-        return sig.status();
-    }
-    std::copy(sig->begin(), sig->end(), rep.signature.begin());
+    SEVF_ASSIGN_OR_RETURN(ByteVec meas, r.bytes(rep.measurement.size()));
+    std::copy(meas.begin(), meas.end(), rep.measurement.begin());
+    SEVF_ASSIGN_OR_RETURN(ByteVec rdata, r.bytes(rep.report_data.size()));
+    std::copy(rdata.begin(), rdata.end(), rep.report_data.begin());
+    SEVF_ASSIGN_OR_RETURN(ByteVec sig, r.bytes(rep.signature.size()));
+    std::copy(sig.begin(), sig.end(), rep.signature.begin());
     if (!r.atEnd()) {
         return errCorrupted("report: trailing bytes");
     }

@@ -49,8 +49,25 @@ Psp::contextFor(GuestHandle handle) const
     return &it->second;
 }
 
+void
+Psp::observe(check::PspCommand cmd, GuestHandle handle,
+             const Status &verdict) const
+{
+    command_log_.record(cmd, handle, verdict);
+    if (verdict.isOk()) {
+        // The device model just accepted this command; the independent
+        // GCTX automaton must agree it was legal, or the root of trust
+        // has a launch-ordering hole.
+        Status legal = protocol_.command(cmd, handle);
+        if (!legal.isOk()) {
+            panic("PSP accepted a protocol-illegal command: ",
+                  legal.message());
+        }
+    }
+}
+
 Result<GuestHandle>
-Psp::launchStart(memory::GuestMemory &mem, u32 policy)
+Psp::doLaunchStart(memory::GuestMemory &mem, u32 policy, bool shared)
 {
     if (mem.sevEnabled()) {
         return errInvalidState("guest memory already has an encryption key");
@@ -59,12 +76,22 @@ Psp::launchStart(memory::GuestMemory &mem, u32 policy)
         return errInvalidArgument("SEV guest needs a non-zero ASID");
     }
 
-    // Generate the per-guest VEK + tweak key and hand the engine to the
-    // memory controller.
-    crypto::Aes128Key vek, tweak;
-    rng_.fill(vek);
-    rng_.fill(tweak);
-    mem.attachEncryption(std::make_unique<crypto::XexCipher>(vek, tweak));
+    if (shared) {
+        if (!shared_key_ready_) {
+            rng_.fill(shared_vek_);
+            rng_.fill(shared_tweak_);
+            shared_key_ready_ = true;
+        }
+        mem.attachEncryption(
+            std::make_unique<crypto::XexCipher>(shared_vek_, shared_tweak_));
+    } else {
+        // Generate the per-guest VEK + tweak key and hand the engine to
+        // the memory controller.
+        crypto::Aes128Key vek, tweak;
+        rng_.fill(vek);
+        rng_.fill(tweak);
+        mem.attachEncryption(std::make_unique<crypto::XexCipher>(vek, tweak));
+    }
 
     GuestHandle handle = next_handle_++;
     GuestContext ctx;
@@ -72,46 +99,36 @@ Psp::launchStart(memory::GuestMemory &mem, u32 policy)
     ctx.policy = policy;
     guests_.emplace(handle, std::move(ctx));
     return handle;
+}
+
+Result<GuestHandle>
+Psp::launchStart(memory::GuestMemory &mem, u32 policy)
+{
+    Result<GuestHandle> r = doLaunchStart(mem, policy, /*shared=*/false);
+    observe(check::PspCommand::kLaunchStart, r.isOk() ? *r : 0,
+            r.errorOr(Status::ok()));
+    return r;
 }
 
 Result<GuestHandle>
 Psp::launchStartShared(memory::GuestMemory &mem, u32 policy)
 {
-    if (mem.sevEnabled()) {
-        return errInvalidState("guest memory already has an encryption key");
-    }
-    if (mem.asid() == 0) {
-        return errInvalidArgument("SEV guest needs a non-zero ASID");
-    }
-    if (!shared_key_ready_) {
-        rng_.fill(shared_vek_);
-        rng_.fill(shared_tweak_);
-        shared_key_ready_ = true;
-    }
-    mem.attachEncryption(
-        std::make_unique<crypto::XexCipher>(shared_vek_, shared_tweak_));
-
-    GuestHandle handle = next_handle_++;
-    GuestContext ctx;
-    ctx.asid = mem.asid();
-    ctx.policy = policy;
-    guests_.emplace(handle, std::move(ctx));
-    return handle;
+    Result<GuestHandle> r = doLaunchStart(mem, policy, /*shared=*/true);
+    observe(check::PspCommand::kLaunchStart, r.isOk() ? *r : 0,
+            r.errorOr(Status::ok()));
+    return r;
 }
 
 Status
-Psp::launchUpdateData(GuestHandle handle, memory::GuestMemory &mem, Gpa gpa,
-                      u64 len)
+Psp::doLaunchUpdateData(GuestHandle handle, memory::GuestMemory &mem, Gpa gpa,
+                        u64 len)
 {
-    Result<GuestContext *> ctx = contextFor(handle);
-    if (!ctx.isOk()) {
-        return ctx.status();
-    }
-    if ((*ctx)->state != LaunchState::kStarted) {
+    SEVF_ASSIGN_OR_RETURN(GuestContext *ctx, contextFor(handle));
+    if (ctx->state != LaunchState::kStarted) {
         return errInvalidState(
             "LAUNCH_UPDATE_DATA after LAUNCH_FINISH is rejected");
     }
-    if ((*ctx)->asid != mem.asid()) {
+    if (ctx->asid != mem.asid()) {
         return errInvalidArgument("guest memory ASID mismatch");
     }
     if (len == 0) {
@@ -120,94 +137,126 @@ Psp::launchUpdateData(GuestHandle handle, memory::GuestMemory &mem, Gpa gpa,
 
     // Measure the plaintext the hypervisor staged, page by page, exactly
     // like the expected-measurement tool will (attest module).
-    Result<ByteVec> plaintext = mem.hostRead(gpa, len);
-    if (!plaintext.isOk()) {
-        return plaintext.status();
-    }
-    (*ctx)->measured_pages += (*ctx)->digest.extendRegion(
-        crypto::MeasuredPageType::kNormal, gpa, *plaintext);
+    SEVF_ASSIGN_OR_RETURN(ByteVec plaintext, mem.hostRead(gpa, len));
+    ctx->measured_pages += ctx->digest.extendRegion(
+        crypto::MeasuredPageType::kNormal, gpa, plaintext);
 
     // Then convert the pages to encrypted guest-owned state.
     return mem.pspEncryptInPlace(gpa, len);
 }
 
 Status
-Psp::launchUpdateVmsa(GuestHandle handle, memory::GuestMemory &mem,
-                      u32 vcpu_index, Gpa vmsa_gpa)
+Psp::doLaunchUpdateVmsa(GuestHandle handle, memory::GuestMemory &mem,
+                        u32 vcpu_index, Gpa vmsa_gpa)
 {
-    Result<GuestContext *> ctx = contextFor(handle);
-    if (!ctx.isOk()) {
-        return ctx.status();
-    }
-    if ((*ctx)->state != LaunchState::kStarted) {
+    SEVF_ASSIGN_OR_RETURN(GuestContext *ctx, contextFor(handle));
+    if (ctx->state != LaunchState::kStarted) {
         return errInvalidState("LAUNCH_UPDATE_VMSA after LAUNCH_FINISH");
     }
     if (!hasEncryptedState(mem.sevMode())) {
         return errUnsupported("VMSA measurement needs SEV-ES or SEV-SNP");
     }
 
-    ByteVec vmsa = synthesizeVmsa(vcpu_index, (*ctx)->policy);
+    ByteVec vmsa = synthesizeVmsa(vcpu_index, ctx->policy);
     SEVF_RETURN_IF_ERROR(mem.hostWrite(vmsa_gpa, vmsa));
 
-    (*ctx)->digest.extend(crypto::MeasuredPageType::kVmsa, vmsa_gpa,
+    ctx->digest.extend(crypto::MeasuredPageType::kVmsa, vmsa_gpa,
                           crypto::Sha256::digest(vmsa));
-    (*ctx)->measured_pages += 1;
+    ctx->measured_pages += 1;
     return mem.pspEncryptInPlace(vmsa_gpa, kPageSize);
+}
+
+Result<crypto::Sha256Digest>
+Psp::doLaunchMeasure(GuestHandle handle) const
+{
+    SEVF_ASSIGN_OR_RETURN(const GuestContext *ctx, contextFor(handle));
+    if (ctx->measured_pages == 0) {
+        // Matches the GCTX automaton: a digest over nothing attests
+        // nothing, so the spec flow always measures after updates.
+        return errInvalidState("LAUNCH_MEASURE before any LAUNCH_UPDATE");
+    }
+    return ctx->digest.value();
+}
+
+Status
+Psp::doLaunchFinish(GuestHandle handle)
+{
+    SEVF_ASSIGN_OR_RETURN(GuestContext *ctx, contextFor(handle));
+    if (ctx->state != LaunchState::kStarted) {
+        return errInvalidState("guest launch already finished");
+    }
+    ctx->state = LaunchState::kFinished;
+    return Status::ok();
+}
+
+Result<AttestationReport>
+Psp::doGuestRequestReport(GuestHandle handle,
+                          const ReportData &report_data) const
+{
+    SEVF_ASSIGN_OR_RETURN(const GuestContext *ctx, contextFor(handle));
+    if (ctx->state != LaunchState::kFinished) {
+        return errInvalidState("report requested before LAUNCH_FINISH");
+    }
+    AttestationReport report;
+    report.chip_id = chip_id_;
+    report.policy = ctx->policy;
+    report.asid = ctx->asid;
+    report.measurement = ctx->digest.value();
+    report.report_data = report_data;
+    report.sign(chip_key_);
+    return report;
+}
+
+Status
+Psp::launchUpdateData(GuestHandle handle, memory::GuestMemory &mem, Gpa gpa,
+                      u64 len)
+{
+    Status s = doLaunchUpdateData(handle, mem, gpa, len);
+    observe(check::PspCommand::kLaunchUpdateData, handle, s);
+    return s;
+}
+
+Status
+Psp::launchUpdateVmsa(GuestHandle handle, memory::GuestMemory &mem,
+                      u32 vcpu_index, Gpa vmsa_gpa)
+{
+    Status s = doLaunchUpdateVmsa(handle, mem, vcpu_index, vmsa_gpa);
+    observe(check::PspCommand::kLaunchUpdateVmsa, handle, s);
+    return s;
 }
 
 Result<crypto::Sha256Digest>
 Psp::launchMeasure(GuestHandle handle) const
 {
-    Result<const GuestContext *> ctx = contextFor(handle);
-    if (!ctx.isOk()) {
-        return ctx.status();
-    }
-    return (*ctx)->digest.value();
+    Result<crypto::Sha256Digest> r = doLaunchMeasure(handle);
+    observe(check::PspCommand::kLaunchMeasure, handle,
+            r.errorOr(Status::ok()));
+    return r;
 }
 
 Status
 Psp::launchFinish(GuestHandle handle)
 {
-    Result<GuestContext *> ctx = contextFor(handle);
-    if (!ctx.isOk()) {
-        return ctx.status();
-    }
-    if ((*ctx)->state != LaunchState::kStarted) {
-        return errInvalidState("guest launch already finished");
-    }
-    (*ctx)->state = LaunchState::kFinished;
-    return Status::ok();
+    Status s = doLaunchFinish(handle);
+    observe(check::PspCommand::kLaunchFinish, handle, s);
+    return s;
 }
 
 Result<AttestationReport>
 Psp::guestRequestReport(GuestHandle handle,
                         const ReportData &report_data) const
 {
-    Result<const GuestContext *> ctx = contextFor(handle);
-    if (!ctx.isOk()) {
-        return ctx.status();
-    }
-    if ((*ctx)->state != LaunchState::kFinished) {
-        return errInvalidState("report requested before LAUNCH_FINISH");
-    }
-    AttestationReport report;
-    report.chip_id = chip_id_;
-    report.policy = (*ctx)->policy;
-    report.asid = (*ctx)->asid;
-    report.measurement = (*ctx)->digest.value();
-    report.report_data = report_data;
-    report.sign(chip_key_);
-    return report;
+    Result<AttestationReport> r = doGuestRequestReport(handle, report_data);
+    observe(check::PspCommand::kReportRequest, handle,
+            r.errorOr(Status::ok()));
+    return r;
 }
 
 Result<u64>
 Psp::measuredPageCount(GuestHandle handle) const
 {
-    Result<const GuestContext *> ctx = contextFor(handle);
-    if (!ctx.isOk()) {
-        return ctx.status();
-    }
-    return (*ctx)->measured_pages;
+    SEVF_ASSIGN_OR_RETURN(const GuestContext *ctx, contextFor(handle));
+    return ctx->measured_pages;
 }
 
 } // namespace sevf::psp

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "base/rng.h"
+#include "check/protocol.h"
 #include "crypto/measurement.h"
 #include "memory/guest_memory.h"
 #include "psp/attestation_report.h"
@@ -113,6 +114,17 @@ class Psp
     /** Number of LAUNCH_UPDATE_DATA pages measured for @p handle. */
     Result<u64> measuredPageCount(GuestHandle handle) const;
 
+    /**
+     * Conformance debug hook: every launch command this PSP handled,
+     * with its verdict, in order. A live check::LaunchProtocol monitor
+     * panics the instant the device model accepts a command the GCTX
+     * automaton forbids, so every test and bench run doubles as a
+     * protocol-conformance run; the log lets tests replay the sequence
+     * through check::checkCommandLog offline.
+     */
+    const check::CommandLog &commandLog() const { return command_log_; }
+    void clearCommandLog() { command_log_.clear(); }
+
   private:
     struct GuestContext {
         LaunchState state = LaunchState::kStarted;
@@ -125,6 +137,21 @@ class Psp
     Result<GuestContext *> contextFor(GuestHandle handle);
     Result<const GuestContext *> contextFor(GuestHandle handle) const;
 
+    Result<GuestHandle> doLaunchStart(memory::GuestMemory &mem, u32 policy,
+                                      bool shared);
+    Status doLaunchUpdateData(GuestHandle handle, memory::GuestMemory &mem,
+                              Gpa gpa, u64 len);
+    Status doLaunchUpdateVmsa(GuestHandle handle, memory::GuestMemory &mem,
+                              u32 vcpu_index, Gpa vmsa_gpa);
+    Result<crypto::Sha256Digest> doLaunchMeasure(GuestHandle handle) const;
+    Status doLaunchFinish(GuestHandle handle);
+    Result<AttestationReport> doGuestRequestReport(
+        GuestHandle handle, const ReportData &report_data) const;
+
+    /** Record @p verdict for @p cmd and run the live conformance check. */
+    void observe(check::PspCommand cmd, GuestHandle handle,
+                 const Status &verdict) const;
+
     std::string chip_id_;
     ChipKey chip_key_;
     Rng rng_;
@@ -135,6 +162,9 @@ class Psp
     u32 next_asid_ = 1;
     GuestHandle next_handle_ = 1;
     std::map<GuestHandle, GuestContext> guests_;
+    /** Mutable: conformance instrumentation also covers const queries. */
+    mutable check::CommandLog command_log_;
+    mutable check::LaunchProtocol protocol_;
 };
 
 } // namespace sevf::psp

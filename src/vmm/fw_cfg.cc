@@ -38,45 +38,36 @@ FwCfg::find(std::string_view name) const
 Status
 stageVmlinuxViaFwCfg(FwCfg &fw_cfg, ByteSpan vmlinux)
 {
-    Result<image::ElfLayout> layout = image::parseElfHeader(vmlinux);
-    if (!layout.isOk()) {
-        return layout.status();
-    }
-    Result<FwCfg::Item> ehdr = fw_cfg.addItemAt(
-        "kernel/ehdr", 0, vmlinux.first(image::kEhdrSize));
-    if (!ehdr.isOk()) {
-        return ehdr.status();
-    }
+    SEVF_ASSIGN_OR_RETURN(image::ElfLayout layout,
+                          image::parseElfHeader(vmlinux));
+    SEVF_RETURN_IF_ERROR(
+        fw_cfg.addItemAt("kernel/ehdr", 0, vmlinux.first(image::kEhdrSize))
+            .errorOr(Status::ok()));
 
-    u64 phdr_bytes = static_cast<u64>(layout->phnum) * image::kPhdrSize;
-    if (layout->phoff + phdr_bytes > vmlinux.size()) {
+    u64 phdr_bytes = static_cast<u64>(layout.phnum) * image::kPhdrSize;
+    if (layout.phoff + phdr_bytes > vmlinux.size()) {
         return errCorrupted("vmlinux: phdr table past end");
     }
-    Result<FwCfg::Item> phdrs = fw_cfg.addItemAt(
-        "kernel/phdrs", layout->phoff,
-        vmlinux.subspan(layout->phoff, phdr_bytes));
-    if (!phdrs.isOk()) {
-        return phdrs.status();
-    }
+    SEVF_RETURN_IF_ERROR(
+        fw_cfg.addItemAt("kernel/phdrs", layout.phoff,
+                         vmlinux.subspan(layout.phoff, phdr_bytes))
+            .errorOr(Status::ok()));
 
-    for (u16 i = 0; i < layout->phnum; ++i) {
-        Result<image::ElfPhdr> p = image::parseElfPhdr(
-            vmlinux.subspan(layout->phoff + i * image::kPhdrSize));
-        if (!p.isOk()) {
-            return p.status();
-        }
-        if (p->type != image::kPtLoad) {
+    for (u16 i = 0; i < layout.phnum; ++i) {
+        SEVF_ASSIGN_OR_RETURN(
+            image::ElfPhdr p,
+            image::parseElfPhdr(
+                vmlinux.subspan(layout.phoff + i * image::kPhdrSize)));
+        if (p.type != image::kPtLoad) {
             continue;
         }
-        if (p->offset + p->filesz > vmlinux.size()) {
+        if (p.offset + p.filesz > vmlinux.size()) {
             return errCorrupted("vmlinux: segment past end");
         }
-        Result<FwCfg::Item> seg = fw_cfg.addItemAt(
-            "kernel/seg" + std::to_string(i), p->offset,
-            vmlinux.subspan(p->offset, p->filesz));
-        if (!seg.isOk()) {
-            return seg.status();
-        }
+        SEVF_RETURN_IF_ERROR(
+            fw_cfg.addItemAt("kernel/seg" + std::to_string(i), p.offset,
+                             vmlinux.subspan(p.offset, p.filesz))
+                .errorOr(Status::ok()));
     }
     return Status::ok();
 }

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * SNP launch-protocol conformance checker tests: the GCTX automaton
+ * accepts every legal command order, rejects each illegal ordering,
+ * and agrees with the Psp device model on real launches (live hook
+ * and offline command-log/trace replay).
+ */
+#include <gtest/gtest.h>
+
+#include "check/protocol.h"
+#include "check/trace_check.h"
+#include "core/launch.h"
+#include "memory/guest_memory.h"
+#include "psp/key_server.h"
+#include "psp/psp.h"
+#include "workload/synthetic.h"
+
+namespace sevf::check {
+namespace {
+
+using Cmd = PspCommand;
+
+// ------------------------------------------------------- automaton: legal
+
+TEST(LaunchProtocolTest, CanonicalOrderAccepted)
+{
+    LaunchProtocol p;
+    EXPECT_TRUE(p.command(Cmd::kLaunchStart, 1).isOk());
+    EXPECT_TRUE(p.command(Cmd::kLaunchUpdateData, 1).isOk());
+    EXPECT_TRUE(p.command(Cmd::kLaunchUpdateVmsa, 1).isOk());
+    EXPECT_TRUE(p.command(Cmd::kLaunchMeasure, 1).isOk());
+    EXPECT_TRUE(p.command(Cmd::kLaunchFinish, 1).isOk());
+    EXPECT_TRUE(p.command(Cmd::kReportRequest, 1).isOk());
+}
+
+TEST(LaunchProtocolTest, MeasureLegalBeforeAndAfterFinish)
+{
+    LaunchProtocol p;
+    ASSERT_TRUE(p.command(Cmd::kLaunchStart, 1).isOk());
+    ASSERT_TRUE(p.command(Cmd::kLaunchUpdateData, 1).isOk());
+    EXPECT_TRUE(p.command(Cmd::kLaunchMeasure, 1).isOk());
+    ASSERT_TRUE(p.command(Cmd::kLaunchFinish, 1).isOk());
+    EXPECT_TRUE(p.command(Cmd::kLaunchMeasure, 1).isOk());
+}
+
+TEST(LaunchProtocolTest, FinishWithZeroUpdatesIsLegal)
+{
+    // An empty guest can be finalized (guest_test provisions one); only
+    // MEASURE requires something to have been measured.
+    LaunchProtocol p;
+    ASSERT_TRUE(p.command(Cmd::kLaunchStart, 1).isOk());
+    EXPECT_TRUE(p.command(Cmd::kLaunchFinish, 1).isOk());
+    EXPECT_TRUE(p.command(Cmd::kReportRequest, 1).isOk());
+}
+
+TEST(LaunchProtocolTest, InterleavedGuestsTrackedIndependently)
+{
+    LaunchProtocol p;
+    ASSERT_TRUE(p.command(Cmd::kLaunchStart, 1).isOk());
+    ASSERT_TRUE(p.command(Cmd::kLaunchStart, 2).isOk());
+    ASSERT_TRUE(p.command(Cmd::kLaunchUpdateData, 2).isOk());
+    ASSERT_TRUE(p.command(Cmd::kLaunchUpdateData, 1).isOk());
+    ASSERT_TRUE(p.command(Cmd::kLaunchFinish, 1).isOk());
+    // Guest 2 is still open; guest 1 is sealed.
+    EXPECT_TRUE(p.command(Cmd::kLaunchUpdateData, 2).isOk());
+    EXPECT_FALSE(p.command(Cmd::kLaunchUpdateData, 1).isOk());
+    EXPECT_EQ(p.guestCount(), 2u);
+}
+
+// ----------------------------------------------- automaton: the four bugs
+
+TEST(LaunchProtocolTest, RejectsUpdateAfterFinish)
+{
+    LaunchProtocol p;
+    ASSERT_TRUE(p.command(Cmd::kLaunchStart, 1).isOk());
+    ASSERT_TRUE(p.command(Cmd::kLaunchUpdateData, 1).isOk());
+    ASSERT_TRUE(p.command(Cmd::kLaunchFinish, 1).isOk());
+    Status data = p.command(Cmd::kLaunchUpdateData, 1);
+    EXPECT_EQ(data.code(), ErrorCode::kInvalidState);
+    Status vmsa = p.command(Cmd::kLaunchUpdateVmsa, 1);
+    EXPECT_EQ(vmsa.code(), ErrorCode::kInvalidState);
+}
+
+TEST(LaunchProtocolTest, RejectsMeasureBeforeUpdate)
+{
+    LaunchProtocol p;
+    ASSERT_TRUE(p.command(Cmd::kLaunchStart, 1).isOk());
+    Status s = p.command(Cmd::kLaunchMeasure, 1);
+    EXPECT_EQ(s.code(), ErrorCode::kInvalidState);
+    // After one update the measure becomes legal.
+    ASSERT_TRUE(p.command(Cmd::kLaunchUpdateData, 1).isOk());
+    EXPECT_TRUE(p.command(Cmd::kLaunchMeasure, 1).isOk());
+}
+
+TEST(LaunchProtocolTest, RejectsReportBeforeFinish)
+{
+    LaunchProtocol p;
+    ASSERT_TRUE(p.command(Cmd::kLaunchStart, 1).isOk());
+    ASSERT_TRUE(p.command(Cmd::kLaunchUpdateData, 1).isOk());
+    Status s = p.command(Cmd::kReportRequest, 1);
+    EXPECT_EQ(s.code(), ErrorCode::kInvalidState);
+}
+
+TEST(LaunchProtocolTest, RejectsDoubleFinish)
+{
+    LaunchProtocol p;
+    ASSERT_TRUE(p.command(Cmd::kLaunchStart, 1).isOk());
+    ASSERT_TRUE(p.command(Cmd::kLaunchFinish, 1).isOk());
+    Status s = p.command(Cmd::kLaunchFinish, 1);
+    EXPECT_EQ(s.code(), ErrorCode::kInvalidState);
+}
+
+TEST(LaunchProtocolTest, RejectsCommandsWithoutStart)
+{
+    LaunchProtocol p;
+    EXPECT_EQ(p.command(Cmd::kLaunchUpdateData, 7).code(),
+              ErrorCode::kNotFound);
+    EXPECT_EQ(p.command(Cmd::kLaunchFinish, 7).code(), ErrorCode::kNotFound);
+    EXPECT_EQ(p.command(Cmd::kReportRequest, 7).code(),
+              ErrorCode::kNotFound);
+    // Re-launching an existing handle is also illegal.
+    ASSERT_TRUE(p.command(Cmd::kLaunchStart, 7).isOk());
+    EXPECT_EQ(p.command(Cmd::kLaunchStart, 7).code(),
+              ErrorCode::kInvalidState);
+}
+
+// ------------------------------------------------------- offline log check
+
+TEST(CommandLogCheckTest, AcceptedIllegalCommandIsFlagged)
+{
+    // A buggy device model that accepted an update after finish.
+    std::vector<CommandRecord> log = {
+        {Cmd::kLaunchStart, 1, true, ErrorCode::kOk},
+        {Cmd::kLaunchUpdateData, 1, true, ErrorCode::kOk},
+        {Cmd::kLaunchFinish, 1, true, ErrorCode::kOk},
+        {Cmd::kLaunchUpdateData, 1, true, ErrorCode::kOk},
+    };
+    Status s = checkCommandLog(log);
+    EXPECT_EQ(s.code(), ErrorCode::kIntegrityFailure);
+}
+
+TEST(CommandLogCheckTest, RejectedIllegalCommandIsConformant)
+{
+    // The device *rejecting* an illegal command is exactly what the
+    // protocol wants; rejected records must not advance the automaton.
+    std::vector<CommandRecord> log = {
+        {Cmd::kLaunchStart, 1, true, ErrorCode::kOk},
+        {Cmd::kLaunchUpdateData, 1, true, ErrorCode::kOk},
+        {Cmd::kReportRequest, 1, false, ErrorCode::kInvalidState},
+        {Cmd::kLaunchFinish, 1, true, ErrorCode::kOk},
+        {Cmd::kReportRequest, 1, true, ErrorCode::kOk},
+    };
+    EXPECT_TRUE(checkCommandLog(log).isOk());
+}
+
+// ------------------------------------------------- device model conformance
+
+TEST(PspConformanceTest, RealLaunchFlowLogIsConformant)
+{
+    psp::KeyServer ks;
+    psp::Psp psp("CHIP-CHECK", ks, 0x51ee);
+    memory::GuestMemory mem(4 * kMiB, 0x100000000ull, psp.allocateAsid(),
+                            memory::SevMode::kSevSnp);
+    psp::GuestHandle h = *psp.launchStart(mem, 3);
+
+    ByteVec page(kPageSize, 0xa5);
+    ASSERT_TRUE(mem.hostWrite(0, page).isOk());
+    ASSERT_TRUE(psp.launchUpdateData(h, mem, 0, kPageSize).isOk());
+    ASSERT_TRUE(psp.launchUpdateVmsa(h, mem, 0, 0x4000).isOk());
+    ASSERT_TRUE(psp.launchMeasure(h).isOk());
+    ASSERT_TRUE(psp.launchFinish(h).isOk());
+    ASSERT_TRUE(psp.guestRequestReport(h, psp::ReportData{}).isOk());
+
+    // Illegal attempts the device must reject — and the log must show
+    // as rejected, keeping the replay conformant.
+    EXPECT_FALSE(psp.launchUpdateData(h, mem, 0, kPageSize).isOk());
+    EXPECT_FALSE(psp.launchFinish(h).isOk());
+
+    EXPECT_GE(psp.commandLog().records().size(), 8u);
+    EXPECT_TRUE(checkCommandLog(psp.commandLog().records()).isOk());
+}
+
+TEST(PspConformanceTest, MeasureBeforeUpdateRejectedByDevice)
+{
+    psp::KeyServer ks;
+    psp::Psp psp("CHIP-CHECK2", ks, 0x51ef);
+    memory::GuestMemory mem(4 * kMiB, 0x100000000ull, psp.allocateAsid());
+    psp::GuestHandle h = *psp.launchStart(mem, 0);
+    Result<crypto::Sha256Digest> d = psp.launchMeasure(h);
+    ASSERT_FALSE(d.isOk());
+    EXPECT_EQ(d.status().code(), ErrorCode::kInvalidState);
+    EXPECT_TRUE(checkCommandLog(psp.commandLog().records()).isOk());
+}
+
+// ------------------------------------------------------------ trace checks
+
+TEST(TraceCheckTest, RealBootTracesAreConformant)
+{
+    core::Platform platform(sim::CostParams::deterministic());
+    for (core::StrategyKind kind :
+         {core::StrategyKind::kSevDirectBoot,
+          core::StrategyKind::kSeveriFastBz,
+          core::StrategyKind::kQemuOvmfSev}) {
+        std::unique_ptr<core::BootStrategy> strategy =
+            core::makeStrategy(kind);
+        core::LaunchRequest req;
+        req.kernel = workload::KernelConfig::kAws;
+        req.scale = 1.0 / 32.0;
+        Result<core::LaunchResult> result = strategy->launch(platform, req);
+        ASSERT_TRUE(result.isOk()) << result.status().toString();
+        EXPECT_TRUE(checkTrace(result->trace).isOk())
+            << core::strategyName(kind) << ": "
+            << checkTrace(result->trace).toString();
+    }
+    // The platform-wide PSP command log across all three boots replays
+    // cleanly through the automaton too.
+    EXPECT_TRUE(
+        checkCommandLog(platform.psp().commandLog().records()).isOk());
+}
+
+TEST(TraceCheckTest, RejectsUpdateAfterFinishInTrace)
+{
+    sim::BootTrace t;
+    t.add(sim::StepKind::kPsp, sim::Duration::micros(5), sim::phase::kVmm,
+          "sev_launch_start");
+    t.add(sim::StepKind::kPsp, sim::Duration::micros(5), sim::phase::kVmm,
+          "sev_launch_finish");
+    t.add(sim::StepKind::kPsp, sim::Duration::micros(5),
+          sim::phase::kPreEncryption, "launch_update:late");
+    EXPECT_EQ(checkLaunchOrder(t).code(), ErrorCode::kIntegrityFailure);
+}
+
+TEST(TraceCheckTest, RejectsUnknownPhaseAndReorderedPhases)
+{
+    sim::BootTrace bad_phase;
+    bad_phase.add(sim::StepKind::kCpu, sim::Duration::micros(1),
+                  "made_up_phase", "step");
+    EXPECT_EQ(checkPhaseOrder(bad_phase).code(),
+              ErrorCode::kIntegrityFailure);
+
+    sim::BootTrace reordered;
+    reordered.add(sim::StepKind::kCpu, sim::Duration::micros(1),
+                  sim::phase::kLinuxBoot, "kernel");
+    reordered.add(sim::StepKind::kCpu, sim::Duration::micros(1),
+                  sim::phase::kFirmware, "late firmware");
+    EXPECT_EQ(checkPhaseOrder(reordered).code(),
+              ErrorCode::kIntegrityFailure);
+}
+
+} // namespace
+} // namespace sevf::check

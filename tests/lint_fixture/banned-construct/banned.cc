@@ -1,0 +1,12 @@
+/* Deliberately uses every banned construct. */
+
+int
+fixtureBanned(int n)
+{
+    if (n < 0) {
+        throw 42;
+    }
+    int *scratch = new int[8];
+    scratch[0] = rand();
+    return scratch[0];
+}

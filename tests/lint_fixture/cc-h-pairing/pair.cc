@@ -1,0 +1,8 @@
+/* Deliberately includes something other than its paired header first. */
+#include "sub/other.h"
+
+int
+fixturePair()
+{
+    return fixtureOther();
+}

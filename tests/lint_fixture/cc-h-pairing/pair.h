@@ -1,0 +1,6 @@
+#ifndef SEVF_PAIR_H_
+#define SEVF_PAIR_H_
+
+int fixturePair();
+
+#endif // SEVF_PAIR_H_

@@ -1,0 +1,6 @@
+#ifndef SEVF_SUB_OTHER_H_
+#define SEVF_SUB_OTHER_H_
+
+int fixtureOther();
+
+#endif // SEVF_SUB_OTHER_H_

@@ -1,0 +1,7 @@
+/* Deliberately wrong include guard: should be SEVF_BAD_GUARD_H_. */
+#ifndef TOTALLY_WRONG_GUARD_H
+#define TOTALLY_WRONG_GUARD_H
+
+int fixtureValue();
+
+#endif

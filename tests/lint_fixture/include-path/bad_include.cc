@@ -1,0 +1,8 @@
+/* Deliberately parent-relative and bare includes. */
+#include "../escape/outside.h"
+
+int
+fixtureBadInclude()
+{
+    return 1;
+}

@@ -1,0 +1,11 @@
+/* Rule-breaking code with valid suppression comments: must lint clean. */
+
+int
+fixtureSuppressed(int n)
+{
+    if (n < 0) {
+        throw 42; // sevf_lint: allow(banned-construct)
+    }
+    // sevf_lint: allow(banned-construct)
+    return rand();
+}

@@ -1,0 +1,13 @@
+/* Deliberately dereferences a Result without checking it. */
+
+template <typename T>
+class Result;
+
+Result<int> fetch();
+
+int
+fixtureUnguarded()
+{
+    Result<int> r = fetch();
+    return r.value();
+}

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Tier-1 CI gate for severifast. Runs the full verify twice — a plain
+# -Werror build and an ASan+UBSan build — plus the project linter, each in
+# its own build tree so the configurations never clobber one another.
+#
+#   tools/ci.sh            # run everything
+#   CI_JOBS=4 tools/ci.sh  # cap build/test parallelism
+#
+# Exits nonzero on the first failing stage.
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="${CI_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+run_matrix_entry() {
+    name="$1"
+    shift
+    build="$root/build-ci-$name"
+    echo "==> [$name] configure: $*"
+    cmake -B "$build" -S "$root" "$@" >/dev/null
+    echo "==> [$name] build"
+    cmake --build "$build" -j "$jobs"
+    echo "==> [$name] ctest"
+    (cd "$build" && ctest --output-on-failure -j "$jobs")
+}
+
+# 1. Plain build, warnings are errors. This is the tier-1 verify.
+run_matrix_entry werror -DSEVF_WERROR=ON
+
+# 2. Same suite under AddressSanitizer + UBSan with fatal-on-error, so any
+#    heap misuse or UB in the test/bench paths fails the run.
+run_matrix_entry asan -DSEVF_WERROR=ON -DSEVF_SANITIZE=address,undefined
+
+# 3. Project linter over the library sources, plus its self-test fixture.
+#    Both also run under ctest above; running them standalone keeps the lint
+#    usable when the library itself does not build.
+lint="$root/build-ci-werror/tools/sevf_lint"
+echo "==> [lint] $lint --root src"
+"$lint" --root "$root/src"
+echo "==> [lint] selftest"
+"$lint" --selftest "$root/tests/lint_fixture"
+
+echo "==> CI green: werror + asan,ubsan + lint"

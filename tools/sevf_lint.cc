@@ -1,0 +1,527 @@
+/**
+ * @file
+ * sevf_lint: the project's custom invariant checker.
+ *
+ * Walks a source tree (default: src/) and enforces the conventions the
+ * compiler cannot:
+ *
+ *   header-guard      .h guards are SEVF_<DIR>_<FILE>_H_
+ *   include-path      quoted includes are project-relative ("base/status.h",
+ *                     never "../x.h" or "status.h") and name real files
+ *   banned-construct  no throw, rand(), raw new[], and no std::cout
+ *                     outside stats/ (tools/ is not linted) — the boot
+ *                     path is exception-free and deterministic
+ *   cc-h-pairing      a .cc with a same-named sibling .h includes that
+ *                     header first, so every interface header is
+ *                     self-contained-compiled at least once
+ *   unguarded-result  heuristic: a variable declared Result<...> must be
+ *                     guarded (isOk()/valueOr()/errorOr()) in the same
+ *                     function before .value()/.take()
+ *
+ * Suppress a finding with a trailing or preceding comment:
+ *
+ *     do_scary_thing(); // sevf_lint: allow(banned-construct)
+ *
+ * Usage:
+ *     sevf_lint --root <dir>       lint a tree, exit 1 on violations
+ *     sevf_lint --selftest <dir>   run the fixture self-test: each
+ *                                  subdirectory is named for the rule it
+ *                                  must trip ("suppressed" must be clean)
+ *
+ * Registered as two ctests so every test run is also a lint run.
+ */
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+    std::string file; // path relative to the lint root
+    size_t line;      // 1-based
+    std::string rule;
+    std::string message;
+};
+
+struct FileText {
+    std::vector<std::string> raw;      //!< original lines
+    std::vector<std::string> scrubbed; //!< comments + literals blanked
+};
+
+/**
+ * Blank out //, multi-line comments, and string/char literals while
+ * preserving line structure, so construct scans don't fire on prose
+ * like "no exceptions are thrown here".
+ */
+std::vector<std::string>
+scrub(const std::vector<std::string> &lines)
+{
+    std::vector<std::string> out;
+    out.reserve(lines.size());
+    bool in_block_comment = false;
+    for (const std::string &line : lines) {
+        std::string s;
+        s.reserve(line.size());
+        for (size_t i = 0; i < line.size(); ++i) {
+            if (in_block_comment) {
+                if (line[i] == '*' && i + 1 < line.size() &&
+                    line[i + 1] == '/') {
+                    in_block_comment = false;
+                    ++i;
+                }
+                s.push_back(' ');
+                continue;
+            }
+            if (line[i] == '/' && i + 1 < line.size()) {
+                if (line[i + 1] == '/') {
+                    break; // rest of line is a comment
+                }
+                if (line[i + 1] == '*') {
+                    in_block_comment = true;
+                    s.push_back(' ');
+                    ++i;
+                    continue;
+                }
+            }
+            if (line[i] == '"' || line[i] == '\'') {
+                char quote = line[i];
+                s.push_back(quote);
+                ++i;
+                while (i < line.size()) {
+                    if (line[i] == '\\') {
+                        i += 2;
+                        continue;
+                    }
+                    if (line[i] == quote) {
+                        break;
+                    }
+                    ++i;
+                }
+                s.push_back(quote);
+                continue;
+            }
+            s.push_back(line[i]);
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::optional<FileText>
+loadFile(const fs::path &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return std::nullopt;
+    }
+    FileText text;
+    std::string line;
+    while (std::getline(in, line)) {
+        text.raw.push_back(line);
+    }
+    text.scrubbed = scrub(text.raw);
+    return text;
+}
+
+/** Is a violation of @p rule at @p line (1-based) suppressed? */
+bool
+suppressed(const FileText &text, const std::string &rule, size_t line)
+{
+    std::string marker = "sevf_lint: allow(" + rule + ")";
+    for (size_t l : {line, line - 1}) {
+        if (l >= 1 && l <= text.raw.size() &&
+            text.raw[l - 1].find(marker) != std::string::npos) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+upperIdent(std::string s)
+{
+    for (char &c : s) {
+        c = (c == '.' || c == '/' || c == '-')
+                ? '_'
+                : static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    return s;
+}
+
+class Linter
+{
+  public:
+    explicit Linter(fs::path root) : root_(std::move(root)) {}
+
+    std::vector<Violation>
+    run()
+    {
+        std::vector<fs::path> files;
+        for (const auto &entry : fs::recursive_directory_iterator(root_)) {
+            if (!entry.is_regular_file()) {
+                continue;
+            }
+            fs::path p = entry.path();
+            if (p.extension() == ".h" || p.extension() == ".cc") {
+                files.push_back(p);
+            }
+        }
+        std::sort(files.begin(), files.end());
+        for (const fs::path &p : files) {
+            lintFile(p);
+        }
+        return violations_;
+    }
+
+  private:
+    void
+    report(const fs::path &file, size_t line, const std::string &rule,
+           const std::string &message, const FileText &text)
+    {
+        if (suppressed(text, rule, line)) {
+            return;
+        }
+        violations_.push_back(
+            {fs::relative(file, root_).generic_string(), line, rule,
+             message});
+    }
+
+    void
+    lintFile(const fs::path &path)
+    {
+        std::optional<FileText> text = loadFile(path);
+        if (!text) {
+            violations_.push_back({path.generic_string(), 0, "io",
+                                   "could not read file"});
+            return;
+        }
+        std::string rel = fs::relative(path, root_).generic_string();
+        if (path.extension() == ".h") {
+            checkHeaderGuard(path, rel, *text);
+        }
+        checkIncludes(path, rel, *text);
+        checkBannedConstructs(path, rel, *text);
+        if (path.extension() == ".cc") {
+            checkPairing(path, rel, *text);
+            checkUnguardedResult(path, *text);
+        }
+    }
+
+    // ------------------------------------------------------- header-guard
+
+    void
+    checkHeaderGuard(const fs::path &path, const std::string &rel,
+                     const FileText &text)
+    {
+        std::string stem = fs::path(rel).replace_extension("").generic_string();
+        std::string expected = "SEVF_" + upperIdent(stem) + "_H_";
+        size_t ifndef_line = 0;
+        std::string got;
+        for (size_t i = 0; i < text.scrubbed.size(); ++i) {
+            const std::string &line = text.scrubbed[i];
+            size_t pos = line.find("#ifndef ");
+            if (pos != std::string::npos) {
+                std::istringstream is(line.substr(pos + 8));
+                is >> got;
+                ifndef_line = i + 1;
+                break;
+            }
+        }
+        if (ifndef_line == 0) {
+            report(path, 1, "header-guard",
+                   "missing include guard (expected " + expected + ")",
+                   text);
+            return;
+        }
+        if (got != expected) {
+            report(path, ifndef_line, "header-guard",
+                   "guard is " + got + ", expected " + expected, text);
+            return;
+        }
+        bool defined = false;
+        for (const std::string &line : text.scrubbed) {
+            if (line.find("#define " + expected) != std::string::npos) {
+                defined = true;
+                break;
+            }
+        }
+        if (!defined) {
+            report(path, ifndef_line, "header-guard",
+                   "guard " + expected + " is never #defined", text);
+        }
+    }
+
+    // ------------------------------------------------------- include-path
+
+    /** Quoted includes in file order: (line number, include path). */
+    std::vector<std::pair<size_t, std::string>>
+    quotedIncludes(const FileText &text)
+    {
+        static const std::regex re("^\\s*#\\s*include\\s+\"([^\"]+)\"");
+        std::vector<std::pair<size_t, std::string>> out;
+        for (size_t i = 0; i < text.raw.size(); ++i) {
+            std::smatch m;
+            if (std::regex_search(text.raw[i], m, re)) {
+                out.emplace_back(i + 1, m[1].str());
+            }
+        }
+        return out;
+    }
+
+    void
+    checkIncludes(const fs::path &path, const std::string &,
+                  const FileText &text)
+    {
+        for (const auto &[line, inc] : quotedIncludes(text)) {
+            if (inc.find("..") != std::string::npos) {
+                report(path, line, "include-path",
+                       "\"" + inc + "\" uses a parent-relative path", text);
+                continue;
+            }
+            if (inc.find('/') == std::string::npos) {
+                report(path, line, "include-path",
+                       "\"" + inc +
+                           "\" is not project-relative (expected "
+                           "\"<module>/<file>\")",
+                       text);
+                continue;
+            }
+            if (!fs::exists(root_ / inc)) {
+                report(path, line, "include-path",
+                       "\"" + inc + "\" does not exist under " +
+                           root_.generic_string(),
+                       text);
+            }
+        }
+    }
+
+    // --------------------------------------------------- banned-construct
+
+    void
+    checkBannedConstructs(const fs::path &path, const std::string &rel,
+                          const FileText &text)
+    {
+        static const std::regex throw_re("\\bthrow\\b");
+        static const std::regex rand_re("\\brand\\s*\\(");
+        static const std::regex new_array_re("\\bnew\\b[^;({]*\\[");
+        static const std::regex cout_re("\\bstd::cout\\b");
+        bool cout_allowed = rel.rfind("stats/", 0) == 0;
+        for (size_t i = 0; i < text.scrubbed.size(); ++i) {
+            const std::string &line = text.scrubbed[i];
+            if (std::regex_search(line, throw_re)) {
+                report(path, i + 1, "banned-construct",
+                       "'throw' is banned on the boot path (use "
+                       "Status/Result)",
+                       text);
+            }
+            if (std::regex_search(line, rand_re)) {
+                report(path, i + 1, "banned-construct",
+                       "'rand()' is banned (use base/rng.h for "
+                       "deterministic streams)",
+                       text);
+            }
+            if (std::regex_search(line, new_array_re)) {
+                report(path, i + 1, "banned-construct",
+                       "raw 'new[]' is banned (use ByteVec/std::vector)",
+                       text);
+            }
+            if (!cout_allowed && std::regex_search(line, cout_re)) {
+                report(path, i + 1, "banned-construct",
+                       "'std::cout' outside stats/ (use base/logging.h)",
+                       text);
+            }
+        }
+    }
+
+    // ------------------------------------------------------- cc-h-pairing
+
+    void
+    checkPairing(const fs::path &path, const std::string &,
+                 const FileText &text)
+    {
+        fs::path header = fs::path(path).replace_extension(".h");
+        if (!fs::exists(header)) {
+            return; // implementation-only file (e.g. core/strategies.cc)
+        }
+        std::string expected = fs::relative(header, root_).generic_string();
+        auto incs = quotedIncludes(text);
+        if (incs.empty() || incs.front().second != expected) {
+            report(path, incs.empty() ? 1 : incs.front().first,
+                   "cc-h-pairing",
+                   "first include must be the paired header \"" + expected +
+                       "\"",
+                   text);
+        }
+    }
+
+    // --------------------------------------------------- unguarded-result
+
+    /**
+     * Heuristic, matched to the project brace style (function bodies
+     * open with "{" in column 0): inside each body, a variable declared
+     * `Result<...> name` must appear in a guard expression —
+     * name.isOk(), name.valueOr(, name.errorOr( — before name.value()
+     * or name.take().
+     */
+    void
+    checkUnguardedResult(const fs::path &path, const FileText &text)
+    {
+        static const std::regex decl_re(
+            "\\bResult\\s*<[^;{}()]*>\\s+(\\w+)\\s*[=;]");
+        size_t body_start = 0; // 0 = not inside a body
+        std::vector<std::string> decls;
+        std::vector<std::string> guarded;
+        for (size_t i = 0; i < text.scrubbed.size(); ++i) {
+            const std::string &line = text.scrubbed[i];
+            if (line == "{") {
+                body_start = i + 1;
+                decls.clear();
+                guarded.clear();
+                continue;
+            }
+            if (line == "}") {
+                body_start = 0;
+                continue;
+            }
+            if (body_start == 0) {
+                continue;
+            }
+            std::smatch m;
+            std::string rest = line;
+            while (std::regex_search(rest, m, decl_re)) {
+                decls.push_back(m[1].str());
+                rest = m.suffix().str();
+            }
+            for (const std::string &name : decls) {
+                if (line.find(name + ".isOk(") != std::string::npos ||
+                    line.find(name + ".valueOr(") != std::string::npos ||
+                    line.find(name + ".errorOr(") != std::string::npos) {
+                    guarded.push_back(name);
+                }
+            }
+            for (const std::string &name : decls) {
+                bool is_guarded =
+                    std::find(guarded.begin(), guarded.end(), name) !=
+                    guarded.end();
+                if (is_guarded) {
+                    continue;
+                }
+                if (line.find(name + ".value(") != std::string::npos ||
+                    line.find(name + ".take(") != std::string::npos) {
+                    report(path, i + 1, "unguarded-result",
+                           "Result '" + name +
+                               "' dereferenced without a prior isOk()/"
+                               "valueOr()/errorOr() guard in this function",
+                           text);
+                }
+            }
+        }
+    }
+
+    fs::path root_;
+    std::vector<Violation> violations_;
+};
+
+int
+lintTree(const fs::path &root)
+{
+    if (!fs::is_directory(root)) {
+        std::cerr << "sevf_lint: not a directory: " << root << "\n";
+        return 2;
+    }
+    std::vector<Violation> violations = Linter(root).run();
+    for (const Violation &v : violations) {
+        std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
+                  << v.message << "\n";
+    }
+    if (!violations.empty()) {
+        std::cout << violations.size() << " violation(s) under " << root
+                  << "\n";
+        return 1;
+    }
+    std::cout << "sevf_lint: clean (" << root.generic_string() << ")\n";
+    return 0;
+}
+
+/**
+ * Fixture self-test: every subdirectory of @p fixture_root is named for
+ * the rule its files must trip; the special directory "suppressed" holds
+ * rule-breaking code with suppression comments and must lint clean.
+ */
+int
+selfTest(const fs::path &fixture_root)
+{
+    if (!fs::is_directory(fixture_root)) {
+        std::cerr << "sevf_lint: fixture root missing: " << fixture_root
+                  << "\n";
+        return 2;
+    }
+    int failures = 0;
+    int cases = 0;
+    for (const auto &entry : fs::directory_iterator(fixture_root)) {
+        if (!entry.is_directory()) {
+            continue;
+        }
+        ++cases;
+        std::string rule = entry.path().filename().string();
+        std::vector<Violation> violations = Linter(entry.path()).run();
+        if (rule == "suppressed") {
+            if (!violations.empty()) {
+                std::cerr << "FAIL " << rule << ": expected clean, got "
+                          << violations.size() << " violation(s); first: ["
+                          << violations.front().rule << "] "
+                          << violations.front().message << "\n";
+                ++failures;
+            } else {
+                std::cout << "ok   " << rule << " (clean as expected)\n";
+            }
+            continue;
+        }
+        bool hit = std::any_of(
+            violations.begin(), violations.end(),
+            [&](const Violation &v) { return v.rule == rule; });
+        if (!hit) {
+            std::cerr << "FAIL " << rule << ": fixture did not trip the '"
+                      << rule << "' rule\n";
+            ++failures;
+        } else {
+            std::cout << "ok   " << rule << "\n";
+        }
+    }
+    if (cases == 0) {
+        std::cerr << "sevf_lint: no fixture cases found\n";
+        return 2;
+    }
+    std::cout << (cases - failures) << "/" << cases
+              << " fixture cases passed\n";
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.size() == 2 && args[0] == "--root") {
+        return lintTree(args[1]);
+    }
+    if (args.size() == 2 && args[0] == "--selftest") {
+        return selfTest(args[1]);
+    }
+    if (args.empty()) {
+        return lintTree("src");
+    }
+    std::cerr << "usage: sevf_lint [--root <dir> | --selftest "
+                 "<fixture_root>]\n";
+    return 2;
+}
