@@ -15,6 +15,8 @@ GuestOwner::GuestOwner(const psp::KeyServer &key_server,
       secret_(std::move(secret)),
       rng_(seed)
 {
+    secret_label_.set(secret_.data(), secret_.size(),
+                      taint::kLaunchSecret);
 }
 
 Result<ProvisionResponse>
@@ -49,8 +51,13 @@ GuestOwner::handleReport(ByteSpan report_wire)
     // man-in-the-middle host cannot substitute its own.
     u64 guest_public = loadLe<u64>(report->report_data.data());
     crypto::DhKeyPair owner = crypto::dhGenerate(rng_);
+    taint::ScopedTaint exponent_guard(&owner.private_exponent,
+                                      sizeof(owner.private_exponent),
+                                      taint::kTransportKey);
     crypto::Sha256Digest channel_key =
         crypto::dhSharedKey(owner.private_exponent, guest_public);
+    taint::ScopedTaint channel_guard(channel_key.data(), channel_key.size(),
+                                     taint::kTransportKey);
 
     ProvisionResponse resp;
     resp.owner_dh_public = owner.public_value;

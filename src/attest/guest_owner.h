@@ -15,6 +15,7 @@
 #include "base/status.h"
 #include "crypto/sha256.h"
 #include "psp/key_server.h"
+#include "taint/taint.h"
 
 namespace sevf::attest {
 
@@ -59,6 +60,8 @@ class GuestOwner
     const psp::KeyServer &key_server_;
     crypto::Sha256Digest expected_measurement_;
     ByteVec secret_;
+    /** The provisioned secret is labelled for the owner's lifetime. */
+    taint::ScopedLabel secret_label_;
     Rng rng_;
     u64 accepted_ = 0;
     u64 rejected_ = 0;

@@ -2,6 +2,7 @@
 
 #include "base/bytes.h"
 #include "base/types.h"
+#include "taint/taint.h"
 
 namespace sevf::crypto {
 
@@ -26,6 +27,13 @@ LaunchDigest::extend(MeasuredPageType type, u64 gpa,
 std::size_t
 LaunchDigest::extendRegion(MeasuredPageType type, u64 gpa, ByteSpan data)
 {
+    // Measuring is hashing: a digest of secret input is public by the
+    // one-way assumption, so this is an implicit declassification worth
+    // an audit entry when it actually happens to labelled bytes.
+    if (taint::query(data) != taint::kNone) {
+        taint::noteDeclassified(
+            "launch measurement: SHA256 page digests of labelled input");
+    }
     std::size_t pages = 0;
     for (std::size_t off = 0; off < data.size(); off += kPageSize) {
         u8 page[kPageSize] = {};

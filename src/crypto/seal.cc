@@ -5,6 +5,7 @@
 #include "base/bytes.h"
 #include "crypto/aes128.h"
 #include "crypto/hmac.h"
+#include "taint/taint.h"
 
 namespace sevf::crypto {
 
@@ -50,7 +51,17 @@ seal(const Sha256Digest &key, u64 nonce, ByteSpan plaintext)
 
     Sha256Digest mac = hmacSha256(key, w.buffer());
     w.bytes(ByteSpan(mac.data(), mac.size()));
-    return w.take();
+    ByteVec out = w.take();
+    // Sealing is a declassification boundary: ciphertext + MAC under the
+    // channel key are safe on the untrusted network. Clear any labels
+    // the fresh buffer may have inherited from a recycled allocation.
+    if (taint::query(key.data(), key.size()) != taint::kNone ||
+        taint::query(plaintext) != taint::kNone) {
+        taint::noteDeclassified("seal: authenticated encryption of secret "
+                                "under channel key");
+    }
+    taint::clearRange(out.data(), out.size());
+    return out;
 }
 
 Result<ByteVec>
@@ -75,6 +86,13 @@ open(const Sha256Digest &key, ByteSpan sealed)
     ByteVec plaintext = r.bytes(len).take();
     Aes128 aes(encKeyOf(key));
     ctrXor(aes, nonce, plaintext);
+    // Opening under a labelled channel key recovers the secret: the
+    // plaintext inherits a launch-secret label, which callers carry into
+    // protected memory (page labels) and then clear with the buffer.
+    if (taint::query(key.data(), key.size()) != taint::kNone) {
+        taint::mark(plaintext.data(), plaintext.size(),
+                    taint::kLaunchSecret);
+    }
     return plaintext;
 }
 

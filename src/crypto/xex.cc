@@ -27,6 +27,18 @@ gfDouble(AesBlock &t)
 XexCipher::XexCipher(const Aes128Key &key, const Aes128Key &tweak_key)
     : data_cipher_(key), tweak_cipher_(tweak_key)
 {
+    // The key schedules are derived secrets: label the ciphers' storage
+    // with whatever labels the caller put on the raw keys (the PSP marks
+    // freshly generated VEKs kVek), joined with kVek since any key fed
+    // to the memory-encryption engine protects guest memory.
+    taint::TaintSet from_keys =
+        taint::query(key.data(), key.size()) |
+        taint::query(tweak_key.data(), tweak_key.size());
+    if (from_keys != taint::kNone) {
+        key_label_.set(&data_cipher_,
+                       sizeof(data_cipher_) + sizeof(tweak_cipher_),
+                       from_keys | taint::kVek);
+    }
 }
 
 AesBlock
@@ -68,6 +80,11 @@ XexCipher::encrypt(MutByteSpan data, u64 addr) const
             data[off + i] ^= t[i];
         }
     }
+    // Encryption is a declassification boundary: the buffer now holds
+    // ciphertext, which the host may see. (Plaintext labelling is page
+    // granular and lives in GuestMemory's shadow, not on scratch
+    // buffers, so decrypt() deliberately does not mark.)
+    taint::clearRange(data.data(), data.size());
 }
 
 void

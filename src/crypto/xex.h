@@ -13,6 +13,7 @@
 #define SEVF_CRYPTO_XEX_H_
 
 #include "crypto/aes128.h"
+#include "taint/taint.h"
 
 namespace sevf::crypto {
 
@@ -42,6 +43,12 @@ class XexCipher
 
     Aes128 data_cipher_;
     Aes128 tweak_cipher_;
+    /**
+     * Taint carried by the key schedules: inherited from the key bytes
+     * at construction so the engine object itself (which contains the
+     * expanded VEK) is labelled secret, and cleared with the engine.
+     */
+    taint::ScopedLabel key_label_;
 };
 
 } // namespace sevf::crypto

@@ -4,6 +4,7 @@
 #include "base/rng.h"
 #include "crypto/dh.h"
 #include "crypto/seal.h"
+#include "taint/taint.h"
 
 namespace sevf::guest {
 
@@ -17,6 +18,11 @@ runAttestation(psp::Psp &psp, psp::GuestHandle handle,
     // construction).
     Rng rng(seed);
     crypto::DhKeyPair guest_key = crypto::dhGenerate(rng);
+    // The private exponent lives in encrypted guest memory in the real
+    // system; label it so any flow into a host-visible channel trips.
+    taint::ScopedTaint exponent_guard(&guest_key.private_exponent,
+                                      sizeof(guest_key.private_exponent),
+                                      taint::kTransportKey);
 
     psp::ReportData rdata{};
     storeLe<u64>(rdata.data(), guest_key.public_value);
@@ -34,10 +40,18 @@ runAttestation(psp::Psp &psp, psp::GuestHandle handle,
     // encrypted memory.
     crypto::Sha256Digest channel = crypto::dhSharedKey(
         guest_key.private_exponent, resp.owner_dh_public);
+    taint::ScopedTaint channel_guard(channel.data(), channel.size(),
+                                     taint::kTransportKey);
+    // open() labels the unwrapped plaintext kLaunchSecret (the channel
+    // key is tainted), so the write below must take the C-bit path.
     SEVF_ASSIGN_OR_RETURN(ByteVec secret,
                           crypto::open(channel, resp.sealed_secret));
 
-    SEVF_RETURN_IF_ERROR(mem.guestWrite(secret_dest, secret, true));
+    Status wrote = mem.guestWrite(secret_dest, secret, true);
+    // The label now lives on the destination pages; drop the byte-range
+    // label before the transient heap buffer is freed and reused.
+    taint::clearRange(secret.data(), secret.size());
+    SEVF_RETURN_IF_ERROR(wrote);
     AttestationOutcome out;
     out.secret_gpa = secret_dest;
     out.secret_size = secret.size();

@@ -19,10 +19,32 @@ GuestMemory::GuestMemory(u64 size, Spa spa_base, u32 asid, SevMode mode)
       spa_base_(spa_base),
       asid_(asid),
       mode_(asid == 0 ? SevMode::kNone : mode),
-      rmp_(spa_base, pagesFor(size))
+      rmp_(spa_base, pagesFor(size)),
+      page_labels_(pagesFor(size), taint::kNone)
 {
     SEVF_CHECK(size % kPageSize == 0);
     SEVF_CHECK(spa_base % kPageSize == 0);
+}
+
+taint::TaintSet
+GuestMemory::pageLabel(Gpa gpa) const
+{
+    u64 page = gpa / kPageSize;
+    return page < page_labels_.size() ? page_labels_[page] : taint::kNone;
+}
+
+void
+GuestMemory::joinPageLabels(Gpa gpa, u64 len, taint::TaintSet labels)
+{
+    if (len == 0 || labels == taint::kNone) {
+        return;
+    }
+    u64 first = gpa / kPageSize;
+    u64 last = (gpa + len - 1) / kPageSize;
+    for (u64 page = first; page <= last && page < page_labels_.size();
+         ++page) {
+        page_labels_[page] |= labels;
+    }
 }
 
 void
@@ -61,6 +83,10 @@ Status
 GuestMemory::hostWrite(Gpa gpa, ByteSpan data)
 {
     SEVF_RETURN_IF_ERROR(checkRange(gpa, data.size()));
+    // The host staging path writes plaintext the host can also read
+    // back: labelled bytes arriving here are a confidentiality leak.
+    taint::guardSink(taint::Sink::kHostWrite, data,
+                     "GuestMemory::hostWrite staging plaintext");
     if (integrityEnforced() && !data.empty()) {
         Gpa first = alignDown(gpa, kPageSize);
         Gpa last = alignDown(gpa + data.size() - 1, kPageSize);
@@ -82,6 +108,8 @@ GuestMemory::hostRead(Gpa gpa, u64 len) const
 void
 GuestMemory::hostWriteUnchecked(Gpa gpa, ByteSpan data)
 {
+    // Deliberately NOT a taint sink: this models a physical attacker
+    // corrupting DRAM, not our software leaking secrets.
     SEVF_CHECK(gpa + data.size() <= bytes_.size());
     std::copy(data.begin(), data.end(), bytes_.begin() + gpa);
 }
@@ -97,11 +125,19 @@ GuestMemory::guestWrite(Gpa gpa, ByteSpan data, bool c_bit)
         // Shared (plaintext) access path. No RMP validation required for
         // shared pages, but writing a guest-owned page through a shared
         // mapping would produce garbage; we allow it like hardware does.
+        // Secret bytes leaving the guest through a shared mapping is
+        // exactly the leak SEV exists to prevent — guard it.
+        taint::guardSink(taint::Sink::kSharedPageWrite, data,
+                         "GuestMemory::guestWrite with C-bit clear");
         std::copy(data.begin(), data.end(), bytes_.begin() + gpa);
         return Status::ok();
     }
 
     SEVF_RETURN_IF_ERROR(checkGuestRange(gpa, data.size()));
+    // A C-bit write makes the pages guest-private: propagate the data's
+    // labels (if any) into the page shadow before the bytes become
+    // indistinguishable ciphertext.
+    joinPageLabels(gpa, data.size(), taint::query(data) | taint::kGuestData);
 
     // Read-modify-write at encryption-line granularity, but only the
     // boundary lines need decrypting - fully overwritten lines are
@@ -146,8 +182,21 @@ GuestMemory::guestRead(Gpa gpa, u64 len, bool c_bit) const
     Gpa line_end = alignUp(gpa + len, kLine);
     ByteVec scratch(bytes_.begin() + line_start, bytes_.begin() + line_end);
     engine_->decrypt(scratch, spa_base_ + line_start);
-    return ByteVec(scratch.begin() + (gpa - line_start),
-                   scratch.begin() + (gpa - line_start) + len);
+    ByteVec out(scratch.begin() + (gpa - line_start),
+                scratch.begin() + (gpa - line_start) + len);
+    // Decrypted plaintext inherits the secret tags of its pages. Plain
+    // kGuestData (measured kernel/initrd content) stays unmarked so the
+    // hot verifier read path does not scatter labels over short-lived
+    // buffers; explicitly provisioned secrets do get carried.
+    taint::TaintSet labels = taint::kNone;
+    for (Gpa page = alignDown(gpa, kPageSize);
+         page <= alignDown(gpa + len - 1, kPageSize); page += kPageSize) {
+        labels |= pageLabel(page);
+    }
+    if ((labels & ~taint::kGuestData) != taint::kNone) {
+        taint::mark(out.data(), out.size(), labels);
+    }
+    return out;
 }
 
 Status
@@ -165,7 +214,10 @@ GuestMemory::pspEncryptInPlace(Gpa gpa, u64 len)
     if (gpa + whole > bytes_.size()) {
         return errInvalidArgument("LAUNCH_UPDATE_DATA region past end");
     }
-    // Encrypt whole pages (the PSP works at page granularity).
+    // Encrypt whole pages (the PSP works at page granularity). The pages
+    // become guest-owned: label them, and let the engine clear any
+    // byte-range labels (the DRAM now holds public ciphertext).
+    joinPageLabels(gpa, whole, taint::kGuestData);
     MutByteSpan region(bytes_.data() + gpa, whole);
     engine_->encrypt(region, spa_base_ + gpa);
     if (integrityEnforced()) {

@@ -15,11 +15,14 @@
 #include <memory>
 #include <optional>
 
+#include <vector>
+
 #include "base/status.h"
 #include "base/types.h"
 #include "crypto/xex.h"
 #include "memory/rmp.h"
 #include "memory/sev_mode.h"
+#include "taint/taint.h"
 
 namespace sevf::memory {
 
@@ -110,6 +113,20 @@ class GuestMemory
     /** Raw view for the PSP/tests. */
     ByteSpan raw() const { return bytes_; }
 
+    // ---- Secret-flow labels (sevf::taint) ----
+
+    /**
+     * Taint labels of the page containing @p gpa. Pages converted to
+     * guest-owned state (pspEncryptInPlace, C-bit writes) carry at
+     * least kGuestData; provisioned secrets add their tags. The shadow
+     * is the durable propagation channel: plaintext buffers returned by
+     * guestRead inherit any secret tags of the pages they came from.
+     */
+    taint::TaintSet pageLabel(Gpa gpa) const;
+
+    /** Join @p labels onto every page overlapping [gpa, gpa+len). */
+    void joinPageLabels(Gpa gpa, u64 len, taint::TaintSet labels);
+
   private:
     Status checkRange(Gpa gpa, u64 len) const;
     /** RMP guest-access check for every page the range touches. */
@@ -121,6 +138,8 @@ class GuestMemory
     SevMode mode_;
     Rmp rmp_;
     std::unique_ptr<crypto::XexCipher> engine_;
+    /** Per-page taint shadow (see pageLabel()). */
+    std::vector<taint::TaintSet> page_labels_;
 };
 
 } // namespace sevf::memory

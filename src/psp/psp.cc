@@ -23,6 +23,8 @@ Psp::Psp(std::string chip_id, KeyServer &key_server, u64 seed)
     : chip_id_(std::move(chip_id)), rng_(seed)
 {
     rng_.fill(chip_key_);
+    chip_key_label_.set(chip_key_.data(), chip_key_.size(),
+                        taint::kChipKey);
     Status provisioned = key_server.provision(chip_id_, chip_key_);
     if (!provisioned.isOk()) {
         fatal("PSP chip provisioning failed: ", provisioned.toString());
@@ -80,16 +82,25 @@ Psp::doLaunchStart(memory::GuestMemory &mem, u32 policy, bool shared)
         if (!shared_key_ready_) {
             rng_.fill(shared_vek_);
             rng_.fill(shared_tweak_);
+            shared_vek_label_.set(shared_vek_.data(), shared_vek_.size(),
+                                  taint::kVek);
+            shared_tweak_label_.set(shared_tweak_.data(),
+                                    shared_tweak_.size(), taint::kVek);
             shared_key_ready_ = true;
         }
         mem.attachEncryption(
             std::make_unique<crypto::XexCipher>(shared_vek_, shared_tweak_));
     } else {
         // Generate the per-guest VEK + tweak key and hand the engine to
-        // the memory controller.
+        // the memory controller. The stack copies are labelled only for
+        // this scope; the XexCipher inherits the label into its key
+        // schedules for the engine's lifetime.
         crypto::Aes128Key vek, tweak;
         rng_.fill(vek);
         rng_.fill(tweak);
+        taint::ScopedTaint vek_guard(vek.data(), vek.size(), taint::kVek);
+        taint::ScopedTaint tweak_guard(tweak.data(), tweak.size(),
+                                       taint::kVek);
         mem.attachEncryption(std::make_unique<crypto::XexCipher>(vek, tweak));
     }
 
@@ -197,6 +208,12 @@ Psp::doGuestRequestReport(GuestHandle handle,
     if (ctx->state != LaunchState::kFinished) {
         return errInvalidState("report requested before LAUNCH_FINISH");
     }
+    // Every report field is public by the SNP ABI; the guest-chosen
+    // report_data travels to the guest owner in the clear, so labelled
+    // bytes here mean the guest is about to publish a secret.
+    taint::guardSink(taint::Sink::kReportField, report_data.data(),
+                     report_data.size(),
+                     "MSG_REPORT_REQ report_data (public report field)");
     AttestationReport report;
     report.chip_id = chip_id_;
     report.policy = ctx->policy;

@@ -22,6 +22,7 @@
 #include "memory/guest_memory.h"
 #include "psp/attestation_report.h"
 #include "psp/key_server.h"
+#include "taint/taint.h"
 
 namespace sevf::psp {
 
@@ -154,11 +155,15 @@ class Psp
 
     std::string chip_id_;
     ChipKey chip_key_;
+    /** Secret-flow label over chip_key_ for the Psp's lifetime. */
+    taint::ScopedLabel chip_key_label_;
     Rng rng_;
     /** Lazily generated shared platform key (future-work extension). */
     bool shared_key_ready_ = false;
     crypto::Aes128Key shared_vek_{};
     crypto::Aes128Key shared_tweak_{};
+    taint::ScopedLabel shared_vek_label_;
+    taint::ScopedLabel shared_tweak_label_;
     u32 next_asid_ = 1;
     GuestHandle next_handle_ = 1;
     std::map<GuestHandle, GuestContext> guests_;

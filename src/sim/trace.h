@@ -13,7 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "base/types.h"
 #include "sim/time.h"
+#include "taint/taint.h"
 
 namespace sevf::sim {
 
@@ -41,8 +43,9 @@ inline constexpr const char *kAttestation = "attestation";
 struct Step {
     StepKind kind;
     Duration duration;
-    std::string phase; //!< one of sim::phase::*
-    std::string label; //!< fine-grained description ("hash kernel", ...)
+    std::string phase;      //!< one of sim::phase::*
+    std::string label;      //!< fine-grained description ("hash kernel", ...)
+    std::string annotation; //!< optional data payload (hex, or redacted)
 };
 
 /**
@@ -57,8 +60,17 @@ class BootTrace
     add(StepKind kind, Duration d, std::string phase, std::string label)
     {
         steps_.push_back(
-            {kind, d, std::move(phase), std::move(label)});
+            {kind, d, std::move(phase), std::move(label), {}});
     }
+
+    /**
+     * Append a step annotated with a data payload. Traces are written to
+     * host-side logs and figures, so the payload passes through the
+     * taint sink guard: labelled bytes are redacted from the annotation
+     * (and panic outright under taint::Mode::kEnforce).
+     */
+    void addAnnotated(StepKind kind, Duration d, std::string phase,
+                      std::string label, ByteSpan payload);
 
     const std::vector<Step> &steps() const { return steps_; }
 

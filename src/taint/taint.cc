@@ -1,0 +1,312 @@
+#include "taint/taint.h"
+
+#include <map>
+#include <mutex>
+
+#include "base/logging.h"
+
+namespace sevf::taint {
+
+namespace {
+
+#if defined(SEVF_TAINT_DEFAULT_ENFORCE)
+constexpr Mode kDefaultMode = Mode::kEnforce;
+#else
+constexpr Mode kDefaultMode = Mode::kRecord;
+#endif
+
+struct Segment {
+    u64 end; //!< exclusive
+    TaintSet labels;
+};
+
+/**
+ * Process-global label state. Segments are disjoint, keyed by start
+ * address; the mutex keeps the hooks safe if a future subsystem goes
+ * multi-threaded (today's boot path is single-threaded).
+ */
+/** Cap on stored audit entries; the counts keep running past it. */
+constexpr u64 kMaxAuditEntries = 4096;
+
+struct State {
+    std::mutex mu;
+    std::map<u64, Segment> segments;
+    std::vector<Violation> violations;
+    std::vector<Declassification> declassifications;
+    u64 violation_count = 0;
+    u64 declassification_count = 0;
+    Mode mode = kDefaultMode;
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+/**
+ * Split any segment straddling @p addr so that @p addr is a segment
+ * boundary. Caller holds the lock.
+ */
+void
+splitAt(std::map<u64, Segment> &segs, u64 addr)
+{
+    auto it = segs.upper_bound(addr);
+    if (it == segs.begin()) {
+        return;
+    }
+    --it;
+    if (it->first < addr && addr < it->second.end) {
+        Segment tail{it->second.end, it->second.labels};
+        it->second.end = addr;
+        segs.emplace(addr, tail);
+    }
+}
+
+} // namespace
+
+std::string
+describeLabels(TaintSet labels)
+{
+    static constexpr struct {
+        TaintSet bit;
+        const char *name;
+    } kNames[] = {
+        {kVek, "vek"},
+        {kChipKey, "chip-key"},
+        {kTransportKey, "transport-key"},
+        {kLaunchSecret, "launch-secret"},
+        {kGuestData, "guest-data"},
+    };
+    if (labels == kNone) {
+        return "public";
+    }
+    std::string out;
+    for (const auto &n : kNames) {
+        if (labels & n.bit) {
+            if (!out.empty()) {
+                out += "|";
+            }
+            out += n.name;
+        }
+    }
+    return out;
+}
+
+const char *
+sinkName(Sink sink)
+{
+    switch (sink) {
+      case Sink::kHostWrite: return "host-write";
+      case Sink::kSharedPageWrite: return "shared-page-write";
+      case Sink::kFwCfg: return "fw_cfg";
+      case Sink::kDebugPort: return "debug-port";
+      case Sink::kTraceAnnotation: return "trace-annotation";
+      case Sink::kReportField: return "report-field";
+    }
+    return "unknown";
+}
+
+Mode
+mode()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.mode;
+}
+
+void
+setMode(Mode m)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.mode = m;
+}
+
+void
+mark(const void *p, u64 len, TaintSet labels)
+{
+    if (len == 0 || labels == kNone) {
+        return;
+    }
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.mode == Mode::kOff) {
+        return;
+    }
+    u64 lo = reinterpret_cast<u64>(p);
+    u64 hi = lo + len;
+    splitAt(s.segments, lo);
+    splitAt(s.segments, hi);
+    // Join onto existing segments inside [lo, hi), then fill the gaps.
+    u64 cursor = lo;
+    auto it = s.segments.lower_bound(lo);
+    while (it != s.segments.end() && it->first < hi) {
+        if (it->first > cursor) {
+            s.segments.emplace(cursor, Segment{it->first, labels});
+        }
+        it->second.labels |= labels;
+        cursor = it->second.end;
+        ++it;
+    }
+    if (cursor < hi) {
+        s.segments.emplace(cursor, Segment{hi, labels});
+    }
+}
+
+void
+clearRange(const void *p, u64 len)
+{
+    if (len == 0) {
+        return;
+    }
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    u64 lo = reinterpret_cast<u64>(p);
+    u64 hi = lo + len;
+    splitAt(s.segments, lo);
+    splitAt(s.segments, hi);
+    auto it = s.segments.lower_bound(lo);
+    while (it != s.segments.end() && it->first < hi) {
+        it = s.segments.erase(it);
+    }
+}
+
+TaintSet
+query(const void *p, u64 len)
+{
+    if (len == 0) {
+        return kNone;
+    }
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.mode == Mode::kOff) {
+        return kNone;
+    }
+    u64 lo = reinterpret_cast<u64>(p);
+    u64 hi = lo + len;
+    TaintSet out = kNone;
+    auto it = s.segments.upper_bound(lo);
+    if (it != s.segments.begin()) {
+        --it;
+        if (it->second.end > lo) {
+            out |= it->second.labels;
+        }
+        ++it;
+    }
+    while (it != s.segments.end() && it->first < hi) {
+        out |= it->second.labels;
+        ++it;
+    }
+    return out;
+}
+
+namespace {
+
+void
+appendDeclassification(State &s, std::string_view reason, u64 bytes)
+{
+    ++s.declassification_count;
+    if (s.declassifications.size() < kMaxAuditEntries) {
+        s.declassifications.push_back({std::string(reason), bytes});
+    }
+}
+
+} // namespace
+
+void
+declassify(const void *p, u64 len, std::string_view reason)
+{
+    clearRange(p, len);
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    appendDeclassification(s, reason, len);
+}
+
+void
+noteDeclassified(std::string_view reason)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.mode == Mode::kOff) {
+        return;
+    }
+    appendDeclassification(s, reason, 0);
+}
+
+std::vector<Declassification>
+declassifications()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.declassifications;
+}
+
+u64
+declassificationCount()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.declassification_count;
+}
+
+TaintSet
+guardSink(Sink sink, const void *p, u64 len, std::string_view context)
+{
+    if (mode() == Mode::kOff) {
+        return kNone;
+    }
+    TaintSet labels = query(p, len);
+    if (labels == kNone) {
+        return kNone;
+    }
+    std::string message =
+        std::string("taint: SECRET bytes [") + describeLabels(labels) +
+        "] reached public sink '" + sinkName(sink) + "' (" +
+        std::string(context) + ", " + std::to_string(len) +
+        " bytes); if this flow is intentional, declassify() it at a "
+        "reviewed boundary";
+    State &s = state();
+    {
+        std::lock_guard<std::mutex> lock(s.mu);
+        ++s.violation_count;
+        if (s.violations.size() < kMaxAuditEntries) {
+            s.violations.push_back(
+                {sink, labels, std::string(context), message});
+        }
+        if (s.mode != Mode::kEnforce) {
+            return labels;
+        }
+    }
+    panic(message);
+}
+
+std::vector<Violation>
+violations()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.violations;
+}
+
+u64
+violationCount()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.violation_count;
+}
+
+void
+clearViolations()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.violations.clear();
+    s.declassifications.clear();
+    s.violation_count = 0;
+    s.declassification_count = 0;
+}
+
+} // namespace sevf::taint

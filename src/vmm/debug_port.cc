@@ -2,7 +2,25 @@
 
 #include <cstdio>
 
+#include "base/bytes.h"
+
 namespace sevf::vmm {
+
+void
+DebugPort::recordData(sim::TimePoint t, std::string label, ByteSpan payload)
+{
+    taint::TaintSet labels = taint::guardSink(
+        taint::Sink::kDebugPort, payload,
+        "DebugPort::recordData payload for '" + label + "'");
+    if (labels != taint::kNone) {
+        // Record mode: keep the event but never the secret bytes.
+        label += " <redacted " + std::to_string(payload.size()) +
+                 " secret bytes: " + taint::describeLabels(labels) + ">";
+    } else {
+        label += " " + toHex(payload);
+    }
+    events_.push_back({t, std::move(label)});
+}
 
 std::string
 DebugPort::render() const

@@ -14,7 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "base/types.h"
 #include "sim/time.h"
+#include "taint/taint.h"
 
 namespace sevf::vmm {
 
@@ -32,6 +34,14 @@ class DebugPort
     {
         events_.push_back({t, std::move(label)});
     }
+
+    /**
+     * Record a marker carrying a data payload (rendered as hex). The
+     * debug port is host-observable plaintext, so the payload passes
+     * through the taint sink guard: labelled bytes are redacted from
+     * the event (and panic outright under taint::Mode::kEnforce).
+     */
+    void recordData(sim::TimePoint t, std::string label, ByteSpan payload);
 
     const std::vector<Event> &events() const { return events_; }
 

@@ -1,6 +1,7 @@
 #include "vmm/fw_cfg.h"
 
 #include "image/elf.h"
+#include "taint/taint.h"
 
 namespace sevf::vmm {
 
@@ -16,6 +17,10 @@ FwCfg::addItemAt(std::string name, u64 offset, ByteSpan data)
     if (offset + data.size() > capacity_) {
         return errResourceExhausted("fw_cfg staging window overflow");
     }
+    // fw_cfg items sit in shared guest memory the host reads freely;
+    // name the sink specifically (hostWrite below also guards).
+    taint::guardSink(taint::Sink::kFwCfg, data,
+                     "FwCfg::addItemAt item '" + name + "'");
     SEVF_RETURN_IF_ERROR(mem_.hostWrite(base_ + offset, data));
     Item item{std::move(name), base_ + offset, data.size()};
     items_.push_back(item);

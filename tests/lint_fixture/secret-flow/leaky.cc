@@ -1,0 +1,35 @@
+/*
+ * Deliberately leaky fixture: the secret-flow rule must flag every
+ * flow below. A variable assigned from a secret-source function
+ * (dhSharedKey, open, keyFor) must not reach a logging/serialization
+ * sink without declassify().
+ */
+
+void
+leakChannelKeyToLog()
+{
+    auto channel = dhSharedKey(private_exponent, peer_public);
+    inform("derived channel key ", channel);
+}
+
+void
+leakUnsealedSecretThroughHex()
+{
+    auto secret = open(channel_key, sealed);
+    auto rendered = toHex(secret);
+    debug.record(now, rendered);
+}
+
+void
+leakSourceDirectlyIntoSink()
+{
+    inform("chip key: ", keyFor(chip_id));
+}
+
+void
+declassifiedFlowIsClean()
+{
+    auto channel = dhSharedKey(private_exponent, peer_public);
+    declassify(channel, "fixture: reviewed boundary");
+    inform("fingerprint ", channel);
+}

@@ -1,0 +1,13 @@
+/*
+ * Fixture: suppression comments that match no violation. The
+ * unused-suppression rule must flag both stale markers (the trailing
+ * one and the preceding one).
+ */
+
+int
+fixtureStaleSuppressions(int n)
+{
+    int doubled = n * 2; // sevf_lint: allow(banned-construct)
+    // sevf_lint: allow(unguarded-result)
+    return doubled;
+}

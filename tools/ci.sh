@@ -1,7 +1,9 @@
 #!/bin/sh
-# Tier-1 CI gate for severifast. Runs the full verify twice — a plain
-# -Werror build and an ASan+UBSan build — plus the project linter, each in
-# its own build tree so the configurations never clobber one another.
+# Tier-1 CI gate for severifast. Runs the full verify three times — a
+# plain -Werror build, an ASan+UBSan build, and an SEVF_TAINT=ON build
+# (secret-flow monitor in enforce mode) — plus the project linter and
+# the launch-protocol model checker, each configuration in its own
+# build tree so they never clobber one another.
 #
 #   tools/ci.sh            # run everything
 #   CI_JOBS=4 tools/ci.sh  # cap build/test parallelism
@@ -11,6 +13,20 @@ set -eu
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${CI_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+# 0. Repo hygiene: build trees must never be committed. Catches both
+#    tracked stragglers and a regressed .gitignore.
+if command -v git >/dev/null 2>&1 && [ -d "$root/.git" ]; then
+    echo "==> [hygiene] no tracked build trees"
+    tracked="$(cd "$root" && git ls-files | grep -E '^build[^/]*/' || true)"
+    if [ -n "$tracked" ]; then
+        echo "error: build trees are tracked in git:" >&2
+        echo "$tracked" | head >&2
+        echo "run: git rm -r --cached build* (and keep .gitignore's" \
+             "/build/ + /build-*/ entries)" >&2
+        exit 1
+    fi
+fi
 
 run_matrix_entry() {
     name="$1"
@@ -31,13 +47,27 @@ run_matrix_entry werror -DSEVF_WERROR=ON
 #    heap misuse or UB in the test/bench paths fails the run.
 run_matrix_entry asan -DSEVF_WERROR=ON -DSEVF_SANITIZE=address,undefined
 
-# 3. Project linter over the library sources, plus its self-test fixture.
-#    Both also run under ctest above; running them standalone keeps the lint
-#    usable when the library itself does not build.
+# 3. Full suite with the secret-flow taint monitor defaulting to enforce:
+#    a single SECRET byte reaching a host-visible sink panics the test.
+run_matrix_entry taint -DSEVF_WERROR=ON -DSEVF_TAINT=ON
+
+# 4. Project linter over the library sources (with the secret-flow
+#    source list), plus its self-test fixture. Both also run under ctest
+#    above; running them standalone keeps the lint usable when the
+#    library itself does not build.
 lint="$root/build-ci-werror/tools/sevf_lint"
-echo "==> [lint] $lint --root src"
-"$lint" --root "$root/src"
+echo "==> [lint] $lint --root src --secret-sources tools/secret-sources.txt"
+"$lint" --root "$root/src" --secret-sources "$root/tools/secret-sources.txt"
 echo "==> [lint] selftest"
 "$lint" --selftest "$root/tests/lint_fixture"
 
-echo "==> CI green: werror + asan,ubsan + lint"
+# 5. Launch-protocol model check: exhaustive interleavings of the SNP
+#    launch commands cross-checked against the live device model, then
+#    the seeded-mutant run proving the checker catches real holes.
+model="$root/build-ci-werror/tools/sevf_model"
+echo "==> [model] clean verification"
+"$model" --guests 2 --depth 16 --sweep 4
+echo "==> [model] seeded mutants must be caught"
+"$model" --guests 2 --depth 8 --sweep 3 --all-mutants
+
+echo "==> CI green: hygiene + werror + asan,ubsan + taint-enforce + lint + model"

@@ -17,13 +17,26 @@
  *   unguarded-result  heuristic: a variable declared Result<...> must be
  *                     guarded (isOk()/valueOr()/errorOr()) in the same
  *                     function before .value()/.take()
+ *   secret-flow       intraprocedural dataflow: a variable assigned from
+ *                     a secret-source function (dhSharedKey, open,
+ *                     keyFor, ... — extend with --secret-sources) is
+ *                     tracked through same-function assignments; flowing
+ *                     it into a logging/serialization sink (inform,
+ *                     record, recordData, addItem, toHex, render, ...)
+ *                     without an intervening declassify() is flagged
+ *   unused-suppression  every "sevf_lint: allow(...)" comment must
+ *                     actually suppress a violation; stale ones rot
+ *                     into blanket permission and are errors themselves
  *
  * Suppress a finding with a trailing or preceding comment:
  *
  *     do_scary_thing(); // sevf_lint: allow(banned-construct)
  *
  * Usage:
- *     sevf_lint --root <dir>       lint a tree, exit 1 on violations
+ *     sevf_lint --root <dir> [--secret-sources <file>]
+ *                                  lint a tree, exit 1 on violations;
+ *                                  the file adds one secret-source
+ *                                  function name per line ('#' comments)
  *     sevf_lint --selftest <dir>   run the fixture self-test: each
  *                                  subdirectory is named for the rule it
  *                                  must trip ("suppressed" must be clean)
@@ -132,16 +145,45 @@ loadFile(const fs::path &path)
     return text;
 }
 
-/** Is a violation of @p rule at @p line (1-based) suppressed? */
+/** Does @p line contain @p word with identifier boundaries? */
 bool
-suppressed(const FileText &text, const std::string &rule, size_t line)
+containsWord(const std::string &line, const std::string &word)
 {
-    std::string marker = "sevf_lint: allow(" + rule + ")";
-    for (size_t l : {line, line - 1}) {
-        if (l >= 1 && l <= text.raw.size() &&
-            text.raw[l - 1].find(marker) != std::string::npos) {
+    auto ident = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    };
+    size_t pos = 0;
+    while ((pos = line.find(word, pos)) != std::string::npos) {
+        bool left_ok = pos == 0 || !ident(line[pos - 1]);
+        size_t end = pos + word.size();
+        bool right_ok = end >= line.size() || !ident(line[end]);
+        if (left_ok && right_ok) {
             return true;
         }
+        ++pos;
+    }
+    return false;
+}
+
+/** Does @p line call @p fn (name followed by an open paren)? */
+bool
+callsFunction(const std::string &line, const std::string &fn)
+{
+    auto ident = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    };
+    size_t pos = 0;
+    while ((pos = line.find(fn, pos)) != std::string::npos) {
+        bool left_ok = pos == 0 || !ident(line[pos - 1]);
+        size_t end = pos + fn.size();
+        while (end < line.size() && std::isspace(static_cast<unsigned char>(
+                                        line[end]))) {
+            ++end;
+        }
+        if (left_ok && end < line.size() && line[end] == '(') {
+            return true;
+        }
+        ++pos;
     }
     return false;
 }
@@ -157,10 +199,32 @@ upperIdent(std::string s)
     return s;
 }
 
+/** Functions whose return value is secret by project policy. */
+const char *const kDefaultSecretSources[] = {
+    "dhSharedKey", // DH channel keys
+    "open",        // unsealed launch secrets (crypto/seal.h)
+    "keyFor",      // chip signing keys out of the KDS
+};
+
+/** Host-visible logging/serialization sinks for the secret-flow rule. */
+const char *const kSecretSinks[] = {
+    "inform", "warn", "record", "recordData", "addItem", "addItemAt",
+    "toHex",  "render", "toJson",
+};
+
 class Linter
 {
   public:
-    explicit Linter(fs::path root) : root_(std::move(root)) {}
+    explicit Linter(fs::path root,
+                    std::vector<std::string> extra_secret_sources = {})
+        : root_(std::move(root)),
+          secret_sources_(std::begin(kDefaultSecretSources),
+                          std::end(kDefaultSecretSources))
+    {
+        secret_sources_.insert(secret_sources_.end(),
+                               extra_secret_sources.begin(),
+                               extra_secret_sources.end());
+    }
 
     std::vector<Violation>
     run()
@@ -183,6 +247,25 @@ class Linter
     }
 
   private:
+    /**
+     * Is a violation of @p rule at @p line (1-based) suppressed? A hit
+     * records which marker did the suppressing so unused markers can be
+     * flagged after all checks ran.
+     */
+    bool
+    suppressed(const FileText &text, const std::string &rule, size_t line)
+    {
+        std::string marker = "sevf_lint: allow(" + rule + ")";
+        for (size_t l : {line, line - 1}) {
+            if (l >= 1 && l <= text.raw.size() &&
+                text.raw[l - 1].find(marker) != std::string::npos) {
+                used_markers_.emplace_back(l, rule);
+                return true;
+            }
+        }
+        return false;
+    }
+
     void
     report(const fs::path &file, size_t line, const std::string &rule,
            const std::string &message, const FileText &text)
@@ -204,6 +287,7 @@ class Linter
                                    "could not read file"});
             return;
         }
+        used_markers_.clear();
         std::string rel = fs::relative(path, root_).generic_string();
         if (path.extension() == ".h") {
             checkHeaderGuard(path, rel, *text);
@@ -214,6 +298,8 @@ class Linter
             checkPairing(path, rel, *text);
             checkUnguardedResult(path, *text);
         }
+        checkSecretFlow(path, *text);
+        checkUnusedSuppressions(path, *text);
     }
 
     // ------------------------------------------------------- header-guard
@@ -427,18 +513,176 @@ class Linter
         }
     }
 
+    // ------------------------------------------------------- secret-flow
+
+    /**
+     * Intraprocedural dataflow over the same brace heuristic as
+     * unguarded-result. A variable assigned from a secret-source
+     * function becomes tainted; assignments whose right side mentions a
+     * tainted variable propagate the taint; declassify(x, ...) clears
+     * it. A tainted variable reaching a logging/serialization sink —
+     * or a source call nested directly inside a sink call — is flagged.
+     */
+    void
+    checkSecretFlow(const fs::path &path, const FileText &text)
+    {
+        static const std::regex assign_re("(\\w+)\\s*=(?!=)");
+        static const std::regex assign_or_return_re(
+            "SEVF_ASSIGN_OR_RETURN\\s*\\(\\s*[^,]*?(\\w+)\\s*,");
+        bool in_body = false;
+        std::vector<std::string> tainted;
+        auto isTainted = [&](const std::string &name) {
+            return std::find(tainted.begin(), tainted.end(), name) !=
+                   tainted.end();
+        };
+        for (size_t i = 0; i < text.scrubbed.size(); ++i) {
+            const std::string &line = text.scrubbed[i];
+            if (line == "{") {
+                in_body = true;
+                tainted.clear();
+                continue;
+            }
+            if (line == "}") {
+                in_body = false;
+                continue;
+            }
+            if (!in_body) {
+                continue;
+            }
+
+            if (line.find("declassify") != std::string::npos) {
+                // An explicit declassification launders every tainted
+                // variable named in it (the runtime audit-logs it).
+                tainted.erase(
+                    std::remove_if(tainted.begin(), tainted.end(),
+                                   [&](const std::string &name) {
+                                       return containsWord(line, name);
+                                   }),
+                    tainted.end());
+                continue;
+            }
+
+            bool calls_source = std::any_of(
+                secret_sources_.begin(), secret_sources_.end(),
+                [&](const std::string &src) {
+                    return callsFunction(line, src);
+                });
+            bool rhs_tainted =
+                calls_source ||
+                std::any_of(tainted.begin(), tainted.end(),
+                            [&](const std::string &name) {
+                                return containsWord(line, name);
+                            });
+
+            // Sink check first: a source call (or tainted variable)
+            // feeding a sink on this very line is a leak even when the
+            // value is also being assigned somewhere.
+            if (rhs_tainted) {
+                for (const char *sink : kSecretSinks) {
+                    if (!callsFunction(line, sink)) {
+                        continue;
+                    }
+                    report(path, i + 1, "secret-flow",
+                           std::string("secret value flows into sink '") +
+                               sink +
+                               "' without declassify(); if this flow is "
+                               "reviewed and intentional, declassify() "
+                               "the value first",
+                           text);
+                    break;
+                }
+            }
+
+            if (!rhs_tainted) {
+                continue;
+            }
+            std::smatch m;
+            if (std::regex_search(line, m, assign_re)) {
+                if (!isTainted(m[1].str())) {
+                    tainted.push_back(m[1].str());
+                }
+            } else if (std::regex_search(line, m, assign_or_return_re)) {
+                if (!isTainted(m[1].str())) {
+                    tainted.push_back(m[1].str());
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------ unused-suppression
+
+    /**
+     * Runs after every other check: any "sevf_lint: allow(rule)" marker
+     * that did not suppress a violation is itself an error. Stale
+     * markers are how suppressions rot into blanket permission.
+     */
+    void
+    checkUnusedSuppressions(const fs::path &path, const FileText &text)
+    {
+        static const std::regex marker_re(
+            "sevf_lint:\\s*allow\\(([\\w-]+)\\)");
+        for (size_t i = 0; i < text.raw.size(); ++i) {
+            std::string rest = text.raw[i];
+            std::smatch m;
+            while (std::regex_search(rest, m, marker_re)) {
+                std::string rule = m[1].str();
+                bool used =
+                    std::find(used_markers_.begin(), used_markers_.end(),
+                              std::make_pair(i + 1, rule)) !=
+                    used_markers_.end();
+                if (!used) {
+                    violations_.push_back(
+                        {fs::relative(path, root_).generic_string(), i + 1,
+                         "unused-suppression",
+                         "suppression 'allow(" + rule +
+                             ")' matches no violation on this or the "
+                             "next line — remove it"});
+                }
+                rest = m.suffix().str();
+            }
+        }
+    }
+
     fs::path root_;
+    std::vector<std::string> secret_sources_;
+    /** (marker line, rule) pairs consumed by suppressed() in this file. */
+    std::vector<std::pair<size_t, std::string>> used_markers_;
     std::vector<Violation> violations_;
 };
 
+/** One secret-source function name per line; '#' starts a comment. */
+std::optional<std::vector<std::string>>
+loadSecretSources(const fs::path &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return std::nullopt;
+    }
+    std::vector<std::string> sources;
+    std::string line;
+    while (std::getline(in, line)) {
+        size_t hash = line.find('#');
+        if (hash != std::string::npos) {
+            line.erase(hash);
+        }
+        std::istringstream is(line);
+        std::string name;
+        if (is >> name) {
+            sources.push_back(name);
+        }
+    }
+    return sources;
+}
+
 int
-lintTree(const fs::path &root)
+lintTree(const fs::path &root, std::vector<std::string> extra_sources)
 {
     if (!fs::is_directory(root)) {
         std::cerr << "sevf_lint: not a directory: " << root << "\n";
         return 2;
     }
-    std::vector<Violation> violations = Linter(root).run();
+    std::vector<Violation> violations =
+        Linter(root, std::move(extra_sources)).run();
     for (const Violation &v : violations) {
         std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
                   << v.message << "\n";
@@ -512,16 +756,33 @@ int
 main(int argc, char **argv)
 {
     std::vector<std::string> args(argv + 1, argv + argc);
-    if (args.size() == 2 && args[0] == "--root") {
-        return lintTree(args[1]);
+    std::string root;
+    std::string selftest_root;
+    std::vector<std::string> extra_sources;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--root" && i + 1 < args.size()) {
+            root = args[++i];
+        } else if (args[i] == "--selftest" && i + 1 < args.size()) {
+            selftest_root = args[++i];
+        } else if (args[i] == "--secret-sources" && i + 1 < args.size()) {
+            auto loaded = loadSecretSources(args[++i]);
+            if (!loaded) {
+                std::cerr << "sevf_lint: could not read secret-sources "
+                             "file: "
+                          << args[i] << "\n";
+                return 2;
+            }
+            extra_sources.insert(extra_sources.end(), loaded->begin(),
+                                 loaded->end());
+        } else {
+            std::cerr << "usage: sevf_lint [--root <dir>] "
+                         "[--secret-sources <file>] | --selftest "
+                         "<fixture_root>\n";
+            return 2;
+        }
     }
-    if (args.size() == 2 && args[0] == "--selftest") {
-        return selfTest(args[1]);
+    if (!selftest_root.empty()) {
+        return selfTest(selftest_root);
     }
-    if (args.empty()) {
-        return lintTree("src");
-    }
-    std::cerr << "usage: sevf_lint [--root <dir> | --selftest "
-                 "<fixture_root>]\n";
-    return 2;
+    return lintTree(root.empty() ? "src" : root, std::move(extra_sources));
 }

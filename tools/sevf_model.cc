@@ -1,0 +1,596 @@
+/**
+ * @file
+ * Exhaustive model check of the SNP launch automaton.
+ *
+ * The launch-ordering property (no UPDATE behind the attested
+ * measurement, no report before FINISH, ...) is enforced three times in
+ * this codebase: by the Psp device model's own checks, by the
+ * check::LaunchProtocol automaton the live monitor runs, and by the
+ * abstract transition model in this tool. This checker explores every
+ * reachable interleaving of launch commands across concurrent guests and
+ * cross-checks all three against each other:
+ *
+ *  - Phase 1 (reachability): BFS over the abstract per-slot state space
+ *    {U, S0, SP, F0, FP}^G to --depth, deduplicating states. Every
+ *    discovered edge's witness path is replayed against a fresh
+ *    check::LaunchProtocol AND a fresh live Psp + GuestMemory per
+ *    guest, verifying the accept/reject verdicts agree step by step.
+ *
+ *  - Phase 2 (path sweep): every command sequence up to --sweep deep
+ *    (no dedup) is replayed the same way, catching history-dependent
+ *    behavior the state abstraction could mask. Each clean replay also
+ *    passes the device's CommandLog through check::checkCommandLog.
+ *
+ * A divergence prints a counterexample trace (the full command sequence
+ * with all three verdicts per step) and fails the run. --mutant seeds a
+ * known protocol hole into the abstract model; with --expect-divergence
+ * the run fails unless the hole is caught, which is how ctest keeps the
+ * checker itself honest.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/protocol.h"
+#include "memory/guest_memory.h"
+#include "psp/key_server.h"
+#include "psp/psp.h"
+
+namespace {
+
+using sevf::Gpa;
+using sevf::Status;
+using sevf::u32;
+using sevf::u64;
+using sevf::kPageSize;
+using sevf::check::PspCommand;
+
+/** Abstract per-guest launch state. */
+enum class Slot : unsigned char {
+    kU,  //!< no LAUNCH_START yet
+    kS0, //!< started, zero updates
+    kSP, //!< started, >= 1 update
+    kF0, //!< finished, zero updates
+    kFP, //!< finished, >= 1 update
+};
+
+const char *
+slotName(Slot s)
+{
+    switch (s) {
+      case Slot::kU: return "U";
+      case Slot::kS0: return "S0";
+      case Slot::kSP: return "SP";
+      case Slot::kF0: return "F0";
+      case Slot::kFP: return "FP";
+    }
+    return "?";
+}
+
+constexpr PspCommand kCommands[] = {
+    PspCommand::kLaunchStart,      PspCommand::kLaunchUpdateData,
+    PspCommand::kLaunchUpdateVmsa, PspCommand::kLaunchMeasure,
+    PspCommand::kLaunchFinish,     PspCommand::kReportRequest,
+};
+constexpr int kNumCommands = 6;
+
+/** One abstract action: a launch command aimed at a guest slot. */
+struct Action {
+    int slot;
+    PspCommand cmd;
+};
+
+/**
+ * Known protocol holes seedable into the abstract model. Each one is a
+ * real attack from the launch-ordering literature; the checker must
+ * catch every one of them as a divergence against the device/automaton.
+ */
+enum class Mutant {
+    kNone,
+    kUpdateAfterFinish,   //!< host extends memory behind the measurement
+    kMeasureBeforeUpdate, //!< digest over nothing attests nothing
+    kReportBeforeFinish,  //!< report over an unlocked measurement
+    kDoubleFinish,        //!< FINISH is not idempotent in the spec
+    kRestartLaunchedGuest,//!< re-LAUNCH_START resets a live context
+};
+
+const struct {
+    Mutant mutant;
+    const char *name;
+} kMutants[] = {
+    {Mutant::kUpdateAfterFinish, "update-after-finish"},
+    {Mutant::kMeasureBeforeUpdate, "measure-before-update"},
+    {Mutant::kReportBeforeFinish, "report-before-finish"},
+    {Mutant::kDoubleFinish, "double-finish"},
+    {Mutant::kRestartLaunchedGuest, "restart-launched-guest"},
+};
+
+struct ModelStep {
+    bool legal;
+    Slot next; //!< == current state when !legal
+};
+
+/** The abstract transition relation (perturbed by @p mutant). */
+ModelStep
+modelStep(Slot s, PspCommand cmd, Mutant mutant)
+{
+    bool started = s != Slot::kU;
+    bool finished = s == Slot::kF0 || s == Slot::kFP;
+    bool updated = s == Slot::kSP || s == Slot::kFP;
+
+    switch (cmd) {
+      case PspCommand::kLaunchStart:
+        if (started && mutant != Mutant::kRestartLaunchedGuest) {
+            return {false, s};
+        }
+        return {true, Slot::kS0};
+      case PspCommand::kLaunchUpdateData:
+      case PspCommand::kLaunchUpdateVmsa:
+        if (!started || (finished && mutant != Mutant::kUpdateAfterFinish)) {
+            return {false, s};
+        }
+        return {true, finished ? Slot::kFP : Slot::kSP};
+      case PspCommand::kLaunchMeasure:
+        if (!started ||
+            (!updated && mutant != Mutant::kMeasureBeforeUpdate)) {
+            return {false, s};
+        }
+        return {true, s};
+      case PspCommand::kLaunchFinish:
+        if (!started || (finished && mutant != Mutant::kDoubleFinish)) {
+            return {false, s};
+        }
+        return {true, updated ? Slot::kFP : Slot::kF0};
+      case PspCommand::kReportRequest:
+        if (!started ||
+            (!finished && mutant != Mutant::kReportBeforeFinish)) {
+            return {false, s};
+        }
+        return {true, s};
+    }
+    return {false, s};
+}
+
+/** Per-step verdicts of one replayed counterexample candidate. */
+struct StepTrace {
+    Action action;
+    bool model_legal;
+    bool protocol_legal;
+    std::optional<bool> device_accepted; //!< absent: not device-expressible
+    std::string divergence; //!< empty when the three verdicts agree
+};
+
+struct ReplayResult {
+    std::vector<StepTrace> steps;
+    std::string divergence; //!< first divergence, "" for a clean replay
+};
+
+constexpr u64 kGuestPages = 48; //!< per-guest memory; bounds path length
+constexpr u64 kGuestMemBytes = kGuestPages * kPageSize;
+
+/**
+ * Replay @p path against a fresh check::LaunchProtocol and a fresh live
+ * Psp with one GuestMemory per slot, cross-checking every verdict
+ * against the abstract model. The protocol automaton addresses slot g
+ * as handle g+1; the device allocates real handles at LAUNCH_START and
+ * unstarted slots probe with the never-allocated handle 0.
+ */
+ReplayResult
+replay(const std::vector<Action> &path, int guests, Mutant mutant)
+{
+    ReplayResult result;
+    sevf::psp::KeyServer kds;
+    sevf::psp::Psp psp("model-chip", kds, /*seed=*/7);
+    sevf::check::LaunchProtocol protocol;
+
+    std::vector<std::unique_ptr<sevf::memory::GuestMemory>> mems;
+    std::vector<sevf::psp::GuestHandle> handles(guests, 0);
+    std::vector<u64> next_page(guests, 0);
+    std::vector<Slot> model(guests, Slot::kU);
+    for (int g = 0; g < guests; ++g) {
+        mems.push_back(std::make_unique<sevf::memory::GuestMemory>(
+            kGuestMemBytes, /*spa_base=*/g * kGuestMemBytes,
+            /*asid=*/static_cast<u32>(g + 1)));
+    }
+
+    for (const Action &a : path) {
+        StepTrace step;
+        step.action = a;
+        ModelStep m = modelStep(model[a.slot], a.cmd, mutant);
+        step.model_legal = m.legal;
+
+        u32 proto_handle = static_cast<u32>(a.slot + 1);
+        step.protocol_legal = protocol.command(a.cmd, proto_handle).isOk();
+
+        // Drive the live device. A LAUNCH_START on an already-started
+        // slot is the one action the device cannot express: it mints
+        // handles itself, so "reuse this handle" has no mailbox
+        // encoding. The protocol automaton still rules on it above.
+        bool device_expressible =
+            !(a.cmd == PspCommand::kLaunchStart && model[a.slot] != Slot::kU);
+        if (device_expressible) {
+            sevf::memory::GuestMemory &mem = *mems[a.slot];
+            sevf::psp::GuestHandle h = handles[a.slot];
+            bool accepted = false;
+            switch (a.cmd) {
+              case PspCommand::kLaunchStart: {
+                  auto r = psp.launchStart(mem, /*policy=*/0x30000);
+                  accepted = r.isOk();
+                  if (r.isOk()) {
+                      handles[a.slot] = *r;
+                  }
+                  break;
+              }
+              case PspCommand::kLaunchUpdateData: {
+                  Gpa gpa = next_page[a.slot] * kPageSize;
+                  Status s = psp.launchUpdateData(h, mem, gpa, kPageSize);
+                  accepted = s.isOk();
+                  if (accepted) {
+                      ++next_page[a.slot]; // page is now guest-owned
+                  }
+                  break;
+              }
+              case PspCommand::kLaunchUpdateVmsa: {
+                  Gpa gpa = next_page[a.slot] * kPageSize;
+                  Status s = psp.launchUpdateVmsa(h, mem, /*vcpu=*/0, gpa);
+                  accepted = s.isOk();
+                  if (accepted) {
+                      ++next_page[a.slot];
+                  }
+                  break;
+              }
+              case PspCommand::kLaunchMeasure:
+                accepted = psp.launchMeasure(h).isOk();
+                break;
+              case PspCommand::kLaunchFinish:
+                accepted = psp.launchFinish(h).isOk();
+                break;
+              case PspCommand::kReportRequest:
+                accepted =
+                    psp.guestRequestReport(h, sevf::psp::ReportData{})
+                        .isOk();
+                break;
+            }
+            step.device_accepted = accepted;
+        }
+
+        if (step.model_legal != step.protocol_legal) {
+            step.divergence =
+                std::string("abstract model says ") +
+                (step.model_legal ? "LEGAL" : "ILLEGAL") +
+                " but check::LaunchProtocol says " +
+                (step.protocol_legal ? "LEGAL" : "ILLEGAL");
+        } else if (step.device_accepted &&
+                   *step.device_accepted != step.model_legal) {
+            step.divergence =
+                std::string("abstract model says ") +
+                (step.model_legal ? "LEGAL" : "ILLEGAL") +
+                " but the Psp device model " +
+                (*step.device_accepted ? "ACCEPTED" : "REJECTED") +
+                " the command";
+        }
+
+        if (m.legal) {
+            model[a.slot] = m.next;
+        }
+        bool diverged = !step.divergence.empty();
+        result.steps.push_back(std::move(step));
+        if (diverged) {
+            result.divergence = result.steps.back().divergence;
+            return result;
+        }
+    }
+
+    // Clean path: the device's own command log must replay cleanly
+    // through the offline checker, and started slots must agree with
+    // the abstract update counter.
+    Status log_ok = sevf::check::checkCommandLog(psp.commandLog().records());
+    if (!log_ok.isOk()) {
+        result.divergence =
+            "checkCommandLog rejected the device's own log: " +
+            std::string(log_ok.message());
+        return result;
+    }
+    for (int g = 0; g < guests; ++g) {
+        if (model[g] == Slot::kU) {
+            continue;
+        }
+        auto pages = psp.measuredPageCount(handles[g]);
+        if (!pages.isOk()) {
+            result.divergence = "measuredPageCount failed for a slot the "
+                                "model considers started";
+            return result;
+        }
+        bool model_updated = model[g] == Slot::kSP || model[g] == Slot::kFP;
+        if ((*pages > 0) != model_updated) {
+            result.divergence =
+                "device measured " + std::to_string(*pages) +
+                " pages for guest slot " + std::to_string(g) +
+                " but the abstract model is in state " +
+                slotName(model[g]);
+            return result;
+        }
+    }
+    return result;
+}
+
+void
+printCounterexample(const ReplayResult &r, int guests)
+{
+    std::fprintf(stderr,
+                 "counterexample (%d guest slot%s, %zu steps):\n", guests,
+                 guests == 1 ? "" : "s", r.steps.size());
+    for (size_t i = 0; i < r.steps.size(); ++i) {
+        const StepTrace &s = r.steps[i];
+        const char *device = "n/a (not device-expressible)";
+        if (s.device_accepted) {
+            device = *s.device_accepted ? "ACCEPTED" : "REJECTED";
+        }
+        std::fprintf(stderr,
+                     "  %2zu. %-18s slot %d | model=%s protocol=%s "
+                     "device=%s\n",
+                     i + 1, sevf::check::pspCommandName(s.action.cmd),
+                     s.action.slot, s.model_legal ? "LEGAL" : "ILLEGAL",
+                     s.protocol_legal ? "LEGAL" : "ILLEGAL", device);
+        if (!s.divergence.empty()) {
+            std::fprintf(stderr, "      ^ DIVERGENCE: %s\n",
+                         s.divergence.c_str());
+        }
+    }
+    if (!r.steps.empty() && r.steps.back().divergence.empty()) {
+        std::fprintf(stderr, "      ^ DIVERGENCE after clean replay: %s\n",
+                     r.divergence.c_str());
+    }
+}
+
+struct Stats {
+    u64 states = 0;
+    u64 edges = 0;
+    u64 paths = 0;
+    u64 divergences = 0;
+};
+
+u64
+encode(const std::vector<Slot> &state)
+{
+    u64 code = 0;
+    for (Slot s : state) {
+        code = code * 5 + static_cast<u64>(s);
+    }
+    return code;
+}
+
+/**
+ * Phase 1: dedup BFS over abstract states. Every edge out of every
+ * reachable state is cross-checked by replaying its witness path.
+ * Returns false on the first divergence (after printing it).
+ */
+bool
+bfsReachability(int guests, int depth, Mutant mutant, Stats &stats)
+{
+    struct Node {
+        std::vector<Slot> state;
+        std::vector<Action> witness;
+    };
+    std::map<u64, bool> seen;
+    std::deque<Node> frontier;
+    frontier.push_back({std::vector<Slot>(guests, Slot::kU), {}});
+    seen[encode(frontier.front().state)] = true;
+    stats.states = 1;
+
+    while (!frontier.empty()) {
+        Node node = std::move(frontier.front());
+        frontier.pop_front();
+        if (static_cast<int>(node.witness.size()) >= depth) {
+            continue;
+        }
+        for (int g = 0; g < guests; ++g) {
+            for (PspCommand cmd : kCommands) {
+                Action a{g, cmd};
+                std::vector<Action> path = node.witness;
+                path.push_back(a);
+                ++stats.edges;
+                ReplayResult r = replay(path, guests, mutant);
+                if (!r.divergence.empty()) {
+                    ++stats.divergences;
+                    printCounterexample(r, guests);
+                    return false;
+                }
+                ModelStep m = modelStep(node.state[g], cmd, mutant);
+                if (!m.legal) {
+                    continue;
+                }
+                std::vector<Slot> next = node.state;
+                next[g] = m.next;
+                u64 code = encode(next);
+                if (!seen[code]) {
+                    seen[code] = true;
+                    ++stats.states;
+                    frontier.push_back({std::move(next), std::move(path)});
+                }
+            }
+        }
+    }
+    return true;
+}
+
+/**
+ * Phase 2: exhaustive sweep of every command sequence up to @p depth,
+ * no dedup. DFS over action prefixes; each full prefix is replayed
+ * from scratch (the device cannot be checkpointed).
+ */
+bool
+sweepPaths(int guests, int depth, Mutant mutant, Stats &stats,
+           std::vector<Action> &path)
+{
+    if (static_cast<int>(path.size()) == depth) {
+        return true;
+    }
+    for (int g = 0; g < guests; ++g) {
+        for (PspCommand cmd : kCommands) {
+            path.push_back({g, cmd});
+            ++stats.paths;
+            ReplayResult r = replay(path, guests, mutant);
+            if (!r.divergence.empty()) {
+                ++stats.divergences;
+                printCounterexample(r, guests);
+                path.pop_back();
+                return false;
+            }
+            if (!sweepPaths(guests, depth, mutant, stats, path)) {
+                path.pop_back();
+                return false;
+            }
+            path.pop_back();
+        }
+    }
+    return true;
+}
+
+/** One full verification run; returns true when no divergence found. */
+bool
+runCheck(int guests, int depth, int sweep, Mutant mutant,
+         const char *mutant_name)
+{
+    Stats stats;
+    bool clean = bfsReachability(guests, depth, mutant, stats);
+    std::vector<Action> path;
+    if (clean && sweep > 0) {
+        clean = sweepPaths(guests, sweep, mutant, stats, path);
+    }
+    std::printf("sevf_model: mutant=%s guests=%d depth=%d sweep=%d | "
+                "%llu states, %llu edges, %llu sweep paths, "
+                "%llu divergence%s\n",
+                mutant_name, guests, depth, sweep,
+                static_cast<unsigned long long>(stats.states),
+                static_cast<unsigned long long>(stats.edges),
+                static_cast<unsigned long long>(stats.paths),
+                static_cast<unsigned long long>(stats.divergences),
+                stats.divergences == 1 ? "" : "s");
+    return clean;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--guests G] [--depth N] [--sweep M]\n"
+        "          [--mutant NAME | --all-mutants] [--expect-divergence]\n"
+        "          [--list-mutants]\n"
+        "Exhaustively model-checks the SNP launch automaton against the\n"
+        "live Psp device model and check::LaunchProtocol.\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int guests = 2;
+    int depth = 16;
+    int sweep = 4;
+    bool expect_divergence = false;
+    bool all_mutants = false;
+    std::string mutant_name = "none";
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto intArg = [&](int &out) {
+            if (i + 1 >= argc) {
+                return false;
+            }
+            out = std::atoi(argv[++i]);
+            return out > 0;
+        };
+        if (arg == "--guests") {
+            if (!intArg(guests)) {
+                return usage(argv[0]);
+            }
+        } else if (arg == "--depth") {
+            if (!intArg(depth)) {
+                return usage(argv[0]);
+            }
+        } else if (arg == "--sweep") {
+            if (!intArg(sweep)) {
+                return usage(argv[0]);
+            }
+        } else if (arg == "--mutant") {
+            if (i + 1 >= argc) {
+                return usage(argv[0]);
+            }
+            mutant_name = argv[++i];
+        } else if (arg == "--all-mutants") {
+            all_mutants = true;
+        } else if (arg == "--expect-divergence") {
+            expect_divergence = true;
+        } else if (arg == "--list-mutants") {
+            for (const auto &m : kMutants) {
+                std::printf("%s\n", m.name);
+            }
+            return 0;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (guests > 4 || sweep > 6) {
+        std::fprintf(stderr, "sevf_model: bound too large (the sweep is "
+                             "O((6*guests)^sweep) device replays)\n");
+        return 2;
+    }
+
+    if (all_mutants) {
+        // Every seeded hole must be caught; a surviving mutant means
+        // the checker has a blind spot.
+        int survivors = 0;
+        for (const auto &m : kMutants) {
+            std::printf("sevf_model: seeding mutant '%s'\n", m.name);
+            if (runCheck(guests, depth, sweep, m.mutant, m.name)) {
+                std::fprintf(stderr,
+                             "sevf_model: mutant '%s' SURVIVED — the "
+                             "checker missed a seeded protocol hole\n",
+                             m.name);
+                ++survivors;
+            } else {
+                std::printf("sevf_model: mutant '%s' caught\n", m.name);
+            }
+        }
+        return survivors == 0 ? 0 : 1;
+    }
+
+    Mutant mutant = Mutant::kNone;
+    if (mutant_name != "none") {
+        bool found = false;
+        for (const auto &m : kMutants) {
+            if (mutant_name == m.name) {
+                mutant = m.mutant;
+                found = true;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr, "sevf_model: unknown mutant '%s' "
+                                 "(--list-mutants)\n",
+                         mutant_name.c_str());
+            return 2;
+        }
+    }
+
+    bool clean = runCheck(guests, depth, sweep, mutant, mutant_name.c_str());
+    if (expect_divergence) {
+        if (clean) {
+            std::fprintf(stderr, "sevf_model: expected a divergence but "
+                                 "the check came back clean\n");
+            return 1;
+        }
+        std::printf("sevf_model: divergence found, as expected\n");
+        return 0;
+    }
+    return clean ? 0 : 1;
+}
