@@ -10,9 +10,11 @@
 #ifndef SEVF_BENCH_COMMON_H_
 #define SEVF_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string>
 #include <vector>
 
 #include "base/logging.h"
@@ -85,6 +87,155 @@ writeDataFile(const std::string &name, const std::string &contents)
     }
     out << contents;
     std::printf("  data: bench_data/%s\n", name.c_str());
+}
+
+// ---- Wall-clock timing ---------------------------------------------------
+//
+// Most benches here report *virtual* time from the cost model; these
+// helpers are for the benches that measure the real kernels (XEX,
+// SHA-256, LZ4, the parallel launch pipeline) in host wall-clock time.
+
+/** Monotonic wall-clock time in seconds. */
+inline double
+wallClock()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Run @p fn @p reps times and return the best (minimum) wall-clock
+ * duration in seconds — the standard estimator for a quiet machine.
+ */
+template <typename Fn>
+inline double
+bestOf(int reps, Fn &&fn)
+{
+    double best = 0;
+    for (int i = 0; i < reps; ++i) {
+        double t0 = wallClock();
+        fn();
+        double dt = wallClock() - t0;
+        if (i == 0 || dt < best) {
+            best = dt;
+        }
+    }
+    return best;
+}
+
+inline double
+mbPerSec(u64 bytes, double seconds)
+{
+    return seconds > 0 ? static_cast<double>(bytes) / (1e6 * seconds) : 0.0;
+}
+
+// ---- JSON emission -------------------------------------------------------
+
+/**
+ * Minimal JSON object builder: flat string/number/bool fields plus raw
+ * splicing for nested arrays/objects. Enough for bench result files;
+ * not a general serializer.
+ */
+class JsonObject
+{
+  public:
+    JsonObject &
+    field(std::string_view key, double v)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        return raw(key, buf);
+    }
+
+    JsonObject &
+    field(std::string_view key, u64 v)
+    {
+        return raw(key, std::to_string(v));
+    }
+
+    JsonObject &
+    field(std::string_view key, int v)
+    {
+        return raw(key, std::to_string(v));
+    }
+
+    JsonObject &
+    field(std::string_view key, bool v)
+    {
+        return raw(key, v ? "true" : "false");
+    }
+
+    /** Without this overload a string literal would pick field(bool). */
+    JsonObject &
+    field(std::string_view key, const char *v)
+    {
+        return field(key, std::string_view(v));
+    }
+
+    JsonObject &
+    field(std::string_view key, std::string_view v)
+    {
+        std::string quoted = "\"";
+        for (char c : v) {
+            if (c == '"' || c == '\\') {
+                quoted += '\\';
+            }
+            quoted += c;
+        }
+        quoted += '"';
+        return raw(key, quoted);
+    }
+
+    /** Splice an already-serialized JSON value (array, object). */
+    JsonObject &
+    raw(std::string_view key, std::string_view json)
+    {
+        if (!body_.empty()) {
+            body_ += ", ";
+        }
+        body_ += "\"";
+        body_ += key;
+        body_ += "\": ";
+        body_ += json;
+        return *this;
+    }
+
+    std::string
+    str() const
+    {
+        return "{" + body_ + "}";
+    }
+
+  private:
+    std::string body_;
+};
+
+/** Serialize a list of JsonObject values as a JSON array. */
+inline std::string
+jsonArray(const std::vector<JsonObject> &items)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) {
+            out += ", ";
+        }
+        out += items[i].str();
+    }
+    out += "]";
+    return out;
+}
+
+/** A {name, bytes, seconds, mb_per_s} throughput record. */
+inline JsonObject
+throughputRecord(std::string_view name, u64 bytes, double seconds)
+{
+    JsonObject o;
+    o.field("name", name)
+        .field("bytes", bytes)
+        .field("seconds", seconds)
+        .field("mb_per_s", mbPerSec(bytes, seconds));
+    return o;
 }
 
 } // namespace sevf::bench

@@ -1,0 +1,232 @@
+#include "base/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sevf::base {
+
+namespace {
+
+/**
+ * Set while a thread is executing chunks of a parallelFor. A nested
+ * parallelFor from inside a chunk body must not re-enter the pool
+ * (the outer call holds the pool's call lock), so the free function
+ * degrades nested calls to the inline serial loop.
+ */
+thread_local bool tl_in_parallel_region = false;
+
+std::atomic<unsigned> g_host_threads{1};
+
+void
+runSerial(u64 begin, u64 end, u64 grain, const ChunkFn &fn)
+{
+    for (u64 lo = begin; lo < end; lo += grain) {
+        fn(lo, std::min(lo + grain, end));
+    }
+}
+
+} // namespace
+
+struct ThreadPool::Impl {
+    std::mutex call_mu; //!< serializes parallelFor invocations
+
+    std::mutex mu;
+    std::condition_variable cv_work;
+    std::condition_variable cv_done;
+    std::vector<std::thread> workers;
+    bool shutdown = false;
+
+    // Current job, valid while job_active. Workers claim disjoint
+    // [cursor, cursor+grain) chunks with a lock-free fetch_add; the
+    // caller participates too, so a pool of N uses exactly N threads.
+    u64 generation = 0;
+    bool job_active = false;
+    std::atomic<u64> cursor{0};
+    u64 end = 0;
+    u64 grain = 1;
+    u64 total_chunks = 0;
+    u64 completed_chunks = 0;
+    const ChunkFn *fn = nullptr;
+    std::exception_ptr error;
+
+    void
+    claimChunks()
+    {
+        tl_in_parallel_region = true;
+        u64 local_done = 0;
+        while (true) {
+            u64 lo = cursor.fetch_add(grain, std::memory_order_relaxed);
+            if (lo >= end) {
+                break;
+            }
+            u64 hi = std::min(lo + grain, end);
+            try {
+                (*fn)(lo, hi);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu);
+                if (!error) {
+                    error = std::current_exception();
+                }
+            }
+            ++local_done;
+        }
+        tl_in_parallel_region = false;
+        if (local_done > 0) {
+            std::lock_guard<std::mutex> lock(mu);
+            completed_chunks += local_done;
+            if (completed_chunks == total_chunks) {
+                cv_done.notify_all();
+            }
+        }
+    }
+
+    void
+    workerLoop()
+    {
+        u64 seen_generation = 0;
+        while (true) {
+            {
+                std::unique_lock<std::mutex> lock(mu);
+                cv_work.wait(lock, [&] {
+                    return shutdown ||
+                           (job_active && generation != seen_generation);
+                });
+                if (shutdown) {
+                    return;
+                }
+                seen_generation = generation;
+            }
+            claimChunks();
+        }
+    }
+};
+
+ThreadPool::ThreadPool(unsigned threads)
+    : impl_(new Impl), threads_(threads == 0 ? 1 : threads)
+{
+    for (unsigned i = 1; i < threads_; ++i) {
+        impl_->workers.emplace_back([this] { impl_->workerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->shutdown = true;
+    }
+    impl_->cv_work.notify_all();
+    for (std::thread &w : impl_->workers) {
+        w.join();
+    }
+    delete impl_;
+}
+
+void
+ThreadPool::parallelFor(u64 begin, u64 end, u64 grain, const ChunkFn &fn)
+{
+    if (end <= begin) {
+        return;
+    }
+    grain = std::max<u64>(grain, 1);
+    u64 total = (end - begin + grain - 1) / grain;
+    if (threads_ == 1 || total == 1) {
+        runSerial(begin, end, grain, fn);
+        return;
+    }
+
+    std::lock_guard<std::mutex> call_lock(impl_->call_mu);
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->cursor.store(begin, std::memory_order_relaxed);
+        impl_->end = end;
+        impl_->grain = grain;
+        impl_->total_chunks = total;
+        impl_->completed_chunks = 0;
+        impl_->fn = &fn;
+        impl_->error = nullptr;
+        ++impl_->generation;
+        impl_->job_active = true;
+    }
+    impl_->cv_work.notify_all();
+
+    impl_->claimChunks();
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(impl_->mu);
+        impl_->cv_done.wait(
+            lock, [&] { return impl_->completed_chunks == impl_->total_chunks; });
+        impl_->job_active = false;
+        impl_->fn = nullptr;
+        error = impl_->error;
+        impl_->error = nullptr;
+    }
+    if (error) {
+        std::rethrow_exception(error);
+    }
+}
+
+unsigned
+hostThreads()
+{
+    return g_host_threads.load(std::memory_order_relaxed);
+}
+
+void
+setHostThreads(unsigned n)
+{
+    g_host_threads.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+}
+
+unsigned
+hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+namespace {
+
+/**
+ * Shared process pool, lazily sized to the current hostThreads()
+ * value and rebuilt only when the knob changes. Returned by value as a
+ * shared_ptr so a caller still running on the old pool keeps it alive
+ * if another thread changes the knob mid-call.
+ */
+std::shared_ptr<ThreadPool>
+sharedPool(unsigned threads)
+{
+    static std::mutex mu;
+    static std::shared_ptr<ThreadPool> pool;
+    std::lock_guard<std::mutex> lock(mu);
+    if (!pool || pool->threads() != threads) {
+        pool = std::make_shared<ThreadPool>(threads);
+    }
+    return pool;
+}
+
+} // namespace
+
+void
+parallelFor(u64 begin, u64 end, u64 grain, const ChunkFn &fn)
+{
+    if (end <= begin) {
+        return;
+    }
+    grain = std::max<u64>(grain, 1);
+    unsigned threads = hostThreads();
+    u64 total = (end - begin + grain - 1) / grain;
+    if (threads <= 1 || total <= 1 || tl_in_parallel_region) {
+        runSerial(begin, end, grain, fn);
+        return;
+    }
+    sharedPool(threads)->parallelFor(begin, end, grain, fn);
+}
+
+} // namespace sevf::base

@@ -16,6 +16,10 @@ constexpr std::size_t kMfLimit = 12;
 constexpr std::size_t kLastLiterals = 5;
 constexpr std::size_t kMaxOffset = 65535;
 constexpr std::size_t kHashLog = 16;
+// After 2^kSkipTrigger consecutive missed probes the search step grows
+// by one, so incompressible regions are skimmed instead of probed at
+// every byte (same acceleration scheme as the reference fast compressor).
+constexpr std::size_t kSkipTrigger = 6;
 
 u32
 read32(const u8 *p)
@@ -75,6 +79,7 @@ Lz4Codec::compressBlock(ByteSpan input)
     std::size_t ip = 1; // position 0 can never match anything earlier
 
     table[hash4(read32(base))] = 1;
+    std::size_t search_count = 1u << kSkipTrigger;
 
     while (ip < mflimit) {
         u32 seq = read32(base + ip);
@@ -87,15 +92,33 @@ Lz4Codec::compressBlock(ByteSpan input)
         bool match = ref != 0 && ref <= ip && (ip + 1 - ref) <= kMaxOffset &&
                      read32(base + (ref - 1)) == seq;
         if (!match) {
-            ++ip;
+            // Step-accelerated scan: every 2^kSkipTrigger misses widen
+            // the stride by one byte, so runs of incompressible data
+            // cost O(n / step) probes instead of one probe per byte.
+            ip += search_count++ >> kSkipTrigger;
             continue;
         }
+        search_count = 1u << kSkipTrigger;
         std::size_t match_pos = ref - 1;
 
         // Extend the match forward, respecting the last-literals rule.
+        // Compare 8 bytes at a time and pinpoint the diverging byte with
+        // a count-trailing-zeros on the XOR difference.
         std::size_t max_len = size - kLastLiterals - ip;
         std::size_t len = kMinMatch;
-        while (len < max_len && base[match_pos + len] == base[ip + len]) {
+        bool diverged = false;
+        while (!diverged && len + 8 <= max_len) {
+            u64 diff = loadLe<u64>(base + match_pos + len) ^
+                       loadLe<u64>(base + ip + len);
+            if (diff != 0) {
+                len += static_cast<std::size_t>(__builtin_ctzll(diff)) >> 3;
+                diverged = true;
+            } else {
+                len += 8;
+            }
+        }
+        while (!diverged && len < max_len &&
+               base[match_pos + len] == base[ip + len]) {
             ++len;
         }
 
@@ -140,8 +163,12 @@ Lz4Codec::compressBlock(ByteSpan input)
 Result<ByteVec>
 Lz4Codec::decompressBlock(ByteSpan block, u64 decompressed_size)
 {
-    ByteVec out;
-    out.reserve(decompressed_size);
+    // Sized upfront so literals and matches land via memcpy into a flat
+    // buffer instead of per-byte push_back through vector growth checks.
+    ByteVec out(decompressed_size);
+    u8 *dst = out.data();
+    const std::size_t out_size = decompressed_size;
+    std::size_t op = 0;
 
     std::size_t ip = 0;
     const std::size_t in_size = block.size();
@@ -164,10 +191,11 @@ Lz4Codec::decompressBlock(ByteSpan block, u64 decompressed_size)
         if (ip + lit_len > in_size) {
             return errCorrupted("lz4: literal run past end of block");
         }
-        if (out.size() + lit_len > decompressed_size) {
+        if (lit_len > out_size - op) {
             return errCorrupted("lz4: output overflows declared size");
         }
-        out.insert(out.end(), block.begin() + ip, block.begin() + ip + lit_len);
+        std::memcpy(dst + op, block.data() + ip, lit_len);
+        op += lit_len;
         ip += lit_len;
 
         if (ip == in_size) {
@@ -180,7 +208,7 @@ Lz4Codec::decompressBlock(ByteSpan block, u64 decompressed_size)
         }
         std::size_t offset = block[ip] | (block[ip + 1] << 8);
         ip += 2;
-        if (offset == 0 || offset > out.size()) {
+        if (offset == 0 || offset > op) {
             return errCorrupted("lz4: invalid match offset");
         }
 
@@ -197,17 +225,35 @@ Lz4Codec::decompressBlock(ByteSpan block, u64 decompressed_size)
         }
         match_len += kMinMatch;
 
-        if (out.size() + match_len > decompressed_size) {
+        if (match_len > out_size - op) {
             return errCorrupted("lz4: match overflows declared size");
         }
-        // Byte-by-byte copy: offsets < length legitimately overlap (RLE).
-        std::size_t from = out.size() - offset;
-        for (std::size_t i = 0; i < match_len; ++i) {
-            out.push_back(out[from + i]);
+        const u8 *src = dst + op - offset;
+        u8 *d = dst + op;
+        op += match_len;
+        if (offset >= 8 && match_len + 8 <= out_size - (op - match_len)) {
+            // Wild copy: step 8 bytes at a time, allowed to overshoot
+            // the match end by up to 7 bytes. The overshoot lands in
+            // not-yet-written output (guarded above) and is rewritten by
+            // later sequences before anything reads it. offset >= 8
+            // guarantees each 8-byte load precedes every overlapping
+            // store.
+            u8 *end = d + match_len;
+            do {
+                std::memcpy(d, src, 8);
+                d += 8;
+                src += 8;
+            } while (d < end);
+        } else {
+            // Overlapping (offset < 8, i.e. RLE-style) or end-of-buffer
+            // matches copy bytewise.
+            for (std::size_t i = 0; i < match_len; ++i) {
+                d[i] = src[i];
+            }
         }
     }
 
-    if (out.size() != decompressed_size) {
+    if (op != out_size) {
         return errCorrupted("lz4: decompressed size mismatch");
     }
     return out;

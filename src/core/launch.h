@@ -84,6 +84,15 @@ struct LaunchRequest {
     bool keep_vm = false;
     /** Per-launch determinism (guest ephemeral keys, owner nonces). */
     u64 seed = 1;
+    /**
+     * Host worker threads for the page-parallel launch pipeline
+     * (pre-encryption, measurement page digests, out-of-band hashing,
+     * image staging). 0 = inherit the Platform knob; 1 = fully serial.
+     * The thread count is invisible in results: chunk boundaries depend
+     * only on the data, so measurements, attestation reports, and
+     * simulated timings are bit-identical at every value.
+     */
+    unsigned host_threads = 0;
 };
 
 /** Outcome of one cold boot. */
@@ -126,9 +135,18 @@ class BootStrategy
     virtual StrategyKind kind() const = 0;
     std::string_view name() const { return strategyName(kind()); }
 
-    /** Run one cold boot on @p platform. */
-    virtual Result<LaunchResult> launch(Platform &platform,
-                                        const LaunchRequest &request) = 0;
+    /**
+     * Run one cold boot on @p platform. Installs the effective
+     * host-thread count (request knob, falling back to the platform
+     * knob) for the duration of the launch, then runs the strategy.
+     */
+    Result<LaunchResult> launch(Platform &platform,
+                                const LaunchRequest &request);
+
+  protected:
+    /** Strategy body; runs with the host-thread knob already set. */
+    virtual Result<LaunchResult> doLaunch(Platform &platform,
+                                          const LaunchRequest &request) = 0;
 };
 
 /** Factory for the five strategies. */

@@ -32,11 +32,20 @@ class Platform
     /** Reserve a fresh SPA window of at least @p size bytes. */
     Spa allocateSpaWindow(u64 size);
 
+    /**
+     * Default host worker threads for launches on this platform; used
+     * when LaunchRequest::host_threads is 0. 1 (the default) keeps
+     * every launch fully serial.
+     */
+    unsigned hostThreads() const { return host_threads_; }
+    void setHostThreads(unsigned n) { host_threads_ = n == 0 ? 1 : n; }
+
   private:
     psp::KeyServer key_server_;
     sim::CostModel cost_;
     std::unique_ptr<psp::Psp> psp_;
     Spa next_spa_ = 0x100000000ull;
+    unsigned host_threads_ = 1;
 };
 
 } // namespace sevf::core

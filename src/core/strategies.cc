@@ -12,6 +12,7 @@
 #include "attest/expected_measurement.h"
 #include "attest/guest_owner.h"
 #include "base/bytes.h"
+#include "base/parallel.h"
 #include "core/trace_builder.h"
 #include "firmware/ovmf.h"
 #include "guest/attestation_client.h"
@@ -182,7 +183,7 @@ class StockFirecrackerStrategy final : public BootStrategy
     }
 
     Result<LaunchResult>
-    launch(Platform &platform, const LaunchRequest &request) override
+    doLaunch(Platform &platform, const LaunchRequest &request) override
     {
         const sim::CostModel &cost = platform.cost();
         const workload::KernelSpec &spec =
@@ -240,7 +241,7 @@ class SeveriFastStrategy final : public BootStrategy
     }
 
     Result<LaunchResult>
-    launch(Platform &platform, const LaunchRequest &request) override
+    doLaunch(Platform &platform, const LaunchRequest &request) override
     {
         const sim::CostModel &cost = platform.cost();
         const workload::KernelArtifacts &art =
@@ -476,7 +477,7 @@ class QemuOvmfStrategy final : public BootStrategy
     StrategyKind kind() const override { return StrategyKind::kQemuOvmfSev; }
 
     Result<LaunchResult>
-    launch(Platform &platform, const LaunchRequest &request) override
+    doLaunch(Platform &platform, const LaunchRequest &request) override
     {
         const sim::CostModel &cost = platform.cost();
         const workload::KernelArtifacts &art =
@@ -611,7 +612,7 @@ class SevDirectBootStrategy final : public BootStrategy
     }
 
     Result<LaunchResult>
-    launch(Platform &platform, const LaunchRequest &request) override
+    doLaunch(Platform &platform, const LaunchRequest &request) override
     {
         const sim::CostModel &cost = platform.cost();
         const workload::KernelArtifacts &art =
@@ -756,6 +757,17 @@ sim::Duration
 LaunchResult::bootTime() const
 {
     return trace.total() - trace.phaseTotal(sim::phase::kAttestation);
+}
+
+Result<LaunchResult>
+BootStrategy::launch(Platform &platform, const LaunchRequest &request)
+{
+    unsigned threads = request.host_threads != 0 ? request.host_threads
+                                                 : platform.hostThreads();
+    // RAII: the previous knob value is restored when the launch
+    // returns, so nested strategy invocations compose.
+    base::ScopedHostThreads scope(threads);
+    return doLaunch(platform, request);
 }
 
 std::unique_ptr<BootStrategy>

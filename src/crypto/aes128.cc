@@ -2,6 +2,14 @@
 
 #include <cstring>
 
+// Hardware AES rounds: x86-64 with a GCC/Clang toolchain can compile
+// the AES-NI path with a per-function target attribute and select it
+// at runtime, keeping the portable binary runnable on any host.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SEVF_AESNI_DISPATCH 1
+#include <immintrin.h>
+#endif
+
 namespace sevf::crypto {
 
 namespace {
@@ -158,7 +166,61 @@ invMixWord(u32 w)
            static_cast<u32>(o[2]) << 8 | o[3];
 }
 
+#if defined(SEVF_AESNI_DISPATCH)
+
+bool
+cpuHasAesni()
+{
+    static const bool has = __builtin_cpu_supports("aes") &&
+                            __builtin_cpu_supports("sse2");
+    return has;
+}
+
+__attribute__((target("aes,sse2"))) void
+encryptBlockAesni(const u8 *rk, u8 *block)
+{
+    const __m128i *keys = reinterpret_cast<const __m128i *>(rk);
+    __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i *>(block));
+    s = _mm_xor_si128(s, _mm_loadu_si128(keys));
+    for (int round = 1; round < 10; ++round) {
+        s = _mm_aesenc_si128(s, _mm_loadu_si128(keys + round));
+    }
+    s = _mm_aesenclast_si128(s, _mm_loadu_si128(keys + 10));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(block), s);
+}
+
+__attribute__((target("aes,sse2"))) void
+decryptBlockAesni(const u8 *rk, u8 *block)
+{
+    // The equivalent-inverse-cipher schedule (InvMixColumns on the
+    // middle round keys) is exactly what aesdec expects.
+    const __m128i *keys = reinterpret_cast<const __m128i *>(rk);
+    __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i *>(block));
+    s = _mm_xor_si128(s, _mm_loadu_si128(keys));
+    for (int round = 1; round < 10; ++round) {
+        s = _mm_aesdec_si128(s, _mm_loadu_si128(keys + round));
+    }
+    s = _mm_aesdeclast_si128(s, _mm_loadu_si128(keys + 10));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(block), s);
+}
+
+#else
+
+bool
+cpuHasAesni()
+{
+    return false;
+}
+
+#endif // SEVF_AESNI_DISPATCH
+
 } // namespace
+
+bool
+Aes128::hardwareAccelerated()
+{
+    return cpuHasAesni();
+}
 
 Aes128::Aes128(const Aes128Key &key)
 {
@@ -189,10 +251,41 @@ Aes128::Aes128(const Aes128Key &key)
                 (round == 0 || round == 10) ? k : invMixWord(k);
         }
     }
+
+    // Serialize both schedules to the byte layout the AES-NI round
+    // instructions consume (big-endian words == FIPS-197 byte order).
+    for (int i = 0; i < 44; ++i) {
+        storeBe(rk_bytes_ + 4 * i, enc_rk_[i]);
+        storeBe(rk_bytes_ + 176 + 4 * i, dec_rk_[i]);
+    }
 }
 
 void
 Aes128::encryptBlock(u8 *block) const
+{
+#if defined(SEVF_AESNI_DISPATCH)
+    if (cpuHasAesni()) {
+        encryptBlockAesni(rk_bytes_, block);
+        return;
+    }
+#endif
+    encryptBlockScalar(block);
+}
+
+void
+Aes128::decryptBlock(u8 *block) const
+{
+#if defined(SEVF_AESNI_DISPATCH)
+    if (cpuHasAesni()) {
+        decryptBlockAesni(rk_bytes_ + 176, block);
+        return;
+    }
+#endif
+    decryptBlockScalar(block);
+}
+
+void
+Aes128::encryptBlockScalar(u8 *block) const
 {
     const Tables &t = tables();
     u32 s0 = loadBe(block) ^ enc_rk_[0];
@@ -240,7 +333,7 @@ Aes128::encryptBlock(u8 *block) const
 }
 
 void
-Aes128::decryptBlock(u8 *block) const
+Aes128::decryptBlockScalar(u8 *block) const
 {
     const Tables &t = tables();
     u32 s0 = loadBe(block) ^ dec_rk_[0];

@@ -3,9 +3,13 @@
  * AES-128 block cipher (FIPS 197) implemented from scratch.
  *
  * This is the block primitive behind the simulated SEV memory encryption
- * engine (crypto/xex.h). Table-free S-box lookups; correctness is what
- * matters here, not side-channel hardening — the "hardware" running it is
- * the simulated encryption engine in the memory controller.
+ * engine (crypto/xex.h). The portable path uses the classic 32-bit
+ * T-table formulation; on x86-64 parts with AES-NI the block functions
+ * dispatch to the hardware rounds at runtime (the two paths are
+ * bit-identical and both covered by the FIPS-197 known-answer tests).
+ * Correctness is what matters here, not side-channel hardening — the
+ * "hardware" running it is the simulated encryption engine in the
+ * memory controller.
  */
 #ifndef SEVF_CRYPTO_AES128_H_
 #define SEVF_CRYPTO_AES128_H_
@@ -35,11 +39,20 @@ class Aes128
     /** Decrypt one block in place. */
     void decryptBlock(u8 *block) const;
 
+    /** True when the hardware (AES-NI) block path is in use. */
+    static bool hardwareAccelerated();
+
   private:
+    void encryptBlockScalar(u8 *block) const;
+    void decryptBlockScalar(u8 *block) const;
+
     // 11 round keys as big-endian words (T-table formulation), plus the
-    // equivalent-inverse-cipher decryption schedule.
+    // equivalent-inverse-cipher decryption schedule. rk_bytes_ holds the
+    // same schedules serialized to the byte layout the AES-NI round
+    // instructions consume (encrypt schedule then decrypt schedule).
     u32 enc_rk_[44];
     u32 dec_rk_[44];
+    u8 rk_bytes_[2 * 176];
 };
 
 } // namespace sevf::crypto

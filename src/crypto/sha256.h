@@ -42,8 +42,16 @@ class Sha256
     /** One-shot convenience. */
     static Sha256Digest digest(ByteSpan data);
 
+    /** True when the hardware (SHA-NI) compression path is in use. */
+    static bool hardwareAccelerated();
+
   private:
-    void processBlock(const u8 *block);
+    /**
+     * Compress @p count consecutive 64-byte blocks straight from the
+     * caller's span (no copy through buf_). Dispatches to the SHA-NI
+     * rounds when the CPU has them, else the unrolled scalar path.
+     */
+    void processBlocks(const u8 *blocks, std::size_t count);
 
     std::array<u32, 8> state_;
     u64 total_len_ = 0;

@@ -1,26 +1,99 @@
 #include "crypto/xex.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "base/bytes.h"
 #include "base/logging.h"
+#include "base/parallel.h"
 
 namespace sevf::crypto {
 
 namespace {
 
-/** Multiply by alpha in GF(2^128) (the XTS tweak-doubling step). */
-void
-gfDouble(AesBlock &t)
+/**
+ * The XTS tweak is a 128-bit little-endian polynomial over GF(2), kept
+ * as two u64 halves so doubling and XOR run word-wise instead of the
+ * old byte-at-a-time loops.
+ */
+struct Tweak128 {
+    u64 lo;
+    u64 hi;
+};
+
+/** Multiply by alpha (= x) in GF(2^128): the XTS tweak-doubling step. */
+inline void
+gfDouble(Tweak128 &t)
 {
-    u8 carry = 0;
-    for (int i = 0; i < 16; ++i) {
-        u8 next_carry = static_cast<u8>(t[i] >> 7);
-        t[i] = static_cast<u8>((t[i] << 1) | carry);
-        carry = next_carry;
-    }
-    if (carry) {
-        t[0] ^= 0x87;
-    }
+    u64 carry = t.hi >> 63;
+    t.hi = (t.hi << 1) | (t.lo >> 63);
+    t.lo = (t.lo << 1) ^ (0x87 & (0 - carry));
 }
+
+/**
+ * Multiply by x^i for 0 <= i < 256 in O(1): shift the 128-bit
+ * polynomial left by @p i bits into six words, then fold everything at
+ * or above bit 128 back down with the reduction taps of
+ * x^128 + x^7 + x^2 + x + 1 (GHASH-style word-wise reduction). This is
+ * what makes a mid-page tweakFor O(1) instead of O(line_index)
+ * doubling steps.
+ */
+inline void
+gfMulXPow(Tweak128 &t, unsigned i)
+{
+    if (i == 0) {
+        return;
+    }
+    u64 w[6] = {};
+    unsigned word = i / 64;
+    unsigned bit = i % 64;
+    if (bit == 0) {
+        w[word] = t.lo;
+        w[word + 1] = t.hi;
+    } else {
+        w[word] = t.lo << bit;
+        w[word + 1] = (t.lo >> (64 - bit)) | (t.hi << bit);
+        w[word + 2] = t.hi >> (64 - bit);
+    }
+    // A bit at position 128+k folds to k, k+1, k+2, k+7. Top-down so
+    // each fold only feeds words that are still to be processed.
+    for (int idx = 5; idx >= 2; --idx) {
+        u64 h = w[idx];
+        if (h == 0) {
+            continue;
+        }
+        w[idx] = 0;
+        w[idx - 2] ^= h ^ (h << 1) ^ (h << 2) ^ (h << 7);
+        w[idx - 1] ^= (h >> 63) ^ (h >> 62) ^ (h >> 57);
+    }
+    t.lo = w[0];
+    t.hi = w[1];
+}
+
+inline Tweak128
+loadTweak(const u8 *p)
+{
+    return {loadLe<u64>(p), loadLe<u64>(p + 8)};
+}
+
+inline void
+xorTweak(u8 *block, const Tweak128 &t)
+{
+    u64 b0, b1;
+    std::memcpy(&b0, block, 8);
+    std::memcpy(&b1, block + 8, 8);
+    b0 ^= t.lo;
+    b1 ^= t.hi;
+    std::memcpy(block, &b0, 8);
+    std::memcpy(block + 8, &b1, 8);
+}
+
+/**
+ * Bytes per parallel chunk for the page-parallel bulk paths. Tweak
+ * chains restart at every 4 KiB page, so chunking on page boundaries
+ * is bit-identical to the serial pass at any thread count.
+ */
+constexpr u64 kChunkBytes = 16 * kPageSize;
 
 } // namespace
 
@@ -44,17 +117,62 @@ XexCipher::XexCipher(const Aes128Key &key, const Aes128Key &tweak_key)
 AesBlock
 XexCipher::tweakFor(u64 line_addr) const
 {
-    // XTS-style: one AES invocation per 4 KiB page, then cheap GF
-    // doubling per 16-byte line. Tweaks stay unique per physical line,
-    // which is the property everything else relies on (§7.1).
+    // XTS-style: one AES invocation per 4 KiB page, then a single O(1)
+    // jump to the line's position in the page (multiply by x^i). Tweaks
+    // stay unique per physical line, which is the property everything
+    // else relies on (§7.1).
     AesBlock t = {};
     storeLe<u64>(t.data(), alignDown(line_addr, kPageSize));
     tweak_cipher_.encryptBlock(t.data());
-    u64 line_index = (line_addr % kPageSize) / 16;
-    for (u64 i = 0; i < line_index; ++i) {
-        gfDouble(t);
-    }
+    unsigned line_index =
+        static_cast<unsigned>((line_addr % kPageSize) / 16);
+    Tweak128 tw = loadTweak(t.data());
+    gfMulXPow(tw, line_index);
+    storeLe<u64>(t.data(), tw.lo);
+    storeLe<u64>(t.data() + 8, tw.hi);
     return t;
+}
+
+void
+XexCipher::encryptRange(u8 *data, u64 len, u64 addr) const
+{
+    Tweak128 t{0, 0};
+    u64 next_tweak_addr = ~u64{0};
+    for (u64 off = 0; off < len; off += 16) {
+        u64 line_addr = addr + off;
+        if (line_addr % kPageSize == 0 || line_addr != next_tweak_addr) {
+            AesBlock base = tweakFor(line_addr);
+            t = loadTweak(base.data());
+        } else {
+            gfDouble(t);
+        }
+        next_tweak_addr = line_addr + 16;
+        u8 *block = data + off;
+        xorTweak(block, t);
+        data_cipher_.encryptBlock(block);
+        xorTweak(block, t);
+    }
+}
+
+void
+XexCipher::decryptRange(u8 *data, u64 len, u64 addr) const
+{
+    Tweak128 t{0, 0};
+    u64 next_tweak_addr = ~u64{0};
+    for (u64 off = 0; off < len; off += 16) {
+        u64 line_addr = addr + off;
+        if (line_addr % kPageSize == 0 || line_addr != next_tweak_addr) {
+            AesBlock base = tweakFor(line_addr);
+            t = loadTweak(base.data());
+        } else {
+            gfDouble(t);
+        }
+        next_tweak_addr = line_addr + 16;
+        u8 *block = data + off;
+        xorTweak(block, t);
+        data_cipher_.decryptBlock(block);
+        xorTweak(block, t);
+    }
 }
 
 void
@@ -62,24 +180,21 @@ XexCipher::encrypt(MutByteSpan data, u64 addr) const
 {
     SEVF_CHECK(data.size() % 16 == 0);
     SEVF_CHECK(addr % 16 == 0);
-    AesBlock t{};
-    u64 next_tweak_addr = ~u64{0};
-    for (std::size_t off = 0; off < data.size(); off += 16) {
-        u64 line_addr = addr + off;
-        if (line_addr % kPageSize == 0 || line_addr != next_tweak_addr) {
-            t = tweakFor(line_addr);
-        } else {
-            gfDouble(t);
-        }
-        next_tweak_addr = line_addr + 16;
-        for (int i = 0; i < 16; ++i) {
-            data[off + i] ^= t[i];
-        }
-        data_cipher_.encryptBlock(data.data() + off);
-        for (int i = 0; i < 16; ++i) {
-            data[off + i] ^= t[i];
-        }
-    }
+    // Page-parallel bulk path: every 16-byte line's tweak depends only
+    // on its own address, so disjoint page-aligned chunks encrypt
+    // independently and bit-identically at any host thread count.
+    u64 page_base = alignDown(addr, kPageSize);
+    u64 span = addr + data.size() - page_base;
+    base::parallelFor(
+        0, pagesFor(span), kChunkBytes / kPageSize,
+        [&](u64 page_lo, u64 page_hi) {
+            u64 lo = std::max(addr, page_base + page_lo * kPageSize);
+            u64 hi =
+                std::min(addr + data.size(), page_base + page_hi * kPageSize);
+            if (lo < hi) {
+                encryptRange(data.data() + (lo - addr), hi - lo, lo);
+            }
+        });
     // Encryption is a declassification boundary: the buffer now holds
     // ciphertext, which the host may see. (Plaintext labelling is page
     // granular and lives in GuestMemory's shadow, not on scratch
@@ -92,24 +207,18 @@ XexCipher::decrypt(MutByteSpan data, u64 addr) const
 {
     SEVF_CHECK(data.size() % 16 == 0);
     SEVF_CHECK(addr % 16 == 0);
-    AesBlock t{};
-    u64 next_tweak_addr = ~u64{0};
-    for (std::size_t off = 0; off < data.size(); off += 16) {
-        u64 line_addr = addr + off;
-        if (line_addr % kPageSize == 0 || line_addr != next_tweak_addr) {
-            t = tweakFor(line_addr);
-        } else {
-            gfDouble(t);
-        }
-        next_tweak_addr = line_addr + 16;
-        for (int i = 0; i < 16; ++i) {
-            data[off + i] ^= t[i];
-        }
-        data_cipher_.decryptBlock(data.data() + off);
-        for (int i = 0; i < 16; ++i) {
-            data[off + i] ^= t[i];
-        }
-    }
+    u64 page_base = alignDown(addr, kPageSize);
+    u64 span = addr + data.size() - page_base;
+    base::parallelFor(
+        0, pagesFor(span), kChunkBytes / kPageSize,
+        [&](u64 page_lo, u64 page_hi) {
+            u64 lo = std::max(addr, page_base + page_lo * kPageSize);
+            u64 hi =
+                std::min(addr + data.size(), page_base + page_hi * kPageSize);
+            if (lo < hi) {
+                decryptRange(data.data() + (lo - addr), hi - lo, lo);
+            }
+        });
 }
 
 } // namespace sevf::crypto

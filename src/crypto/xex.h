@@ -40,6 +40,8 @@ class XexCipher
 
   private:
     AesBlock tweakFor(u64 line_addr) const;
+    void encryptRange(u8 *data, u64 len, u64 addr) const;
+    void decryptRange(u8 *data, u64 len, u64 addr) const;
 
     Aes128 data_cipher_;
     Aes128 tweak_cipher_;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "base/logging.h"
+#include "base/parallel.h"
 
 namespace sevf::memory {
 
@@ -94,7 +95,18 @@ GuestMemory::hostWrite(Gpa gpa, ByteSpan data)
             SEVF_RETURN_IF_ERROR(rmp_.checkHostWrite(spaOf(page)));
         }
     }
-    std::copy(data.begin(), data.end(), bytes_.begin() + gpa);
+    // Bulk image staging: chunk the copy across host threads on page
+    // boundaries. Disjoint destination ranges, so the result is the
+    // same at any thread count.
+    if (!data.empty()) {
+        const u64 len = data.size();
+        base::parallelFor(0, pagesFor(len), 64, [&](u64 lo, u64 hi) {
+            u64 off_lo = lo * kPageSize;
+            u64 off_hi = std::min<u64>(len, hi * kPageSize);
+            std::memcpy(bytes_.data() + gpa + off_lo, data.data() + off_lo,
+                        off_hi - off_lo);
+        });
+    }
     return Status::ok();
 }
 

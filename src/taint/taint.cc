@@ -1,5 +1,6 @@
 #include "taint/taint.h"
 
+#include <atomic>
 #include <map>
 #include <mutex>
 
@@ -20,34 +21,70 @@ struct Segment {
     TaintSet labels;
 };
 
-/**
- * Process-global label state. Segments are disjoint, keyed by start
- * address; the mutex keeps the hooks safe if a future subsystem goes
- * multi-threaded (today's boot path is single-threaded).
- */
 /** Cap on stored audit entries; the counts keep running past it. */
 constexpr u64 kMaxAuditEntries = 4096;
 
-struct State {
+/**
+ * The label map is sharded by address so hooks called from parallel
+ * launch workers contend only when they touch the same 1 MiB address
+ * slice. Segments never straddle a slice boundary (every operation
+ * splits its range at slice boundaries first), so each byte's labels
+ * live in exactly one shard and each sub-range is handled under
+ * exactly one shard lock — locks are never nested.
+ */
+constexpr unsigned kShardShift = 20; // 1 MiB address slices
+constexpr u64 kSliceSize = u64{1} << kShardShift;
+constexpr unsigned kShardCount = 64;
+
+struct Shard {
     std::mutex mu;
     std::map<u64, Segment> segments;
+};
+
+/** Mode is read on every hook: an atomic, not a lock. */
+std::atomic<Mode> g_mode{kDefaultMode};
+
+/** Audit log (violations, declassifications) behind its own mutex. */
+struct AuditState {
+    std::mutex mu;
     std::vector<Violation> violations;
     std::vector<Declassification> declassifications;
     u64 violation_count = 0;
     u64 declassification_count = 0;
-    Mode mode = kDefaultMode;
 };
 
-State &
-state()
+Shard &
+shardFor(u64 addr)
 {
-    static State s;
+    static Shard shards[kShardCount];
+    return shards[(addr >> kShardShift) % kShardCount];
+}
+
+AuditState &
+audit()
+{
+    static AuditState s;
     return s;
 }
 
 /**
+ * Invoke fn(slice_lo, slice_hi) for each maximal sub-range of
+ * [lo, hi) that stays within one 1 MiB address slice.
+ */
+template <typename Fn>
+void
+forEachSlice(u64 lo, u64 hi, Fn fn)
+{
+    while (lo < hi) {
+        u64 slice_end = std::min(hi, alignDown(lo, kSliceSize) + kSliceSize);
+        fn(lo, slice_end);
+        lo = slice_end;
+    }
+}
+
+/**
  * Split any segment straddling @p addr so that @p addr is a segment
- * boundary. Caller holds the lock.
+ * boundary. Caller holds the shard lock.
  */
 void
 splitAt(std::map<u64, Segment> &segs, u64 addr)
@@ -111,48 +148,43 @@ sinkName(Sink sink)
 Mode
 mode()
 {
-    State &s = state();
-    std::lock_guard<std::mutex> lock(s.mu);
-    return s.mode;
+    return g_mode.load(std::memory_order_acquire);
 }
 
 void
 setMode(Mode m)
 {
-    State &s = state();
-    std::lock_guard<std::mutex> lock(s.mu);
-    s.mode = m;
+    g_mode.store(m, std::memory_order_release);
 }
 
 void
 mark(const void *p, u64 len, TaintSet labels)
 {
-    if (len == 0 || labels == kNone) {
-        return;
-    }
-    State &s = state();
-    std::lock_guard<std::mutex> lock(s.mu);
-    if (s.mode == Mode::kOff) {
+    if (len == 0 || labels == kNone || mode() == Mode::kOff) {
         return;
     }
     u64 lo = reinterpret_cast<u64>(p);
-    u64 hi = lo + len;
-    splitAt(s.segments, lo);
-    splitAt(s.segments, hi);
-    // Join onto existing segments inside [lo, hi), then fill the gaps.
-    u64 cursor = lo;
-    auto it = s.segments.lower_bound(lo);
-    while (it != s.segments.end() && it->first < hi) {
-        if (it->first > cursor) {
-            s.segments.emplace(cursor, Segment{it->first, labels});
+    forEachSlice(lo, lo + len, [&](u64 slice_lo, u64 slice_hi) {
+        Shard &shard = shardFor(slice_lo);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        std::map<u64, Segment> &segs = shard.segments;
+        splitAt(segs, slice_lo);
+        splitAt(segs, slice_hi);
+        // Join onto existing segments inside the slice, fill the gaps.
+        u64 cursor = slice_lo;
+        auto it = segs.lower_bound(slice_lo);
+        while (it != segs.end() && it->first < slice_hi) {
+            if (it->first > cursor) {
+                segs.emplace(cursor, Segment{it->first, labels});
+            }
+            it->second.labels |= labels;
+            cursor = it->second.end;
+            ++it;
         }
-        it->second.labels |= labels;
-        cursor = it->second.end;
-        ++it;
-    }
-    if (cursor < hi) {
-        s.segments.emplace(cursor, Segment{hi, labels});
-    }
+        if (cursor < slice_hi) {
+            segs.emplace(cursor, Segment{slice_hi, labels});
+        }
+    });
 }
 
 void
@@ -161,51 +193,52 @@ clearRange(const void *p, u64 len)
     if (len == 0) {
         return;
     }
-    State &s = state();
-    std::lock_guard<std::mutex> lock(s.mu);
     u64 lo = reinterpret_cast<u64>(p);
-    u64 hi = lo + len;
-    splitAt(s.segments, lo);
-    splitAt(s.segments, hi);
-    auto it = s.segments.lower_bound(lo);
-    while (it != s.segments.end() && it->first < hi) {
-        it = s.segments.erase(it);
-    }
+    forEachSlice(lo, lo + len, [&](u64 slice_lo, u64 slice_hi) {
+        Shard &shard = shardFor(slice_lo);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        std::map<u64, Segment> &segs = shard.segments;
+        splitAt(segs, slice_lo);
+        splitAt(segs, slice_hi);
+        auto it = segs.lower_bound(slice_lo);
+        while (it != segs.end() && it->first < slice_hi) {
+            it = segs.erase(it);
+        }
+    });
 }
 
 TaintSet
 query(const void *p, u64 len)
 {
-    if (len == 0) {
-        return kNone;
-    }
-    State &s = state();
-    std::lock_guard<std::mutex> lock(s.mu);
-    if (s.mode == Mode::kOff) {
+    if (len == 0 || mode() == Mode::kOff) {
         return kNone;
     }
     u64 lo = reinterpret_cast<u64>(p);
-    u64 hi = lo + len;
     TaintSet out = kNone;
-    auto it = s.segments.upper_bound(lo);
-    if (it != s.segments.begin()) {
-        --it;
-        if (it->second.end > lo) {
-            out |= it->second.labels;
+    forEachSlice(lo, lo + len, [&](u64 slice_lo, u64 slice_hi) {
+        Shard &shard = shardFor(slice_lo);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        const std::map<u64, Segment> &segs = shard.segments;
+        auto it = segs.upper_bound(slice_lo);
+        if (it != segs.begin()) {
+            auto prev = it;
+            --prev;
+            if (prev->second.end > slice_lo) {
+                out |= prev->second.labels;
+            }
         }
-        ++it;
-    }
-    while (it != s.segments.end() && it->first < hi) {
-        out |= it->second.labels;
-        ++it;
-    }
+        while (it != segs.end() && it->first < slice_hi) {
+            out |= it->second.labels;
+            ++it;
+        }
+    });
     return out;
 }
 
 namespace {
 
 void
-appendDeclassification(State &s, std::string_view reason, u64 bytes)
+appendDeclassification(AuditState &s, std::string_view reason, u64 bytes)
 {
     ++s.declassification_count;
     if (s.declassifications.size() < kMaxAuditEntries) {
@@ -219,7 +252,7 @@ void
 declassify(const void *p, u64 len, std::string_view reason)
 {
     clearRange(p, len);
-    State &s = state();
+    AuditState &s = audit();
     std::lock_guard<std::mutex> lock(s.mu);
     appendDeclassification(s, reason, len);
 }
@@ -227,18 +260,18 @@ declassify(const void *p, u64 len, std::string_view reason)
 void
 noteDeclassified(std::string_view reason)
 {
-    State &s = state();
-    std::lock_guard<std::mutex> lock(s.mu);
-    if (s.mode == Mode::kOff) {
+    if (mode() == Mode::kOff) {
         return;
     }
+    AuditState &s = audit();
+    std::lock_guard<std::mutex> lock(s.mu);
     appendDeclassification(s, reason, 0);
 }
 
 std::vector<Declassification>
 declassifications()
 {
-    State &s = state();
+    AuditState &s = audit();
     std::lock_guard<std::mutex> lock(s.mu);
     return s.declassifications;
 }
@@ -246,7 +279,7 @@ declassifications()
 u64
 declassificationCount()
 {
-    State &s = state();
+    AuditState &s = audit();
     std::lock_guard<std::mutex> lock(s.mu);
     return s.declassification_count;
 }
@@ -267,7 +300,7 @@ guardSink(Sink sink, const void *p, u64 len, std::string_view context)
         std::string(context) + ", " + std::to_string(len) +
         " bytes); if this flow is intentional, declassify() it at a "
         "reviewed boundary";
-    State &s = state();
+    AuditState &s = audit();
     {
         std::lock_guard<std::mutex> lock(s.mu);
         ++s.violation_count;
@@ -275,17 +308,17 @@ guardSink(Sink sink, const void *p, u64 len, std::string_view context)
             s.violations.push_back(
                 {sink, labels, std::string(context), message});
         }
-        if (s.mode != Mode::kEnforce) {
-            return labels;
-        }
     }
-    panic(message);
+    if (mode() == Mode::kEnforce) {
+        panic(message);
+    }
+    return labels;
 }
 
 std::vector<Violation>
 violations()
 {
-    State &s = state();
+    AuditState &s = audit();
     std::lock_guard<std::mutex> lock(s.mu);
     return s.violations;
 }
@@ -293,7 +326,7 @@ violations()
 u64
 violationCount()
 {
-    State &s = state();
+    AuditState &s = audit();
     std::lock_guard<std::mutex> lock(s.mu);
     return s.violation_count;
 }
@@ -301,7 +334,7 @@ violationCount()
 void
 clearViolations()
 {
-    State &s = state();
+    AuditState &s = audit();
     std::lock_guard<std::mutex> lock(s.mu);
     s.violations.clear();
     s.declassifications.clear();

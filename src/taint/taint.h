@@ -31,6 +31,17 @@
  * violation is an immediate panic, the same idiom as the live launch
  * protocol monitor). Building with -DSEVF_TAINT=ON makes kEnforce the
  * process default so the whole suite runs enforced.
+ *
+ * Thread-safety / locking rule: every hook here may be called from the
+ * host-parallel launch workers (base/parallel.h). The label map is
+ * sharded by 1 MiB address slice, each shard behind its own mutex; an
+ * operation splits its range at slice boundaries and takes exactly one
+ * shard lock at a time, never nested, so hooks cannot deadlock against
+ * each other. The mode knob is an atomic and the audit log has a
+ * separate mutex. Corollary for callers: a mark/clear racing a query
+ * on the SAME bytes is a data race in the caller's protocol, not the
+ * map's — parallel launch code labels a buffer before fan-out or after
+ * join, never from inside chunk workers touching shared ranges.
  */
 #ifndef SEVF_TAINT_TAINT_H_
 #define SEVF_TAINT_TAINT_H_

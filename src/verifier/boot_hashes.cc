@@ -1,6 +1,7 @@
 #include "verifier/boot_hashes.h"
 
 #include "base/bytes.h"
+#include "base/parallel.h"
 
 namespace sevf::verifier {
 
@@ -15,13 +16,22 @@ BootHashes::compute(ByteSpan kernel, ByteSpan initrd,
                     std::optional<ByteSpan> cmdline)
 {
     BootHashes h;
-    h.kernel = crypto::Sha256::digest(kernel);
     h.kernel_size = kernel.size();
-    h.initrd = crypto::Sha256::digest(initrd);
     h.initrd_size = initrd.size();
-    if (cmdline) {
-        h.cmdline = crypto::Sha256::digest(*cmdline);
-    }
+    // The three component digests are independent out-of-band hashes
+    // (§4.2): fan them out across host threads. Each item computes one
+    // whole digest, so the results do not depend on the thread count.
+    base::parallelFor(0, 3, 1, [&](u64 lo, u64 hi) {
+        for (u64 i = lo; i < hi; ++i) {
+            if (i == 0) {
+                h.kernel = crypto::Sha256::digest(kernel);
+            } else if (i == 1) {
+                h.initrd = crypto::Sha256::digest(initrd);
+            } else if (cmdline) {
+                h.cmdline = crypto::Sha256::digest(*cmdline);
+            }
+        }
+    });
     return h;
 }
 

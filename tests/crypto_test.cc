@@ -234,6 +234,43 @@ TEST_F(XexTest, WrongAddressFailsToDecrypt)
     EXPECT_NE(data, orig);
 }
 
+TEST_F(XexTest, LineEncryptMatchesPageEncrypt)
+{
+    // Encrypting a single 16-byte line at an arbitrary mid-page address
+    // must match the corresponding slice of a whole-page encrypt. This
+    // pins the O(1) mid-page tweak jump (multiply by x^line_index) to
+    // the sequential per-line tweak-doubling chain.
+    XexCipher xex(key_, tweak_);
+    ByteVec page(4096);
+    rng_.fill(page);
+    ByteVec whole = page;
+    xex.encrypt(whole, 0x7000);
+    for (u64 off : {u64{0}, u64{16}, u64{2032}, u64{4080}}) {
+        ByteVec line(page.begin() + off, page.begin() + off + 16);
+        xex.encrypt(line, 0x7000 + off);
+        EXPECT_TRUE(std::equal(line.begin(), line.end(),
+                               whole.begin() + off))
+            << "line at offset " << off;
+    }
+}
+
+TEST_F(XexTest, UnalignedRangeMatchesPageSlice)
+{
+    // A multi-line range entering mid-page (the guestWrite RMW path)
+    // must also match the whole-page ciphertext slice.
+    XexCipher xex(key_, tweak_);
+    ByteVec page(8192);
+    rng_.fill(page);
+    ByteVec whole = page;
+    xex.encrypt(whole, 0x30000);
+    constexpr u64 kOff = 3000 / 16 * 16; // line-aligned mid-page entry
+    constexpr u64 kLen = 4096;           // crosses the page boundary
+    ByteVec range(page.begin() + kOff, page.begin() + kOff + kLen);
+    xex.encrypt(range, 0x30000 + kOff);
+    EXPECT_TRUE(
+        std::equal(range.begin(), range.end(), whole.begin() + kOff));
+}
+
 TEST_F(XexTest, WrongKeyFailsToDecrypt)
 {
     XexCipher xex(key_, tweak_);

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the host-parallel execution layer (base/parallel.h) and the
+ * property the whole PR hangs on: parallelism is bit-for-bit invisible.
+ * Every strategy must produce the same launch measurement, attestation
+ * outcome, and simulated trace totals at every host_threads value.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "base/parallel.h"
+#include "core/launch.h"
+#include "workload/synthetic.h"
+
+namespace sevf {
+namespace {
+
+// ---- ThreadPool unit tests -----------------------------------------------
+
+TEST(ThreadPool, CoversRangeExactlyOnce)
+{
+    base::ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(0, 1000, 7, [&](u64 lo, u64 hi) {
+        for (u64 i = lo; i < hi; ++i) {
+            hits[i].fetch_add(1);
+        }
+    });
+    for (const auto &h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ThreadPool, EmptyRangeRunsNothing)
+{
+    base::ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(10, 10, 4, [&](u64, u64) { calls.fetch_add(1); });
+    pool.parallelFor(10, 5, 4, [&](u64, u64) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, GrainLargerThanRangeIsOneChunk)
+{
+    base::ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    u64 seen_lo = 99, seen_hi = 0;
+    pool.parallelFor(3, 9, 1000, [&](u64 lo, u64 hi) {
+        calls.fetch_add(1);
+        seen_lo = lo;
+        seen_hi = hi;
+    });
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(seen_lo, 3u);
+    EXPECT_EQ(seen_hi, 9u);
+}
+
+TEST(ThreadPool, ZeroGrainTreatedAsOne)
+{
+    base::ThreadPool pool(2);
+    std::atomic<u64> sum{0};
+    pool.parallelFor(0, 10, 0, [&](u64 lo, u64 hi) {
+        EXPECT_EQ(hi, lo + 1);
+        sum.fetch_add(lo);
+    });
+    EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    base::ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(0, 100, 1,
+                         [&](u64 lo, u64) {
+                             if (lo == 42) {
+                                 std::vector<int> v;
+                                 (void)v.at(3); // throws out_of_range
+                             }
+                         }),
+        std::out_of_range);
+    // The pool must still be usable after an exceptional job.
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, 8, 2, [&](u64, u64) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 4);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline)
+{
+    base::ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 1u);
+    std::vector<u64> order;
+    pool.parallelFor(0, 6, 2, [&](u64 lo, u64) { order.push_back(lo); });
+    EXPECT_EQ(order, (std::vector<u64>{0, 2, 4}));
+}
+
+TEST(ParallelForFree, RespectsHostThreadsKnob)
+{
+    EXPECT_EQ(base::hostThreads(), 1u); // serial is the process default
+    {
+        base::ScopedHostThreads scope(4);
+        EXPECT_EQ(base::hostThreads(), 4u);
+        std::vector<std::atomic<int>> hits(256);
+        base::parallelFor(0, 256, 16, [&](u64 lo, u64 hi) {
+            for (u64 i = lo; i < hi; ++i) {
+                hits[i].fetch_add(1);
+            }
+        });
+        for (const auto &h : hits) {
+            EXPECT_EQ(h.load(), 1);
+        }
+    }
+    EXPECT_EQ(base::hostThreads(), 1u);
+}
+
+TEST(ParallelForFree, NestedCallDegradesToSerial)
+{
+    base::ScopedHostThreads scope(4);
+    std::atomic<int> inner_chunks{0};
+    base::parallelFor(0, 4, 1, [&](u64, u64) {
+        // A nested parallelFor inside a chunk body must run inline
+        // (the outer call holds the pool); it still covers its range.
+        base::parallelFor(0, 10, 2,
+                          [&](u64, u64) { inner_chunks.fetch_add(1); });
+    });
+    EXPECT_EQ(inner_chunks.load(), 4 * 5);
+}
+
+// ---- Serial-vs-parallel launch equivalence -------------------------------
+
+class ParallelEquivalenceTest
+    : public ::testing::TestWithParam<core::StrategyKind>
+{
+};
+
+TEST_P(ParallelEquivalenceTest, ResultsIdenticalAtEveryThreadCount)
+{
+    core::LaunchRequest request;
+    request.scale = 1.0 / 32.0;
+
+    // Reference: fully serial launch.
+    request.host_threads = 1;
+    core::Platform serial_platform(sim::CostParams::deterministic());
+    Result<core::LaunchResult> serial =
+        core::makeStrategy(GetParam())->launch(serial_platform, request);
+    ASSERT_TRUE(serial.isOk()) << serial.status().toString();
+
+    for (unsigned threads : {2u, 8u}) {
+        request.host_threads = threads;
+        core::Platform platform(sim::CostParams::deterministic());
+        Result<core::LaunchResult> parallel =
+            core::makeStrategy(GetParam())->launch(platform, request);
+        ASSERT_TRUE(parallel.isOk())
+            << "host_threads=" << threads << ": "
+            << parallel.status().toString();
+
+        // The launch measurement is the strongest witness: it chains
+        // SHA-256 over every measured page in order.
+        EXPECT_EQ(parallel->measurement, serial->measurement)
+            << "measurement differs at host_threads=" << threads;
+        EXPECT_EQ(parallel->attested, serial->attested);
+        EXPECT_EQ(parallel->provisioned_secret_bytes,
+                  serial->provisioned_secret_bytes);
+        EXPECT_EQ(parallel->pre_encrypted_bytes,
+                  serial->pre_encrypted_bytes);
+        // Simulated time must not observe host parallelism.
+        EXPECT_EQ(parallel->totalTime(), serial->totalTime())
+            << "trace total differs at host_threads=" << threads;
+        EXPECT_EQ(parallel->bootTime(), serial->bootTime());
+        EXPECT_EQ(parallel->verifier_stats.bytes_hashed,
+                  serial->verifier_stats.bytes_hashed);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, ParallelEquivalenceTest,
+    ::testing::Values(core::StrategyKind::kStockFirecracker,
+                      core::StrategyKind::kQemuOvmfSev,
+                      core::StrategyKind::kSevDirectBoot,
+                      core::StrategyKind::kSeveriFastBz,
+                      core::StrategyKind::kSeveriFastVmlinux),
+    [](const ::testing::TestParamInfo<core::StrategyKind> &info) {
+        std::string name = core::strategyName(info.param);
+        for (char &c : name) {
+            if (c == '-') {
+                c = '_';
+            }
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace sevf

@@ -1,9 +1,11 @@
 #!/bin/sh
-# Tier-1 CI gate for severifast. Runs the full verify three times — a
-# plain -Werror build, an ASan+UBSan build, and an SEVF_TAINT=ON build
-# (secret-flow monitor in enforce mode) — plus the project linter and
-# the launch-protocol model checker, each configuration in its own
-# build tree so they never clobber one another.
+# Tier-1 CI gate for severifast. Runs the full verify four times — a
+# plain -Werror build, an ASan+UBSan build, an SEVF_TAINT=ON build
+# (secret-flow monitor in enforce mode), and a ThreadSanitizer build
+# exercising the host-parallel launch layer — plus the project linter,
+# the launch-protocol model checker, and the wall-clock perf harness,
+# each configuration in its own build tree so they never clobber one
+# another.
 #
 #   tools/ci.sh            # run everything
 #   CI_JOBS=4 tools/ci.sh  # cap build/test parallelism
@@ -51,7 +53,24 @@ run_matrix_entry asan -DSEVF_WERROR=ON -DSEVF_SANITIZE=address,undefined
 #    a single SECRET byte reaching a host-visible sink panics the test.
 run_matrix_entry taint -DSEVF_WERROR=ON -DSEVF_TAINT=ON
 
-# 4. Project linter over the library sources (with the secret-flow
+# 4. ThreadSanitizer over the host-parallel layer: the ThreadPool unit
+#    tests, the serial-vs-parallel launch equivalence suite, and the
+#    crypto/memory paths that fan out across host threads. TSan cannot
+#    be combined with ASan, hence its own matrix entry; the full ctest
+#    suite under TSan would take too long, so this entry builds
+#    everything but runs the concurrency-relevant tests.
+tsan_build="$root/build-ci-tsan"
+echo "==> [tsan] configure: -DSEVF_SANITIZE=thread"
+cmake -B "$tsan_build" -S "$root" -DSEVF_WERROR=ON -DSEVF_SANITIZE=thread \
+    >/dev/null
+echo "==> [tsan] build"
+cmake --build "$tsan_build" -j "$jobs"
+echo "==> [tsan] ctest (parallel + crypto + memory + taint)"
+(cd "$tsan_build" &&
+     ctest --output-on-failure -j "$jobs" \
+         -R 'parallel_test|crypto_test|memory_test|taint_test')
+
+# 5. Project linter over the library sources (with the secret-flow
 #    source list), plus its self-test fixture. Both also run under ctest
 #    above; running them standalone keeps the lint usable when the
 #    library itself does not build.
@@ -61,7 +80,7 @@ echo "==> [lint] $lint --root src --secret-sources tools/secret-sources.txt"
 echo "==> [lint] selftest"
 "$lint" --selftest "$root/tests/lint_fixture"
 
-# 5. Launch-protocol model check: exhaustive interleavings of the SNP
+# 6. Launch-protocol model check: exhaustive interleavings of the SNP
 #    launch commands cross-checked against the live device model, then
 #    the seeded-mutant run proving the checker catches real holes.
 model="$root/build-ci-werror/tools/sevf_model"
@@ -70,4 +89,13 @@ echo "==> [model] clean verification"
 echo "==> [model] seeded mutants must be caught"
 "$model" --guests 2 --depth 8 --sweep 3 --all-mutants
 
-echo "==> CI green: hygiene + werror + asan,ubsan + taint-enforce + lint + model"
+# 7. Wall-clock perf harness: real kernel throughput, the parallel
+#    pre-encrypt pipeline's 1..N scaling with its built-in bit-identity
+#    check, and per-strategy launch latency. Writes BENCH_wallclock.json
+#    at the repo root so runs are archived next to the sources.
+bench="$root/build-ci-werror/bench/bench_wallclock"
+echo "==> [bench] $bench BENCH_wallclock.json"
+(cd "$root" && "$bench" "$root/BENCH_wallclock.json")
+
+echo "==> CI green: hygiene + werror + asan,ubsan + taint-enforce + tsan" \
+     "+ lint + model + bench"
