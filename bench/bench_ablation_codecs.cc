@@ -13,6 +13,7 @@ using namespace sevf;
 int
 main()
 {
+    bench::ObsSession obs_session; // SEVF_TRACE_OUT/SEVF_METRICS_OUT
     bench::banner("Ablation B", "codec choice, end-to-end boots");
     core::Platform platform;
 

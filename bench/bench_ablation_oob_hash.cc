@@ -13,6 +13,7 @@ using namespace sevf;
 int
 main()
 {
+    bench::ObsSession obs_session; // SEVF_TRACE_OUT/SEVF_METRICS_OUT
     bench::banner("Ablation A",
                   "out-of-band kernel/initrd hashing (S4.3)");
     core::Platform platform;

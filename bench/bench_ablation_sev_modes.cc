@@ -16,6 +16,7 @@ using namespace sevf;
 int
 main()
 {
+    bench::ObsSession obs_session; // SEVF_TRACE_OUT/SEVF_METRICS_OUT
     bench::banner("Ablation D", "SEV / SEV-ES / SEV-SNP boot costs");
     core::Platform platform;
 

@@ -17,6 +17,7 @@ using namespace sevf;
 int
 main()
 {
+    bench::ObsSession obs_session; // SEVF_TRACE_OUT/SEVF_METRICS_OUT
     bench::banner("Ablation C", "pre-encrypt vs generate, per structure");
     core::Platform platform;
     const sim::CostModel &cost = platform.cost();

@@ -36,6 +36,7 @@ meanConcurrentMs(const core::LaunchResult &nominal,
 int
 main()
 {
+    bench::ObsSession obs_session; // SEVF_TRACE_OUT/SEVF_METRICS_OUT
     bench::banner("Extension", "PSP relief via shared platform keys");
     core::Platform platform;
     const sim::CostModel &model = platform.cost();

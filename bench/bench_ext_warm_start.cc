@@ -38,6 +38,7 @@ dedupFor(core::Platform &platform, core::StrategyKind kind)
 int
 main()
 {
+    bench::ObsSession obs_session; // SEVF_TRACE_OUT/SEVF_METRICS_OUT
     bench::banner("Extension", "warm start: keep-alive latency vs memory");
     core::Platform platform;
 

@@ -15,6 +15,7 @@ using namespace sevf;
 int
 main()
 {
+    bench::ObsSession obs_session; // SEVF_TRACE_OUT/SEVF_METRICS_OUT
     bench::banner("Figure 3", "OVMF SEV-SNP boot phase breakdown");
 
     core::Platform platform;

@@ -39,6 +39,7 @@ preEncryptMs(core::Platform &platform, u64 bytes)
 int
 main()
 {
+    bench::ObsSession obs_session; // SEVF_TRACE_OUT/SEVF_METRICS_OUT
     bench::banner("Figure 4", "pre-encryption time vs size (PSP)");
     core::Platform platform;
 

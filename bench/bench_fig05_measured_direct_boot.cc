@@ -17,6 +17,7 @@ using namespace sevf;
 int
 main()
 {
+    bench::ObsSession obs_session; // SEVF_TRACE_OUT/SEVF_METRICS_OUT
     bench::banner("Figure 5",
                   "measured direct boot: copy/hash/decompress trade-off");
     core::Platform platform;

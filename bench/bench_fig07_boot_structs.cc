@@ -30,6 +30,7 @@ constexpr u64 kPageTableCodeSize = 2457; // ~2.4K
 int
 main()
 {
+    bench::ObsSession obs_session; // SEVF_TRACE_OUT/SEVF_METRICS_OUT
     bench::banner("Figure 7", "pre-encrypt vs generate boot structures");
 
     vmm::VmConfig config; // 1 vCPU, 256MiB, default Firecracker cmdline

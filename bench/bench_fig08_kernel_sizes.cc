@@ -14,6 +14,7 @@ using namespace sevf;
 int
 main()
 {
+    bench::ObsSession obs_session; // SEVF_TRACE_OUT/SEVF_METRICS_OUT
     bench::banner("Figure 8", "guest kernels used in boot experiments");
 
     stats::Table table({"kernel config", "vmlinux size", "bzImage size",

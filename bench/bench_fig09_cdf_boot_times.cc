@@ -14,6 +14,7 @@ using namespace sevf;
 int
 main()
 {
+    bench::ObsSession obs_session; // SEVF_TRACE_OUT/SEVF_METRICS_OUT
     bench::banner("Figure 9",
                   "boot+attestation CDFs: SEVeriFast vs QEMU/OVMF");
     core::Platform platform;

@@ -35,6 +35,7 @@ meanConcurrentMs(const core::LaunchResult &nominal,
 int
 main()
 {
+    bench::ObsSession obs_session; // SEVF_TRACE_OUT/SEVF_METRICS_OUT
     bench::banner("Figure 12", "concurrent cold boots, 1..50 guests");
     core::Platform platform;
     const sim::CostModel &model = platform.cost();

@@ -20,6 +20,7 @@ using namespace sevf;
 int
 main()
 {
+    bench::ObsSession obs_session; // SEVF_TRACE_OUT/SEVF_METRICS_OUT
     bench::banner("S6.3", "memory footprint of SEV support");
 
     vmm::VmConfig config;

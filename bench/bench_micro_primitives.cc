@@ -8,6 +8,8 @@
  */
 #include <benchmark/benchmark.h>
 
+#include "bench/common.h"
+
 #include "base/rng.h"
 #include "compress/codec.h"
 #include "crypto/hmac.h"
@@ -150,5 +152,9 @@ BM_LaunchDigestExtend(benchmark::State &state)
 BENCHMARK(BM_LaunchDigestExtend);
 
 } // namespace
+
+// SEVF_TRACE_OUT/SEVF_METRICS_OUT work here too; a namespace-scope
+// session exports at static destruction, after BENCHMARK_MAIN returns.
+static bench::ObsSession obs_session;
 
 BENCHMARK_MAIN();

@@ -86,6 +86,7 @@ hexDigest(const crypto::Sha256Digest &d)
 int
 main(int argc, char **argv)
 {
+    bench::ObsSession obs_session; // SEVF_TRACE_OUT/SEVF_METRICS_OUT
     const std::string out_path =
         argc > 1 ? argv[1] : "BENCH_wallclock.json";
 

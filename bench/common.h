@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -19,6 +20,9 @@
 
 #include "base/logging.h"
 #include "core/launch.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/cost_model.h"
 #include "stats/summary.h"
 #include "stats/table.h"
@@ -237,6 +241,68 @@ throughputRecord(std::string_view name, u64 bytes, double seconds)
         .field("mb_per_s", mbPerSec(bytes, seconds));
     return o;
 }
+
+/**
+ * Opt-in observability for any bench binary: set SEVF_TRACE_OUT and/or
+ * SEVF_METRICS_OUT in the environment and the run records spans/metrics
+ * and writes the export(s) when main() returns. With neither variable
+ * set this is inert — obs stays disabled and the bench numbers are the
+ * same as without the hook (the <2% disabled-cost contract in
+ * docs/OBSERVABILITY.md §costs).
+ *
+ *   SEVF_TRACE_OUT=fig10.json ./bench_fig10_breakdown_table
+ */
+class ObsSession
+{
+  public:
+    ObsSession()
+        : trace_out_(envOr("SEVF_TRACE_OUT")),
+          metrics_out_(envOr("SEVF_METRICS_OUT"))
+    {
+        if (!metrics_out_.empty()) {
+            obs::setMetricsEnabled(true);
+        }
+        if (!trace_out_.empty()) {
+            obs::setMetricsEnabled(true); // traces embed counter samples
+            obs::setTracingEnabled(true);
+        }
+    }
+
+    ~ObsSession()
+    {
+        if (!trace_out_.empty()) {
+            reportWrite(obs::writeTraceFile(trace_out_), trace_out_);
+        }
+        if (!metrics_out_.empty()) {
+            reportWrite(obs::writeMetricsFile(metrics_out_), metrics_out_);
+        }
+    }
+
+    ObsSession(const ObsSession &) = delete;
+    ObsSession &operator=(const ObsSession &) = delete;
+
+  private:
+    static std::string
+    envOr(const char *name)
+    {
+        const char *v = std::getenv(name);
+        return v != nullptr ? std::string(v) : std::string();
+    }
+
+    static void
+    reportWrite(const Status &st, const std::string &path)
+    {
+        if (st.isOk()) {
+            std::fprintf(stderr, "# obs export: %s\n", path.c_str());
+        } else {
+            std::fprintf(stderr, "# obs export failed: %s\n",
+                         st.toString().c_str());
+        }
+    }
+
+    std::string trace_out_;
+    std::string metrics_out_;
+};
 
 } // namespace sevf::bench
 

@@ -22,6 +22,19 @@ thread_local bool tl_in_parallel_region = false;
 
 std::atomic<unsigned> g_host_threads{1};
 
+// WorkerContextHooks, stored as individual atomics so claimChunks can
+// read them without a lock. Installed once at startup (obs layer).
+std::atomic<u64 (*)()> g_ctx_capture{nullptr};
+std::atomic<u64 (*)(u64)> g_ctx_enter{nullptr};
+std::atomic<void (*)(u64)> g_ctx_exit{nullptr};
+
+u64
+captureWorkerContext()
+{
+    u64 (*capture)() = g_ctx_capture.load(std::memory_order_acquire);
+    return capture ? capture() : 0;
+}
+
 void
 runSerial(u64 begin, u64 end, u64 grain, const ChunkFn &fn)
 {
@@ -52,11 +65,17 @@ struct ThreadPool::Impl {
     u64 total_chunks = 0;
     u64 completed_chunks = 0;
     const ChunkFn *fn = nullptr;
+    u64 ctx_token = 0; //!< WorkerContextHooks token from the submitter
     std::exception_ptr error;
 
     void
     claimChunks()
     {
+        u64 ctx_saved = 0;
+        u64 (*ctx_enter)(u64) = g_ctx_enter.load(std::memory_order_acquire);
+        if (ctx_enter != nullptr) {
+            ctx_saved = ctx_enter(ctx_token);
+        }
         tl_in_parallel_region = true;
         u64 local_done = 0;
         while (true) {
@@ -76,6 +95,12 @@ struct ThreadPool::Impl {
             ++local_done;
         }
         tl_in_parallel_region = false;
+        if (ctx_enter != nullptr) {
+            void (*ctx_exit)(u64) = g_ctx_exit.load(std::memory_order_acquire);
+            if (ctx_exit != nullptr) {
+                ctx_exit(ctx_saved);
+            }
+        }
         if (local_done > 0) {
             std::lock_guard<std::mutex> lock(mu);
             completed_chunks += local_done;
@@ -149,6 +174,7 @@ ThreadPool::parallelFor(u64 begin, u64 end, u64 grain, const ChunkFn &fn)
         impl_->total_chunks = total;
         impl_->completed_chunks = 0;
         impl_->fn = &fn;
+        impl_->ctx_token = captureWorkerContext();
         impl_->error = nullptr;
         ++impl_->generation;
         impl_->job_active = true;
@@ -212,6 +238,14 @@ sharedPool(unsigned threads)
 }
 
 } // namespace
+
+void
+setWorkerContextHooks(WorkerContextHooks hooks)
+{
+    g_ctx_capture.store(hooks.capture, std::memory_order_release);
+    g_ctx_enter.store(hooks.enter, std::memory_order_release);
+    g_ctx_exit.store(hooks.exit, std::memory_order_release);
+}
 
 void
 parallelFor(u64 begin, u64 end, u64 grain, const ChunkFn &fn)

@@ -99,6 +99,24 @@ class ScopedHostThreads
  */
 void parallelFor(u64 begin, u64 end, u64 grain, const ChunkFn &fn);
 
+/**
+ * Optional per-job context propagation, used by the observability layer
+ * to carry the calling thread's open trace span into worker threads so
+ * spans opened inside chunk bodies nest under it. parallelFor calls
+ * capture() once on the submitting thread; every thread that executes
+ * chunks (workers and the caller) brackets its chunk-claiming session
+ * with enter(token) / exit(saved). base stays ignorant of what the
+ * token means — it is an opaque u64.
+ */
+struct WorkerContextHooks {
+    u64 (*capture)() = nullptr;      ///< on the submitting thread
+    u64 (*enter)(u64 token) = nullptr; ///< install token; returns prior state
+    void (*exit)(u64 saved) = nullptr; ///< restore prior state
+};
+
+/** Install the process-wide hooks (call once at startup; not races-safe). */
+void setWorkerContextHooks(WorkerContextHooks hooks);
+
 } // namespace sevf::base
 
 #endif // SEVF_BASE_PARALLEL_H_

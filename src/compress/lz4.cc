@@ -4,6 +4,8 @@
 
 #include "base/bytes.h"
 #include "compress/frame.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace sevf::compress {
 
@@ -194,7 +196,12 @@ Lz4Codec::decompressBlock(ByteSpan block, u64 decompressed_size)
         if (lit_len > out_size - op) {
             return errCorrupted("lz4: output overflows declared size");
         }
-        std::memcpy(dst + op, block.data() + ip, lit_len);
+        if (lit_len != 0) {
+            // Guarded: dst is null for an empty payload (0-byte vector)
+            // and memcpy's pointer arguments are attribute-nonnull even
+            // when the length is zero.
+            std::memcpy(dst + op, block.data() + ip, lit_len);
+        }
         op += lit_len;
         ip += lit_len;
 
@@ -262,6 +269,9 @@ Lz4Codec::decompressBlock(ByteSpan block, u64 decompressed_size)
 ByteVec
 Lz4Codec::compress(ByteSpan input) const
 {
+    static obs::KernelMetrics &metrics = obs::kernelMetrics("lz4_compress");
+    obs::KernelTimer timer(metrics, input.size());
+    SEVF_SPAN("lz4.compress", "bytes", static_cast<u64>(input.size()));
     ByteWriter w;
     detail::writeHeader(w, CodecKind::kLz4, input.size());
     ByteVec block = compressBlock(input);
@@ -272,6 +282,9 @@ Lz4Codec::compress(ByteSpan input) const
 Result<ByteVec>
 Lz4Codec::decompress(ByteSpan stream) const
 {
+    static obs::KernelMetrics &metrics = obs::kernelMetrics("lz4_decompress");
+    obs::KernelTimer timer(metrics, stream.size());
+    SEVF_SPAN("lz4.decompress", "bytes", static_cast<u64>(stream.size()));
     ByteReader r(stream);
     Result<detail::Header> h = detail::readHeader(r);
     if (!h.isOk()) {

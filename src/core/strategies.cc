@@ -19,6 +19,8 @@
 #include "guest/bootstrap_loader.h"
 #include "image/bzimage.h"
 #include "image/elf.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "psp/psp.h"
 #include "verifier/verifier_binary.h"
 #include "vmm/fw_cfg.h"
@@ -767,7 +769,20 @@ BootStrategy::launch(Platform &platform, const LaunchRequest &request)
     // RAII: the previous knob value is restored when the launch
     // returns, so nested strategy invocations compose.
     base::ScopedHostThreads scope(threads);
-    return doLaunch(platform, request);
+    SEVF_SPAN("launch", "strategy", strategyName(kind()));
+    obs::Registry::instance()
+        .counter("sevf_launch_total", "Completed launch attempts",
+                 {{"strategy", strategyName(kind())}})
+        .add();
+    Result<LaunchResult> result = doLaunch(platform, request);
+    if (result.isOk() && obs::metricsEnabled()) {
+        static obs::Histogram &sim_ns = obs::Registry::instance().histogram(
+            "sevf_launch_sim_ns",
+            "Total simulated launch duration (attestation included)",
+            obs::defaultTimeBoundsNs());
+        sim_ns.observe(static_cast<u64>((*result).trace.total().ns()));
+    }
+    return result;
 }
 
 std::unique_ptr<BootStrategy>

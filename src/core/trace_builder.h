@@ -2,12 +2,21 @@
  * @file
  * Internal helper: accumulates BootTrace steps and mirrors them onto
  * the debug-port timeline with running virtual timestamps.
+ *
+ * This is also the sim-clock tap for the observability layer: every
+ * charged step is reported to obs (span trace + per-kind/per-phase
+ * metrics) with its virtual start time, so a Chrome trace of a launch
+ * shows the exact step sequence the BootTrace records. Each builder
+ * draws a fresh obs launch id at construction; strategies create one
+ * builder per launch, so launch == builder here.
  */
 #ifndef SEVF_CORE_TRACE_BUILDER_H_
 #define SEVF_CORE_TRACE_BUILDER_H_
 
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/trace.h"
 #include "vmm/debug_port.h"
 
@@ -16,7 +25,11 @@ namespace sevf::core {
 class TraceBuilder
 {
   public:
-    explicit TraceBuilder(vmm::DebugPort &port) : port_(port) {}
+    explicit TraceBuilder(vmm::DebugPort &port)
+        : port_(port),
+          obs_launch_(obs::tracingEnabled() ? obs::newLaunchId() : 0)
+    {
+    }
 
     void
     cpu(sim::Duration d, const char *phase, std::string label)
@@ -39,19 +52,63 @@ class TraceBuilder
     sim::TimePoint now() const { return now_; }
     sim::BootTrace take() { return std::move(trace_); }
 
+    /** obs launch id for this builder's launch (0 when tracing is off). */
+    u64 obsLaunchId() const { return obs_launch_; }
+
   private:
+    static u64
+    obsTrack(sim::StepKind kind)
+    {
+        switch (kind) {
+        case sim::StepKind::kPsp:
+            return obs::kSimPspTrack;
+        case sim::StepKind::kNet:
+            return obs::kSimNetTrack;
+        case sim::StepKind::kCpu:
+            break;
+        }
+        return obs::kSimCpuTrack;
+    }
+
+    void
+    observe(sim::StepKind kind, sim::Duration d, const char *phase,
+            const std::string &label, sim::TimePoint start)
+    {
+        if (obs_launch_ != 0) {
+            obs::simStep(obs_launch_, obsTrack(kind), phase, label,
+                         static_cast<u64>(start.ns()),
+                         static_cast<u64>(d.ns()));
+        }
+        if (obs::metricsEnabled()) {
+            obs::Registry::instance()
+                .histogram("sevf_sim_step_ns",
+                           "Simulated duration of one charged boot step",
+                           obs::defaultTimeBoundsNs(),
+                           {{"kind", sim::stepKindName(kind)}})
+                .observe(static_cast<u64>(d.ns()));
+            obs::Registry::instance()
+                .counter("sevf_launch_phase_sim_ns_total",
+                         "Simulated nanoseconds charged per boot phase",
+                         {{"phase", phase}})
+                .add(static_cast<u64>(d.ns()));
+        }
+    }
+
     void
     add(sim::StepKind kind, sim::Duration d, const char *phase,
         std::string label)
     {
+        sim::TimePoint start = now_;
         now_ += d;
         port_.record(now_, label);
+        observe(kind, d, phase, label, start);
         trace_.add(kind, d, phase, std::move(label));
     }
 
     vmm::DebugPort &port_;
     sim::BootTrace trace_;
     sim::TimePoint now_;
+    u64 obs_launch_ = 0;
 };
 
 } // namespace sevf::core

@@ -3,6 +3,8 @@
 #include <unordered_set>
 
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace sevf::core {
 
@@ -20,6 +22,7 @@ WarmPool::WarmPool(Platform &platform, StrategyKind kind,
 Result<Invocation>
 WarmPool::invoke(u64 seed)
 {
+    SEVF_SPAN("warm_pool.invoke");
     Invocation inv;
     if (idle_ > 0) {
         // Keep-alive hit: previously attested state reused by the same
@@ -28,6 +31,12 @@ WarmPool::invoke(u64 seed)
         inv.warm = true;
         inv.startup_latency = resume_cost_;
         ++stats_.warm_hits;
+        if (obs::metricsEnabled()) {
+            static obs::Counter &hits = obs::Registry::instance().counter(
+                "sevf_warm_pool_hits_total",
+                "Warm-pool invocations served from an idle attested VM");
+            hits.add();
+        }
     } else {
         LaunchRequest request = base_;
         request.seed = seed;
@@ -39,6 +48,13 @@ WarmPool::invoke(u64 seed)
         inv.warm = false;
         inv.startup_latency = cold->bootTime();
         ++stats_.cold_starts;
+        if (obs::metricsEnabled()) {
+            static obs::Counter &cold_starts =
+                obs::Registry::instance().counter(
+                    "sevf_warm_pool_cold_starts_total",
+                    "Warm-pool invocations that required a full launch");
+            cold_starts.add();
+        }
         if (stats_.resident_vms < capacity_) {
             ++stats_.resident_vms;
             stats_.resident_guest_bytes += base_.vm.memory_size;

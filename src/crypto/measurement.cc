@@ -5,6 +5,8 @@
 #include "base/bytes.h"
 #include "base/parallel.h"
 #include "base/types.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "taint/taint.h"
 
 namespace sevf::crypto {
@@ -30,6 +32,10 @@ LaunchDigest::extend(MeasuredPageType type, u64 gpa,
 std::size_t
 LaunchDigest::extendRegion(MeasuredPageType type, u64 gpa, ByteSpan data)
 {
+    static obs::KernelMetrics &metrics = obs::kernelMetrics("launch_digest");
+    obs::KernelTimer timer(metrics, data.size());
+    SEVF_SPAN("measurement.extend_region", "bytes",
+              static_cast<u64>(data.size()));
     // Measuring is hashing: a digest of secret input is public by the
     // one-way assumption, so this is an implicit declassification worth
     // an audit entry when it actually happens to labelled bytes.

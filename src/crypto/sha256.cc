@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
+
 // Hardware SHA-256 rounds: same per-function target-attribute dispatch
 // idiom as the AES-NI path in crypto/aes128.cc.
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
@@ -350,6 +352,11 @@ Sha256::finalize()
 Sha256Digest
 Sha256::digest(ByteSpan data)
 {
+    // Metrics only, no trace span: this one-shot runs once per 4 KiB
+    // page inside extendRegion/parallelFor, so a span per call would
+    // flood the trace log. The enclosing operations carry the spans.
+    static obs::KernelMetrics &metrics = obs::kernelMetrics("sha256");
+    obs::KernelTimer timer(metrics, data.size());
     Sha256 ctx;
     ctx.update(data);
     return ctx.finalize();

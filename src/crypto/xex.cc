@@ -6,6 +6,8 @@
 #include "base/bytes.h"
 #include "base/logging.h"
 #include "base/parallel.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace sevf::crypto {
 
@@ -180,6 +182,9 @@ XexCipher::encrypt(MutByteSpan data, u64 addr) const
 {
     SEVF_CHECK(data.size() % 16 == 0);
     SEVF_CHECK(addr % 16 == 0);
+    static obs::KernelMetrics &metrics = obs::kernelMetrics("xex_encrypt");
+    obs::KernelTimer timer(metrics, data.size());
+    SEVF_SPAN("xex.encrypt", "bytes", static_cast<u64>(data.size()));
     // Page-parallel bulk path: every 16-byte line's tweak depends only
     // on its own address, so disjoint page-aligned chunks encrypt
     // independently and bit-identically at any host thread count.
@@ -207,6 +212,9 @@ XexCipher::decrypt(MutByteSpan data, u64 addr) const
 {
     SEVF_CHECK(data.size() % 16 == 0);
     SEVF_CHECK(addr % 16 == 0);
+    static obs::KernelMetrics &metrics = obs::kernelMetrics("xex_decrypt");
+    obs::KernelTimer timer(metrics, data.size());
+    SEVF_SPAN("xex.decrypt", "bytes", static_cast<u64>(data.size()));
     u64 page_base = alignDown(addr, kPageSize);
     u64 span = addr + data.size() - page_base;
     base::parallelFor(

@@ -5,6 +5,8 @@
 
 #include "base/logging.h"
 #include "base/parallel.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace sevf::memory {
 
@@ -83,6 +85,18 @@ GuestMemory::checkGuestRange(Gpa gpa, u64 len) const
 Status
 GuestMemory::hostWrite(Gpa gpa, ByteSpan data)
 {
+    SEVF_SPAN("guest_memory.host_write", "bytes",
+              static_cast<u64>(data.size()));
+    if (obs::metricsEnabled()) {
+        static obs::Counter &bytes = obs::Registry::instance().counter(
+            "sevf_guest_memory_host_write_bytes_total",
+            "Plaintext bytes staged into guest memory by the host");
+        static obs::Counter &calls = obs::Registry::instance().counter(
+            "sevf_guest_memory_host_write_calls_total",
+            "hostWrite staging calls");
+        bytes.add(data.size());
+        calls.add();
+    }
     SEVF_RETURN_IF_ERROR(checkRange(gpa, data.size()));
     // The host staging path writes plaintext the host can also read
     // back: labelled bytes arriving here are a confidentiality leak.
@@ -214,6 +228,7 @@ GuestMemory::guestRead(Gpa gpa, u64 len, bool c_bit) const
 Status
 GuestMemory::pspEncryptInPlace(Gpa gpa, u64 len)
 {
+    SEVF_SPAN("guest_memory.psp_encrypt_in_place", "bytes", len);
     if (!sevEnabled()) {
         return errInvalidState("pre-encryption without an attached VEK");
     }

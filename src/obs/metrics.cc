@@ -1,0 +1,298 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "base/logging.h"
+
+namespace sevf::obs {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+/** Round-robin slot assignment; threads keep their slot for life. */
+std::atomic<unsigned> g_next_slot{0};
+
+} // namespace
+
+bool
+metricsEnabled()
+{
+    return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setMetricsEnabled(bool on)
+{
+    g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+unsigned
+threadShardSlot()
+{
+    thread_local unsigned slot =
+        g_next_slot.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+    return slot;
+}
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+    case MetricKind::kCounter:
+        return "counter";
+    case MetricKind::kGauge:
+        return "gauge";
+    case MetricKind::kHistogram:
+        return "histogram";
+    }
+    return "unknown";
+}
+
+// ---- Histogram -----------------------------------------------------------
+
+Histogram::Histogram(std::vector<u64> bounds)
+    : bounds_(std::move(bounds)), shards_(kMetricShards)
+{
+    SEVF_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+    for (Shard &s : shards_) {
+        s.buckets = std::vector<std::atomic<u64>>(bounds_.size() + 1);
+    }
+}
+
+std::size_t
+Histogram::bucketFor(u64 v) const
+{
+    // Upper bounds are inclusive: v == bounds_[i] lands in bucket i.
+    return static_cast<std::size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+        bounds_.begin());
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot out;
+    out.bounds = bounds_;
+    out.counts.assign(bounds_.size() + 1, 0);
+    for (const Shard &s : shards_) {
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+            out.counts[i] += s.buckets[i].load(std::memory_order_relaxed);
+        }
+        out.sum += s.sum.load(std::memory_order_relaxed);
+    }
+    for (u64 c : out.counts) {
+        out.count += c;
+    }
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    for (Shard &s : shards_) {
+        for (std::atomic<u64> &b : s.buckets) {
+            b.store(0, std::memory_order_relaxed);
+        }
+        s.sum.store(0, std::memory_order_relaxed);
+    }
+}
+
+// ---- Registry ------------------------------------------------------------
+
+namespace {
+
+/** Deterministic registry key: name plus the rendered label set. */
+std::string
+metricKey(std::string_view name, const Labels &labels)
+{
+    std::string key(name);
+    key += '{';
+    for (const auto &[k, v] : labels) {
+        key += k;
+        key += '=';
+        key += v;
+        key += ',';
+    }
+    key += '}';
+    return key;
+}
+
+struct Entry {
+    MetricKind kind;
+    std::string name;
+    std::string help;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+};
+
+} // namespace
+
+struct Registry::Impl {
+    mutable std::mutex mu;
+    // std::map keeps snapshot order deterministic by key.
+    std::map<std::string, Entry> entries;
+
+    Entry &
+    findOrCreate(std::string_view name, std::string_view help,
+                 Labels labels, MetricKind kind)
+    {
+        std::string key = metricKey(name, labels);
+        auto it = entries.find(key);
+        if (it != entries.end()) {
+            if (it->second.kind != kind) {
+                panic("metric re-registered with different kind: ", key);
+            }
+            return it->second;
+        }
+        Entry e;
+        e.kind = kind;
+        e.name = std::string(name);
+        e.help = std::string(help);
+        e.labels = std::move(labels);
+        return entries.emplace(std::move(key), std::move(e)).first->second;
+    }
+};
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+Registry::Impl &
+Registry::impl() const
+{
+    static Impl impl;
+    return impl;
+}
+
+Counter &
+Registry::counter(std::string_view name, std::string_view help, Labels labels)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    Entry &e = i.findOrCreate(name, help, std::move(labels),
+                              MetricKind::kCounter);
+    if (!e.counter) {
+        e.counter = std::make_unique<Counter>();
+    }
+    return *e.counter;
+}
+
+Gauge &
+Registry::gauge(std::string_view name, std::string_view help, Labels labels)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    Entry &e =
+        i.findOrCreate(name, help, std::move(labels), MetricKind::kGauge);
+    if (!e.gauge) {
+        e.gauge = std::make_unique<Gauge>();
+    }
+    return *e.gauge;
+}
+
+Histogram &
+Registry::histogram(std::string_view name, std::string_view help,
+                    std::vector<u64> bounds, Labels labels)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    Entry &e = i.findOrCreate(name, help, std::move(labels),
+                              MetricKind::kHistogram);
+    if (!e.histogram) {
+        e.histogram = std::make_unique<Histogram>(std::move(bounds));
+    }
+    return *e.histogram;
+}
+
+std::vector<MetricSnapshot>
+Registry::snapshot() const
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    std::vector<MetricSnapshot> out;
+    out.reserve(i.entries.size());
+    for (const auto &[key, e] : i.entries) {
+        MetricSnapshot snap;
+        snap.name = e.name;
+        snap.help = e.help;
+        snap.kind = e.kind;
+        snap.labels = e.labels;
+        switch (e.kind) {
+        case MetricKind::kCounter:
+            snap.counter_value = e.counter->value();
+            break;
+        case MetricKind::kGauge:
+            snap.gauge_value = e.gauge->value();
+            break;
+        case MetricKind::kHistogram:
+            snap.histogram = e.histogram->snapshot();
+            break;
+        }
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+void
+Registry::reset()
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    for (auto &[key, e] : i.entries) {
+        if (e.counter) {
+            e.counter->reset();
+        }
+        if (e.gauge) {
+            e.gauge->reset();
+        }
+        if (e.histogram) {
+            e.histogram->reset();
+        }
+    }
+}
+
+// ---- Convenience ---------------------------------------------------------
+
+std::vector<u64>
+defaultTimeBoundsNs()
+{
+    // 1us .. ~17s in powers of 4: covers microsecond kernel calls and
+    // multi-second simulated OVMF boots with 13 buckets.
+    std::vector<u64> bounds;
+    for (u64 b = 1000; b <= 17'179'869'184ULL; b *= 4) {
+        bounds.push_back(b);
+    }
+    return bounds;
+}
+
+KernelMetrics &
+kernelMetrics(const char *kernel)
+{
+    static std::mutex mu;
+    static std::map<std::string, std::unique_ptr<KernelMetrics>> cache;
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(kernel);
+    if (it != cache.end()) {
+        return *it->second;
+    }
+    Labels labels = {{"kernel", kernel}};
+    auto metrics = std::make_unique<KernelMetrics>(KernelMetrics{
+        Registry::instance().counter(
+            "sevf_kernel_bytes_total",
+            "Bytes processed by a data-path kernel", labels),
+        Registry::instance().counter(
+            "sevf_kernel_wall_ns_total",
+            "Wall-clock nanoseconds spent inside a data-path kernel",
+            labels)});
+    return *cache.emplace(kernel, std::move(metrics)).first->second;
+}
+
+} // namespace sevf::obs

@@ -6,6 +6,8 @@
 #include "base/bytes.h"
 #include "crypto/sha256.h"
 #include "crypto/xex.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace sevf::psp {
 
@@ -55,6 +57,20 @@ void
 Psp::observe(check::PspCommand cmd, GuestHandle handle,
              const Status &verdict) const
 {
+    if (obs::metricsEnabled()) {
+        obs::Registry::instance()
+            .counter("sevf_psp_commands_total",
+                     "PSP launch commands issued (any outcome)",
+                     {{"cmd", check::pspCommandName(cmd)}})
+            .add();
+        if (!verdict.isOk()) {
+            obs::Registry::instance()
+                .counter("sevf_psp_command_errors_total",
+                         "PSP launch commands the device rejected",
+                         {{"cmd", check::pspCommandName(cmd)}})
+                .add();
+        }
+    }
     command_log_.record(cmd, handle, verdict);
     if (verdict.isOk()) {
         // The device model just accepted this command; the independent
@@ -115,6 +131,7 @@ Psp::doLaunchStart(memory::GuestMemory &mem, u32 policy, bool shared)
 Result<GuestHandle>
 Psp::launchStart(memory::GuestMemory &mem, u32 policy)
 {
+    SEVF_SPAN("psp.launch_start");
     Result<GuestHandle> r = doLaunchStart(mem, policy, /*shared=*/false);
     observe(check::PspCommand::kLaunchStart, r.isOk() ? *r : 0,
             r.errorOr(Status::ok()));
@@ -124,6 +141,7 @@ Psp::launchStart(memory::GuestMemory &mem, u32 policy)
 Result<GuestHandle>
 Psp::launchStartShared(memory::GuestMemory &mem, u32 policy)
 {
+    SEVF_SPAN("psp.launch_start");
     Result<GuestHandle> r = doLaunchStart(mem, policy, /*shared=*/true);
     observe(check::PspCommand::kLaunchStart, r.isOk() ? *r : 0,
             r.errorOr(Status::ok()));
@@ -228,6 +246,7 @@ Status
 Psp::launchUpdateData(GuestHandle handle, memory::GuestMemory &mem, Gpa gpa,
                       u64 len)
 {
+    SEVF_SPAN("psp.launch_update_data", "bytes", len);
     Status s = doLaunchUpdateData(handle, mem, gpa, len);
     observe(check::PspCommand::kLaunchUpdateData, handle, s);
     return s;
@@ -237,6 +256,7 @@ Status
 Psp::launchUpdateVmsa(GuestHandle handle, memory::GuestMemory &mem,
                       u32 vcpu_index, Gpa vmsa_gpa)
 {
+    SEVF_SPAN("psp.launch_update_vmsa");
     Status s = doLaunchUpdateVmsa(handle, mem, vcpu_index, vmsa_gpa);
     observe(check::PspCommand::kLaunchUpdateVmsa, handle, s);
     return s;
@@ -245,6 +265,7 @@ Psp::launchUpdateVmsa(GuestHandle handle, memory::GuestMemory &mem,
 Result<crypto::Sha256Digest>
 Psp::launchMeasure(GuestHandle handle) const
 {
+    SEVF_SPAN("psp.launch_measure");
     Result<crypto::Sha256Digest> r = doLaunchMeasure(handle);
     observe(check::PspCommand::kLaunchMeasure, handle,
             r.errorOr(Status::ok()));
@@ -254,6 +275,7 @@ Psp::launchMeasure(GuestHandle handle) const
 Status
 Psp::launchFinish(GuestHandle handle)
 {
+    SEVF_SPAN("psp.launch_finish");
     Status s = doLaunchFinish(handle);
     observe(check::PspCommand::kLaunchFinish, handle, s);
     return s;
@@ -263,6 +285,7 @@ Result<AttestationReport>
 Psp::guestRequestReport(GuestHandle handle,
                         const ReportData &report_data) const
 {
+    SEVF_SPAN("psp.guest_request_report");
     Result<AttestationReport> r = doGuestRequestReport(handle, report_data);
     observe(check::PspCommand::kReportRequest, handle,
             r.errorOr(Status::ok()));

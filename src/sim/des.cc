@@ -1,8 +1,11 @@
 #include "sim/des.h"
 
+#include <functional>
 #include <queue>
 
 #include "base/logging.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace sevf::sim {
 
@@ -64,6 +67,17 @@ replayConcurrent(const std::vector<BootTrace> &traces, i64 stagger_ns)
         ready.push({i, 0, Duration(stagger_ns * static_cast<i64>(i))});
     }
 
+    // Observability: the replay session gets its own trace track, and
+    // outstanding-request completion times let us derive the PSP queue
+    // depth at every arrival (arrivals are nondecreasing, so a min-heap
+    // of completions is exact).
+    const u64 obs_session =
+        obs::tracingEnabled() ? obs::newLaunchId() : 0;
+    const bool metrics_on = obs::metricsEnabled();
+    std::priority_queue<i64, std::vector<i64>, std::greater<i64>> outstanding;
+    i64 peak_depth = 0;
+    i64 last_depth = 0;
+
     while (!ready.empty()) {
         VmCursor cur = ready.top();
         ready.pop();
@@ -87,12 +101,49 @@ replayConcurrent(const std::vector<BootTrace> &traces, i64 stagger_ns)
             TimePoint done = psp.acquire(cur.clock, step.duration);
             Duration waited = done - cur.clock - step.duration;
             result.psp_wait[cur.vm] += waited;
+            if (obs_session != 0 || metrics_on) {
+                while (!outstanding.empty() &&
+                       outstanding.top() <= cur.clock.ns()) {
+                    outstanding.pop();
+                }
+                outstanding.push(done.ns());
+                i64 depth = static_cast<i64>(outstanding.size());
+                peak_depth = depth > peak_depth ? depth : peak_depth;
+                last_depth = depth;
+                if (obs_session != 0) {
+                    obs::simCounter(obs_session, "psp_queue_depth",
+                                    static_cast<u64>(cur.clock.ns()), depth);
+                }
+                if (metrics_on) {
+                    obs::Registry::instance()
+                        .histogram("sevf_psp_wait_ns",
+                                   "Virtual time a PSP command spent queued "
+                                   "behind other guests",
+                                   obs::defaultTimeBoundsNs())
+                        .observe(static_cast<u64>(waited.ns()));
+                }
+            }
             cur.clock = done;
             break;
           }
         }
         cur.next_step++;
         ready.push(cur);
+    }
+
+    if (metrics_on) {
+        obs::Registry::instance()
+            .gauge("sevf_psp_queue_depth",
+                   "PSP queue depth at the last sampled arrival")
+            .set(last_depth);
+        obs::Registry::instance()
+            .gauge("sevf_psp_queue_depth_peak",
+                   "Peak PSP queue depth over the last replay")
+            .setMax(peak_depth);
+    }
+    if (obs_session != 0 && peak_depth > 0) {
+        obs::simCounter(obs_session, "psp_queue_depth",
+                        static_cast<u64>(psp.freeAt().ns()), 0);
     }
 
     return result;

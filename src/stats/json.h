@@ -2,14 +2,20 @@
  * @file
  * Minimal JSON writer (objects, arrays, strings, numbers, booleans)
  * used to export launch reports for external plotting/tooling - the
- * counterpart of the paper artifact's severifast/data files.
+ * counterpart of the paper artifact's severifast/data files - plus the
+ * matching parser, used by tests and tools/sevf_obscheck to validate
+ * everything the repo itself emits (launch reports, Chrome traces,
+ * metric snapshots, bench result files).
  */
 #ifndef SEVF_STATS_JSON_H_
 #define SEVF_STATS_JSON_H_
 
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "base/status.h"
 #include "base/types.h"
 
 namespace sevf::stats {
@@ -49,6 +55,72 @@ class JsonWriter
     bool need_comma_ = false;
     bool after_key_ = false;
 };
+
+/**
+ * Parsed JSON document node. Numbers keep their full double value plus
+ * an exact-integer flag so u64 counters round-trip. Object member order
+ * is not preserved (std::map), which is fine for validation use.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind : u8 { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    using Array = std::vector<JsonValue>;
+    using Object = std::map<std::string, JsonValue>;
+
+    JsonValue() = default;
+    static JsonValue null();
+    static JsonValue boolean(bool v);
+    static JsonValue number(double v);
+    static JsonValue string(std::string v);
+    static JsonValue array(Array v);
+    static JsonValue object(Object v);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::kNull; }
+    bool isBool() const { return kind_ == Kind::kBool; }
+    bool isNumber() const { return kind_ == Kind::kNumber; }
+    bool isString() const { return kind_ == Kind::kString; }
+    bool isArray() const { return kind_ == Kind::kArray; }
+    bool isObject() const { return kind_ == Kind::kObject; }
+
+    /** Typed accessors; panic on kind mismatch (SEVF_CHECK). */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /**
+     * Convenience: member @p key as a string/number, with panic when it
+     * is missing or the wrong type — for tests and validators where
+     * absence is a hard failure.
+     */
+    const std::string &stringAt(std::string_view key) const;
+    double numberAt(std::string_view key) const;
+
+  private:
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    double number_ = 0;
+    std::string string_;
+    // Indirect so JsonValue stays movable despite the recursive types.
+    std::shared_ptr<Array> array_;
+    std::shared_ptr<Object> object_;
+};
+
+/**
+ * Parse one complete JSON document (RFC 8259 subset: no \uXXXX escape
+ * decoding beyond pass-through of the escaped form's code units is
+ * attempted for non-BMP pairs; the writer above never emits those).
+ * Trailing garbage after the document is an error. No exceptions — a
+ * malformed document returns a kCorrupted Status with the byte offset.
+ */
+Result<JsonValue> parseJson(std::string_view text);
 
 } // namespace sevf::stats
 

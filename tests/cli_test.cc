@@ -1,0 +1,122 @@
+/**
+ * @file
+ * sevf_boot command-line: help/flag parity (the regression ISSUE 4
+ * fixed — --help had drifted from the parser), both --flag value and
+ * --flag=value forms, every enum value, and error reporting.
+ */
+#include <gtest/gtest.h>
+
+#include "tools/sevf_boot_cli.h"
+
+namespace sevf::tools {
+namespace {
+
+TEST(BootCli, EveryFlagAppearsInHelp)
+{
+    std::string help = usageText("sevf_boot");
+    for (const BootFlag &f : bootFlags()) {
+        EXPECT_NE(help.find(f.name), std::string::npos)
+            << f.name << " missing from --help";
+        if (f.value_hint != nullptr) {
+            EXPECT_NE(help.find(f.value_hint), std::string::npos)
+                << f.name << " value hint missing from --help";
+        }
+    }
+}
+
+TEST(BootCli, EveryFlagIsParseable)
+{
+    // Parity in the other direction: every flag in the table must be
+    // accepted by the parser (with a plausible value where required).
+    for (const BootFlag &f : bootFlags()) {
+        std::vector<std::string> args{f.name};
+        if (f.value_hint != nullptr) {
+            std::string hint = f.value_hint;
+            // First alternative of "a|b|c", else a number.
+            std::string value = hint.substr(0, hint.find('|'));
+            if (value == "N" || value == "BYTES" || value == "0..1") {
+                value = "1";
+            } else if (value == "FILE") {
+                value = "/dev/null";
+            }
+            args.push_back(value);
+        }
+        Result<BootOptions> parsed = parseBootArgs(args);
+        EXPECT_TRUE(parsed.isOk())
+            << f.name << ": " << parsed.status().toString();
+    }
+}
+
+TEST(BootCli, DefaultsMatchLaunchRequestDefaults)
+{
+    Result<BootOptions> parsed = parseBootArgs({});
+    ASSERT_TRUE(parsed.isOk());
+    core::LaunchRequest defaults;
+    EXPECT_EQ(parsed->strategy, core::StrategyKind::kSeveriFastBz);
+    EXPECT_EQ(parsed->request.kernel, defaults.kernel);
+    EXPECT_EQ(parsed->request.sev_mode, defaults.sev_mode);
+    EXPECT_EQ(parsed->request.attest, defaults.attest);
+    EXPECT_FALSE(parsed->json);
+    EXPECT_FALSE(parsed->help);
+    EXPECT_TRUE(parsed->trace_out.empty());
+    EXPECT_TRUE(parsed->metrics_out.empty());
+}
+
+TEST(BootCli, SpaceAndEqualsFormsAgree)
+{
+    Result<BootOptions> spaced =
+        parseBootArgs({"--strategy", "qemu", "--vcpus", "4"});
+    Result<BootOptions> inlined =
+        parseBootArgs({"--strategy=qemu", "--vcpus=4"});
+    ASSERT_TRUE(spaced.isOk());
+    ASSERT_TRUE(inlined.isOk());
+    EXPECT_EQ(spaced->strategy, inlined->strategy);
+    EXPECT_EQ(spaced->request.vm.vcpus, 4u);
+    EXPECT_EQ(inlined->request.vm.vcpus, 4u);
+}
+
+TEST(BootCli, FullFlagSetRoundTrips)
+{
+    Result<BootOptions> parsed = parseBootArgs(
+        {"--strategy", "severifast-vmlinux", "--kernel", "lupine", "--mode",
+         "sev-es", "--vcpus", "2", "--scale", "0.5", "--seed", "7",
+         "--threads", "3", "--no-hugepages", "--no-attest", "--no-oob-hash",
+         "--kernel-codec", "lzss", "--initrd-codec", "gzip",
+         "--verifier-size", "8192", "--kaslr", "--share-key", "--json",
+         "--trace-out", "t.json", "--metrics-out", "m.prom"});
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+    const BootOptions &o = *parsed;
+    EXPECT_EQ(o.strategy, core::StrategyKind::kSeveriFastVmlinux);
+    EXPECT_EQ(o.request.kernel, workload::KernelConfig::kLupine);
+    EXPECT_EQ(o.request.sev_mode, memory::SevMode::kSevEs);
+    EXPECT_EQ(o.request.vm.vcpus, 2u);
+    EXPECT_DOUBLE_EQ(o.request.scale, 0.5);
+    EXPECT_EQ(o.request.seed, 7u);
+    EXPECT_EQ(o.request.host_threads, 3u);
+    EXPECT_FALSE(o.request.vm.hugepages);
+    EXPECT_FALSE(o.request.attest);
+    EXPECT_FALSE(o.request.out_of_band_hashing);
+    EXPECT_EQ(o.request.kernel_codec, compress::CodecKind::kLzss);
+    EXPECT_EQ(o.request.initrd_codec, compress::CodecKind::kGzipLite);
+    EXPECT_EQ(o.request.verifier_size, 8192u);
+    EXPECT_TRUE(o.request.guest_kaslr);
+    EXPECT_TRUE(o.request.share_platform_key);
+    EXPECT_TRUE(o.json);
+    EXPECT_EQ(o.trace_out, "t.json");
+    EXPECT_EQ(o.metrics_out, "m.prom");
+}
+
+TEST(BootCli, RejectsBadInput)
+{
+    EXPECT_FALSE(parseBootArgs({"--no-such-flag"}).isOk());
+    EXPECT_FALSE(parseBootArgs({"--strategy", "xen"}).isOk());
+    EXPECT_FALSE(parseBootArgs({"--kernel-codec", "zstd"}).isOk());
+    EXPECT_FALSE(parseBootArgs({"--vcpus"}).isOk()); // missing value
+    EXPECT_FALSE(parseBootArgs({"--json=1"}).isOk()); // boolean with value
+    Result<BootOptions> bad = parseBootArgs({"--no-such-flag"});
+    EXPECT_NE(bad.status().message().find("--no-such-flag"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace sevf::tools

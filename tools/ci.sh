@@ -97,5 +97,24 @@ bench="$root/build-ci-werror/bench/bench_wallclock"
 echo "==> [bench] $bench BENCH_wallclock.json"
 (cd "$root" && "$bench" "$root/BENCH_wallclock.json")
 
+# 8. Observability: boot one SEV-SNP launch with tracing + metrics on,
+#    then validate both exports with sevf_obscheck — Chrome-trace
+#    structure, >= 95% sim-time span coverage, Prometheus syntax, the
+#    PSP queue-depth / kernel-throughput families the figures need, and
+#    the doc-drift gate (every exported metric/span name must appear in
+#    docs/OBSERVABILITY.md).
+obs_dir="$root/build-ci-werror/obs-ci"
+mkdir -p "$obs_dir"
+boot="$root/build-ci-werror/tools/sevf_boot"
+echo "==> [obs] traced SEV-SNP launch"
+"$boot" --strategy=severifast --mode=sev-snp \
+    --trace-out="$obs_dir/trace.json" \
+    --metrics-out="$obs_dir/metrics.prom" >/dev/null
+echo "==> [obs] validate exports + doc-drift gate"
+"$root/build-ci-werror/tools/sevf_obscheck" \
+    --trace "$obs_dir/trace.json" \
+    --metrics "$obs_dir/metrics.prom" \
+    --docs "$root/docs/OBSERVABILITY.md"
+
 echo "==> CI green: hygiene + werror + asan,ubsan + taint-enforce + tsan" \
-     "+ lint + model + bench"
+     "+ lint + model + bench + obs"

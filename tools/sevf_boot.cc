@@ -1,125 +1,86 @@
 /**
  * @file
  * sevf_boot: boot one microVM with any strategy/kernel/mode and print
- * either the human-readable timeline or a JSON launch report.
+ * either the human-readable timeline or a JSON launch report. With
+ * --trace-out/--metrics-out the launch runs with the observability
+ * layer enabled and exports a Chrome trace-event file and a metrics
+ * snapshot (docs/OBSERVABILITY.md).
  *
- *   usage: sevf_boot [--strategy stock|qemu|direct|severifast|
- *                      severifast-vmlinux]
- *                    [--kernel lupine|aws|ubuntu] [--mode sev|sev-es|sev-snp]
- *                    [--vcpus N] [--scale 0..1] [--no-attest] [--kaslr]
- *                    [--share-key] [--json] [--seed N]
+ * Run with --help for the full flag list (rendered from the same table
+ * the parser uses, see sevf_boot_cli.h).
  */
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/launch.h"
 #include "core/report.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "sim/des.h"
 #include "stats/table.h"
-#include "workload/synthetic.h"
+#include "tools/sevf_boot_cli.h"
 
 using namespace sevf;
-
-namespace {
-
-[[noreturn]] void
-usage(const char *argv0)
-{
-    std::fprintf(
-        stderr,
-        "usage: %s [--strategy stock|qemu|direct|severifast|"
-        "severifast-vmlinux]\n"
-        "          [--kernel lupine|aws|ubuntu] [--mode sev|sev-es|sev-snp]\n"
-        "          [--vcpus N] [--scale 0..1] [--no-attest] [--kaslr]\n"
-        "          [--share-key] [--json] [--seed N]\n",
-        argv0);
-    std::exit(2);
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    core::LaunchRequest request;
-    core::StrategyKind kind = core::StrategyKind::kSeveriFastBz;
-    bool json = false;
+    std::vector<std::string> args(argv + 1, argv + argc);
+    Result<tools::BootOptions> parsed = tools::parseBootArgs(args);
+    if (!parsed.isOk()) {
+        std::fprintf(stderr, "%s\n\n%s", parsed.status().message().c_str(),
+                     tools::usageText(argv[0]).c_str());
+        return 2;
+    }
+    tools::BootOptions opts = parsed.take();
+    if (opts.help) {
+        std::printf("%s", tools::usageText(argv[0]).c_str());
+        return 0;
+    }
 
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                usage(argv[0]);
-            }
-            return argv[++i];
-        };
-        if (arg == "--strategy") {
-            std::string v = next();
-            if (v == "stock") {
-                kind = core::StrategyKind::kStockFirecracker;
-            } else if (v == "qemu") {
-                kind = core::StrategyKind::kQemuOvmfSev;
-            } else if (v == "direct") {
-                kind = core::StrategyKind::kSevDirectBoot;
-            } else if (v == "severifast") {
-                kind = core::StrategyKind::kSeveriFastBz;
-            } else if (v == "severifast-vmlinux") {
-                kind = core::StrategyKind::kSeveriFastVmlinux;
-            } else {
-                usage(argv[0]);
-            }
-        } else if (arg == "--kernel") {
-            std::string v = next();
-            if (v == "lupine") {
-                request.kernel = workload::KernelConfig::kLupine;
-            } else if (v == "aws") {
-                request.kernel = workload::KernelConfig::kAws;
-            } else if (v == "ubuntu") {
-                request.kernel = workload::KernelConfig::kUbuntu;
-            } else {
-                usage(argv[0]);
-            }
-        } else if (arg == "--mode") {
-            std::string v = next();
-            if (v == "sev") {
-                request.sev_mode = memory::SevMode::kSev;
-            } else if (v == "sev-es") {
-                request.sev_mode = memory::SevMode::kSevEs;
-            } else if (v == "sev-snp") {
-                request.sev_mode = memory::SevMode::kSevSnp;
-            } else {
-                usage(argv[0]);
-            }
-        } else if (arg == "--vcpus") {
-            request.vm.vcpus = static_cast<u32>(std::atoi(next()));
-        } else if (arg == "--scale") {
-            request.scale = std::atof(next());
-        } else if (arg == "--seed") {
-            request.seed = static_cast<u64>(std::atoll(next()));
-        } else if (arg == "--no-attest") {
-            request.attest = false;
-        } else if (arg == "--kaslr") {
-            request.guest_kaslr = true;
-        } else if (arg == "--share-key") {
-            request.share_platform_key = true;
-        } else if (arg == "--json") {
-            json = true;
-        } else {
-            usage(argv[0]);
-        }
+    if (!opts.metrics_out.empty()) {
+        obs::setMetricsEnabled(true);
+    }
+    if (!opts.trace_out.empty()) {
+        obs::setMetricsEnabled(true); // traces embed counter samples
+        obs::setTracingEnabled(true);
     }
 
     core::Platform platform;
     Result<core::LaunchResult> result =
-        core::makeStrategy(kind)->launch(platform, request);
+        core::makeStrategy(opts.strategy)->launch(platform, opts.request);
     if (!result.isOk()) {
         std::fprintf(stderr, "launch failed: %s\n",
                      result.status().toString().c_str());
         return 1;
     }
 
-    if (json) {
+    if (obs::metricsEnabled() || obs::tracingEnabled()) {
+        // Replay the trace through the shared-PSP scheduler: this is
+        // what derives the PSP queue-depth counter track and the
+        // sevf_psp_queue_depth / sevf_psp_wait_ns metrics.
+        sim::replayConcurrent({result->trace});
+    }
+    if (!opts.trace_out.empty()) {
+        Status st = obs::writeTraceFile(opts.trace_out);
+        if (!st.isOk()) {
+            std::fprintf(stderr, "trace export failed: %s\n",
+                         st.toString().c_str());
+            return 1;
+        }
+    }
+    if (!opts.metrics_out.empty()) {
+        Status st = obs::writeMetricsFile(opts.metrics_out);
+        if (!st.isOk()) {
+            std::fprintf(stderr, "metrics export failed: %s\n",
+                         st.toString().c_str());
+            return 1;
+        }
+    }
+
+    if (opts.json) {
         std::printf("%s\n", core::launchResultToJson(*result).c_str());
         return 0;
     }

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * sevf_boot's command line, as data.
+ *
+ * The flag table is the single source of truth: the binary parses from
+ * it, usageText() renders --help from it, and tests/cli_test.cc asserts
+ * the two can never drift apart again (the --help text went stale once
+ * already when --threads/--hugepages/--no-oob-hash/--kernel-codec/
+ * --initrd-codec/--verifier-size grew in without it). Header-only so
+ * the test links the exact code the tool runs.
+ */
+#ifndef SEVF_TOOLS_SEVF_BOOT_CLI_H_
+#define SEVF_TOOLS_SEVF_BOOT_CLI_H_
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "compress/codec.h"
+#include "core/launch.h"
+#include "memory/sev_mode.h"
+#include "workload/kernel_spec.h"
+
+namespace sevf::tools {
+
+/** One sevf_boot flag: name, whether it takes a value, help text. */
+struct BootFlag {
+    const char *name;       ///< including the leading "--"
+    const char *value_hint; ///< nullptr for boolean switches
+    const char *help;
+};
+
+/** Every flag sevf_boot accepts, in --help display order. */
+inline const std::vector<BootFlag> &
+bootFlags()
+{
+    static const std::vector<BootFlag> flags = {
+        {"--strategy", "stock|qemu|direct|severifast|severifast-vmlinux",
+         "boot strategy (default severifast)"},
+        {"--kernel", "lupine|aws|ubuntu", "guest kernel config (default aws)"},
+        {"--mode", "sev|sev-es|sev-snp", "SEV generation (default sev-snp)"},
+        {"--vcpus", "N", "guest vCPU count"},
+        {"--scale", "0..1", "artifact scale factor (default 1.0)"},
+        {"--seed", "N", "launch determinism seed (default 1)"},
+        {"--threads", "N",
+         "host worker threads for the parallel launch pipeline "
+         "(0 = platform knob, 1 = serial)"},
+        {"--no-hugepages", nullptr,
+         "back guest memory with 4 KiB pages only (re-adds the "
+         "pvalidate cost hugepages hide)"},
+        {"--no-attest", nullptr, "skip remote attestation after boot"},
+        {"--no-oob-hash", nullptr,
+         "disable out-of-band hashing (re-adds VMM hash time)"},
+        {"--kernel-codec", "none|lz4|lzss|gzip",
+         "bzImage payload codec (default lz4)"},
+        {"--initrd-codec", "none|lz4|lzss|gzip",
+         "initrd codec (default none)"},
+        {"--verifier-size", "BYTES",
+         "override the boot-verifier binary size (0 = 13 KiB default)"},
+        {"--kaslr", nullptr, "guest-side KASLR in the bootstrap loader"},
+        {"--share-key", nullptr,
+         "launch with the shared platform key (weakens trust model)"},
+        {"--json", nullptr, "emit a machine-readable launch report"},
+        {"--trace-out", "FILE",
+         "record spans/steps and write a Chrome trace-event JSON file "
+         "(open in Perfetto)"},
+        {"--metrics-out", "FILE",
+         "record metrics and write them (.prom/.txt = Prometheus text, "
+         ".json = JSON snapshot)"},
+        {"--help", nullptr, "show this help"},
+    };
+    return flags;
+}
+
+/** The --help text, rendered from bootFlags(). */
+inline std::string
+usageText(const char *argv0)
+{
+    std::string out = "usage: ";
+    out += argv0;
+    out += " [flags]\n\nBoot one microVM and print the timeline, a JSON "
+           "report, and optionally\nobservability exports.\n\nflags:\n";
+    for (const BootFlag &f : bootFlags()) {
+        std::string head = "  ";
+        head += f.name;
+        if (f.value_hint != nullptr) {
+            head += " ";
+            head += f.value_hint;
+        }
+        out += head;
+        if (head.size() < 28) {
+            out += std::string(28 - head.size(), ' ');
+        } else {
+            out += "\n" + std::string(28, ' ');
+        }
+        out += f.help;
+        out += "\n";
+    }
+    return out;
+}
+
+/** Everything the parsed command line selects. */
+struct BootOptions {
+    core::LaunchRequest request;
+    core::StrategyKind strategy = core::StrategyKind::kSeveriFastBz;
+    bool json = false;
+    bool help = false;
+    std::string trace_out;
+    std::string metrics_out;
+};
+
+namespace detail {
+
+inline Result<compress::CodecKind>
+parseCodec(const std::string &v)
+{
+    if (v == "none") {
+        return compress::CodecKind::kNone;
+    }
+    if (v == "lz4") {
+        return compress::CodecKind::kLz4;
+    }
+    if (v == "lzss") {
+        return compress::CodecKind::kLzss;
+    }
+    if (v == "gzip") {
+        return compress::CodecKind::kGzipLite;
+    }
+    return errInvalidArgument("unknown codec: " + v);
+}
+
+} // namespace detail
+
+/**
+ * Parse @p args (argv[1..]). Accepts both "--flag value" and
+ * "--flag=value". Unknown flags, missing values, and bad enum values
+ * are kInvalidArgument errors naming the offender; the caller prints
+ * usageText() and exits.
+ */
+inline Result<BootOptions>
+parseBootArgs(const std::vector<std::string> &args)
+{
+    BootOptions opts;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        std::string arg = args[i];
+        std::string value;
+        bool has_inline_value = false;
+        std::size_t eq = arg.find('=');
+        if (eq != std::string::npos && arg.rfind("--", 0) == 0) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            has_inline_value = true;
+        }
+
+        const BootFlag *flag = nullptr;
+        for (const BootFlag &f : bootFlags()) {
+            if (arg == f.name) {
+                flag = &f;
+                break;
+            }
+        }
+        if (flag == nullptr) {
+            return errInvalidArgument("unknown flag: " + arg);
+        }
+        bool takes_value = flag->value_hint != nullptr;
+        if (!takes_value && has_inline_value) {
+            return errInvalidArgument(arg + " takes no value");
+        }
+        if (takes_value && !has_inline_value) {
+            if (i + 1 >= args.size()) {
+                return errInvalidArgument(arg + " needs a value");
+            }
+            value = args[++i];
+        }
+
+        if (arg == "--strategy") {
+            if (value == "stock") {
+                opts.strategy = core::StrategyKind::kStockFirecracker;
+            } else if (value == "qemu") {
+                opts.strategy = core::StrategyKind::kQemuOvmfSev;
+            } else if (value == "direct") {
+                opts.strategy = core::StrategyKind::kSevDirectBoot;
+            } else if (value == "severifast") {
+                opts.strategy = core::StrategyKind::kSeveriFastBz;
+            } else if (value == "severifast-vmlinux") {
+                opts.strategy = core::StrategyKind::kSeveriFastVmlinux;
+            } else {
+                return errInvalidArgument("unknown strategy: " + value);
+            }
+        } else if (arg == "--kernel") {
+            if (value == "lupine") {
+                opts.request.kernel = workload::KernelConfig::kLupine;
+            } else if (value == "aws") {
+                opts.request.kernel = workload::KernelConfig::kAws;
+            } else if (value == "ubuntu") {
+                opts.request.kernel = workload::KernelConfig::kUbuntu;
+            } else {
+                return errInvalidArgument("unknown kernel: " + value);
+            }
+        } else if (arg == "--mode") {
+            if (value == "sev") {
+                opts.request.sev_mode = memory::SevMode::kSev;
+            } else if (value == "sev-es") {
+                opts.request.sev_mode = memory::SevMode::kSevEs;
+            } else if (value == "sev-snp") {
+                opts.request.sev_mode = memory::SevMode::kSevSnp;
+            } else {
+                return errInvalidArgument("unknown mode: " + value);
+            }
+        } else if (arg == "--vcpus") {
+            opts.request.vm.vcpus =
+                static_cast<u32>(std::atoi(value.c_str()));
+        } else if (arg == "--scale") {
+            opts.request.scale = std::atof(value.c_str());
+        } else if (arg == "--seed") {
+            opts.request.seed =
+                static_cast<u64>(std::atoll(value.c_str()));
+        } else if (arg == "--threads") {
+            opts.request.host_threads =
+                static_cast<unsigned>(std::atoi(value.c_str()));
+        } else if (arg == "--no-hugepages") {
+            opts.request.vm.hugepages = false;
+        } else if (arg == "--no-attest") {
+            opts.request.attest = false;
+        } else if (arg == "--no-oob-hash") {
+            opts.request.out_of_band_hashing = false;
+        } else if (arg == "--kernel-codec") {
+            SEVF_ASSIGN_OR_RETURN(opts.request.kernel_codec,
+                                  detail::parseCodec(value));
+        } else if (arg == "--initrd-codec") {
+            SEVF_ASSIGN_OR_RETURN(opts.request.initrd_codec,
+                                  detail::parseCodec(value));
+        } else if (arg == "--verifier-size") {
+            opts.request.verifier_size =
+                static_cast<u64>(std::atoll(value.c_str()));
+        } else if (arg == "--kaslr") {
+            opts.request.guest_kaslr = true;
+        } else if (arg == "--share-key") {
+            opts.request.share_platform_key = true;
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else if (arg == "--trace-out") {
+            opts.trace_out = value;
+        } else if (arg == "--metrics-out") {
+            opts.metrics_out = value;
+        } else if (arg == "--help") {
+            opts.help = true;
+        }
+    }
+    return opts;
+}
+
+} // namespace sevf::tools
+
+#endif // SEVF_TOOLS_SEVF_BOOT_CLI_H_

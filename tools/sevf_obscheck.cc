@@ -1,0 +1,365 @@
+/**
+ * @file
+ * sevf_obscheck: validate the observability exports sevf_boot writes.
+ *
+ *   usage: sevf_obscheck [--trace trace.json] [--metrics metrics.prom]
+ *                        [--docs docs/OBSERVABILITY.md]
+ *                        [--min-coverage 0.95]
+ *
+ * Three checks, each on when its input file is given:
+ *  - trace: parses as JSON (with the repo's own stats/json parser),
+ *    every event is structurally a Chrome trace event, and per sim
+ *    launch the union of sim.step spans covers >= min-coverage of the
+ *    launch's simulated duration.
+ *  - metrics: Prometheus text syntax (or a .json snapshot); every
+ *    sample belongs to a declared family; the PSP queue-depth and
+ *    per-kernel throughput families the paper's figures depend on are
+ *    present.
+ *  - docs (doc-drift gate): every exported metric family, wall-span
+ *    name, and counter-track name appears in docs/OBSERVABILITY.md, so
+ *    new instrumentation cannot land undocumented.
+ *
+ * Exit 0 when all requested checks pass; 1 with one line per failure.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stats/json.h"
+
+using namespace sevf;
+
+namespace {
+
+int g_failures = 0;
+
+void
+fail(const std::string &msg)
+{
+    std::fprintf(stderr, "FAIL: %s\n", msg.c_str());
+    ++g_failures;
+}
+
+Result<std::string>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return errInvalidArgument("cannot open " + path);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+struct Interval {
+    double start;
+    double end;
+};
+
+/** Total length of the union of @p spans. */
+double
+unionLength(std::vector<Interval> spans)
+{
+    std::sort(spans.begin(), spans.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.start < b.start;
+              });
+    double covered = 0;
+    double cursor = 0; // furthest end swept so far (timestamps are >= 0)
+    for (const Interval &s : spans) {
+        double from = std::max(s.start, cursor);
+        if (s.end > from) {
+            covered += s.end - from;
+            cursor = s.end;
+        }
+    }
+    return covered;
+}
+
+/** Names the trace exports that the docs must mention. */
+struct TraceNames {
+    std::set<std::string> wall_spans;
+    std::set<std::string> counters;
+};
+
+/** Validate the Chrome trace file; returns the names it exports. */
+TraceNames
+checkTrace(const std::string &path, double min_coverage)
+{
+    TraceNames names;
+    Result<std::string> text = readFile(path);
+    if (!text.isOk()) {
+        fail(text.status().message());
+        return names;
+    }
+    Result<stats::JsonValue> doc = stats::parseJson(*text);
+    if (!doc.isOk()) {
+        fail("trace: " + doc.status().message());
+        return names;
+    }
+    const stats::JsonValue *events = doc->find("traceEvents");
+    if (events == nullptr || !events->isArray()) {
+        fail("trace: missing traceEvents array");
+        return names;
+    }
+
+    // pid -> sim.step intervals (µs) and overall envelope end.
+    std::map<double, std::vector<Interval>> sim_spans;
+    std::map<double, double> sim_end;
+    std::size_t n = 0;
+    for (const stats::JsonValue &e : events->asArray()) {
+        ++n;
+        if (!e.isObject()) {
+            fail("trace: event " + std::to_string(n) + " is not an object");
+            continue;
+        }
+        const stats::JsonValue *ph = e.find("ph");
+        if (ph == nullptr || !ph->isString()) {
+            fail("trace: event " + std::to_string(n) + " lacks \"ph\"");
+            continue;
+        }
+        const std::string &kind = ph->asString();
+        if (kind == "M") {
+            continue; // metadata: name/pid/tid/args checked by the parse
+        }
+        const stats::JsonValue *name = e.find("name");
+        const stats::JsonValue *pid = e.find("pid");
+        const stats::JsonValue *ts = e.find("ts");
+        if (name == nullptr || !name->isString() || pid == nullptr ||
+            !pid->isNumber() || ts == nullptr || !ts->isNumber()) {
+            fail("trace: event " + std::to_string(n) +
+                 " lacks name/pid/ts");
+            continue;
+        }
+        if (kind == "C") {
+            names.counters.insert(name->asString());
+            continue;
+        }
+        if (kind != "X") {
+            fail("trace: event " + std::to_string(n) +
+                 " has unexpected ph \"" + kind + "\"");
+            continue;
+        }
+        const stats::JsonValue *dur = e.find("dur");
+        const stats::JsonValue *cat = e.find("cat");
+        if (dur == nullptr || !dur->isNumber() || cat == nullptr ||
+            !cat->isString()) {
+            fail("trace: X event " + std::to_string(n) + " lacks dur/cat");
+            continue;
+        }
+        if (cat->asString() == "wall") {
+            names.wall_spans.insert(name->asString());
+        } else if (cat->asString() == "sim.step") {
+            double start = ts->asNumber();
+            double end = start + dur->asNumber();
+            sim_spans[pid->asNumber()].push_back({start, end});
+            double &tail = sim_end[pid->asNumber()];
+            tail = std::max(tail, end);
+        }
+    }
+
+    if (sim_spans.empty()) {
+        fail("trace: no sim.step events (simulated clock not traced)");
+    }
+    for (const auto &[pid, spans] : sim_spans) {
+        double total = sim_end[pid];
+        if (total <= 0) {
+            continue;
+        }
+        double covered = unionLength(spans);
+        double coverage = covered / total;
+        std::printf("trace: sim pid %.0f: %.1f%% of %.3f ms covered by "
+                    "%zu steps\n",
+                    pid, coverage * 100.0, total / 1000.0, spans.size());
+        if (coverage < min_coverage) {
+            fail("trace: sim pid " + std::to_string(pid) +
+                 " coverage below threshold");
+        }
+    }
+    std::printf("trace: %zu events, %zu wall span names, %zu counters\n", n,
+                names.wall_spans.size(), names.counters.size());
+    return names;
+}
+
+/** Family name of a Prometheus sample line ("name{...} value"). */
+std::string
+sampleFamily(const std::string &line)
+{
+    std::size_t end = line.find_first_of("{ ");
+    std::string name = line.substr(0, end);
+    for (const char *suffix : {"_bucket", "_sum", "_count"}) {
+        std::size_t len = std::string(suffix).size();
+        if (name.size() > len &&
+            name.compare(name.size() - len, len, suffix) == 0) {
+            return name.substr(0, name.size() - len);
+        }
+    }
+    return name;
+}
+
+/** Validate the metrics export; returns the family names it declares. */
+std::set<std::string>
+checkMetrics(const std::string &path)
+{
+    std::set<std::string> families;
+    Result<std::string> text = readFile(path);
+    if (!text.isOk()) {
+        fail(text.status().message());
+        return families;
+    }
+
+    if (path.size() > 5 &&
+        path.compare(path.size() - 5, 5, ".json") == 0) {
+        Result<stats::JsonValue> doc = stats::parseJson(*text);
+        if (!doc.isOk()) {
+            fail("metrics: " + doc.status().message());
+            return families;
+        }
+        const stats::JsonValue *metrics = doc->find("metrics");
+        if (metrics == nullptr || !metrics->isArray()) {
+            fail("metrics: missing metrics array");
+            return families;
+        }
+        for (const stats::JsonValue &m : metrics->asArray()) {
+            families.insert(m.stringAt("name"));
+        }
+    } else {
+        std::istringstream in(*text);
+        std::string line;
+        std::set<std::string> declared;
+        std::size_t lineno = 0;
+        while (std::getline(in, line)) {
+            ++lineno;
+            if (line.empty()) {
+                continue;
+            }
+            if (line.rfind("# TYPE ", 0) == 0) {
+                std::istringstream fields(line.substr(7));
+                std::string name;
+                std::string type;
+                fields >> name >> type;
+                if (type != "counter" && type != "gauge" &&
+                    type != "histogram") {
+                    fail("metrics: line " + std::to_string(lineno) +
+                         ": unknown type " + type);
+                }
+                declared.insert(name);
+                families.insert(name);
+                continue;
+            }
+            if (line[0] == '#') {
+                continue; // HELP or comment
+            }
+            std::string family = sampleFamily(line);
+            if (!declared.contains(family)) {
+                fail("metrics: line " + std::to_string(lineno) +
+                     ": sample for undeclared family " + family);
+            }
+        }
+    }
+
+    // The figures this repo exists to reproduce need these families.
+    for (const char *required :
+         {"sevf_psp_queue_depth", "sevf_kernel_bytes_total",
+          "sevf_kernel_wall_ns_total"}) {
+        if (!families.contains(required)) {
+            fail(std::string("metrics: required family missing: ") +
+                 required);
+        }
+    }
+    std::printf("metrics: %zu families\n", families.size());
+    return families;
+}
+
+/** Doc-drift gate: every exported name must appear in the docs file. */
+void
+checkDocs(const std::string &path, const TraceNames &trace,
+          const std::set<std::string> &families)
+{
+    Result<std::string> text = readFile(path);
+    if (!text.isOk()) {
+        fail(text.status().message());
+        return;
+    }
+    std::size_t checked = 0;
+    auto require = [&](const std::string &name, const char *what) {
+        ++checked;
+        if (text->find(name) == std::string::npos) {
+            fail("docs: " + std::string(what) + " \"" + name +
+                 "\" is not documented in " + path);
+        }
+    };
+    for (const std::string &name : families) {
+        require(name, "metric");
+    }
+    for (const std::string &name : trace.wall_spans) {
+        require(name, "span");
+    }
+    for (const std::string &name : trace.counters) {
+        require(name, "counter track");
+    }
+    std::printf("docs: %zu exported names checked against %s\n", checked,
+                path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string trace_path;
+    std::string metrics_path;
+    std::string docs_path;
+    double min_coverage = 0.95;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--trace") {
+            trace_path = next();
+        } else if (arg == "--metrics") {
+            metrics_path = next();
+        } else if (arg == "--docs") {
+            docs_path = next();
+        } else if (arg == "--min-coverage") {
+            min_coverage = std::atof(next().c_str());
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--trace FILE] [--metrics FILE] "
+                         "[--docs FILE] [--min-coverage F]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    TraceNames trace_names;
+    std::set<std::string> families;
+    if (!trace_path.empty()) {
+        trace_names = checkTrace(trace_path, min_coverage);
+    }
+    if (!metrics_path.empty()) {
+        families = checkMetrics(metrics_path);
+    }
+    if (!docs_path.empty()) {
+        checkDocs(docs_path, trace_names, families);
+    }
+
+    if (g_failures != 0) {
+        std::fprintf(stderr, "sevf_obscheck: %d failure(s)\n", g_failures);
+        return 1;
+    }
+    std::printf("sevf_obscheck: OK\n");
+    return 0;
+}
