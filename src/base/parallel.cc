@@ -4,9 +4,10 @@
 #include <condition_variable>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "base/mutex.h"
 
 namespace sevf::base {
 
@@ -46,30 +47,40 @@ runSerial(u64 begin, u64 end, u64 grain, const ChunkFn &fn)
 } // namespace
 
 struct ThreadPool::Impl {
-    std::mutex call_mu; //!< serializes parallelFor invocations
+    Mutex call_mu; //!< serializes parallelFor invocations; taken before mu
 
-    std::mutex mu;
+    Mutex mu;
     std::condition_variable cv_work;
     std::condition_variable cv_done;
     std::vector<std::thread> workers;
-    bool shutdown = false;
+    bool shutdown SEVF_GUARDED_BY(mu) = false;
 
     // Current job, valid while job_active. Workers claim disjoint
     // [cursor, cursor+grain) chunks with a lock-free fetch_add; the
     // caller participates too, so a pool of N uses exactly N threads.
-    u64 generation = 0;
-    bool job_active = false;
+    // The descriptor fields (end, grain, total_chunks, fn, ctx_token)
+    // are written under mu before workers are woken and then read
+    // lock-free inside claimChunks: the generation handshake in
+    // workerLoop (a mu acquire/release after the write) provides the
+    // happens-before, which is why claimChunks alone is marked
+    // SEVF_NO_THREAD_SAFETY_ANALYSIS.
+    u64 generation SEVF_GUARDED_BY(mu) = 0;
+    bool job_active SEVF_GUARDED_BY(mu) = false;
     std::atomic<u64> cursor{0};
-    u64 end = 0;
-    u64 grain = 1;
-    u64 total_chunks = 0;
-    u64 completed_chunks = 0;
-    const ChunkFn *fn = nullptr;
-    u64 ctx_token = 0; //!< WorkerContextHooks token from the submitter
-    std::exception_ptr error;
+    u64 end SEVF_GUARDED_BY(mu) = 0;
+    u64 grain SEVF_GUARDED_BY(mu) = 1;
+    u64 total_chunks SEVF_GUARDED_BY(mu) = 0;
+    u64 completed_chunks SEVF_GUARDED_BY(mu) = 0;
+    const ChunkFn *fn SEVF_GUARDED_BY(mu) SEVF_PT_GUARDED_BY(mu) = nullptr;
+    u64 ctx_token SEVF_GUARDED_BY(mu) = 0; //!< WorkerContextHooks token
+    std::exception_ptr error SEVF_GUARDED_BY(mu);
 
+    // Lock-free by protocol (see the descriptor-field comment above):
+    // the job descriptor is immutable while any worker is inside this
+    // function, and the generation handshake orders the reads after the
+    // submitting thread's writes.
     void
-    claimChunks()
+    claimChunks() SEVF_NO_THREAD_SAFETY_ANALYSIS
     {
         u64 ctx_saved = 0;
         u64 (*ctx_enter)(u64) = g_ctx_enter.load(std::memory_order_acquire);
@@ -87,7 +98,7 @@ struct ThreadPool::Impl {
             try {
                 (*fn)(lo, hi);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(mu);
+                MutexLock lock(mu);
                 if (!error) {
                     error = std::current_exception();
                 }
@@ -102,7 +113,7 @@ struct ThreadPool::Impl {
             }
         }
         if (local_done > 0) {
-            std::lock_guard<std::mutex> lock(mu);
+            MutexLock lock(mu);
             completed_chunks += local_done;
             if (completed_chunks == total_chunks) {
                 cv_done.notify_all();
@@ -116,11 +127,14 @@ struct ThreadPool::Impl {
         u64 seen_generation = 0;
         while (true) {
             {
-                std::unique_lock<std::mutex> lock(mu);
-                cv_work.wait(lock, [&] {
-                    return shutdown ||
-                           (job_active && generation != seen_generation);
-                });
+                MutexLock lock(mu);
+                // Explicit wait loop (not a predicate lambda) so the
+                // thread-safety analysis sees every guarded read made
+                // with mu held.
+                while (!shutdown &&
+                       !(job_active && generation != seen_generation)) {
+                    cv_work.wait(lock.native());
+                }
                 if (shutdown) {
                     return;
                 }
@@ -142,7 +156,7 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(impl_->mu);
+        MutexLock lock(impl_->mu);
         impl_->shutdown = true;
     }
     impl_->cv_work.notify_all();
@@ -165,9 +179,9 @@ ThreadPool::parallelFor(u64 begin, u64 end, u64 grain, const ChunkFn &fn)
         return;
     }
 
-    std::lock_guard<std::mutex> call_lock(impl_->call_mu);
+    MutexLock call_lock(impl_->call_mu);
     {
-        std::lock_guard<std::mutex> lock(impl_->mu);
+        MutexLock lock(impl_->mu);
         impl_->cursor.store(begin, std::memory_order_relaxed);
         impl_->end = end;
         impl_->grain = grain;
@@ -183,18 +197,19 @@ ThreadPool::parallelFor(u64 begin, u64 end, u64 grain, const ChunkFn &fn)
 
     impl_->claimChunks();
 
-    std::exception_ptr error;
+    std::exception_ptr first_error;
     {
-        std::unique_lock<std::mutex> lock(impl_->mu);
-        impl_->cv_done.wait(
-            lock, [&] { return impl_->completed_chunks == impl_->total_chunks; });
+        MutexLock lock(impl_->mu);
+        while (impl_->completed_chunks != impl_->total_chunks) {
+            impl_->cv_done.wait(lock.native());
+        }
         impl_->job_active = false;
         impl_->fn = nullptr;
-        error = impl_->error;
+        first_error = impl_->error;
         impl_->error = nullptr;
     }
-    if (error) {
-        std::rethrow_exception(error);
+    if (first_error) {
+        std::rethrow_exception(first_error);
     }
 }
 
@@ -225,16 +240,27 @@ namespace {
  * shared_ptr so a caller still running on the old pool keeps it alive
  * if another thread changes the knob mid-call.
  */
+struct SharedPoolState {
+    Mutex mu;
+    std::shared_ptr<ThreadPool> pool SEVF_GUARDED_BY(mu);
+};
+
+SharedPoolState &
+sharedPoolState()
+{
+    static SharedPoolState state;
+    return state;
+}
+
 std::shared_ptr<ThreadPool>
 sharedPool(unsigned threads)
 {
-    static std::mutex mu;
-    static std::shared_ptr<ThreadPool> pool;
-    std::lock_guard<std::mutex> lock(mu);
-    if (!pool || pool->threads() != threads) {
-        pool = std::make_shared<ThreadPool>(threads);
+    SharedPoolState &state = sharedPoolState();
+    MutexLock lock(state.mu);
+    if (!state.pool || state.pool->threads() != threads) {
+        state.pool = std::make_shared<ThreadPool>(threads);
     }
-    return pool;
+    return state.pool;
 }
 
 } // namespace

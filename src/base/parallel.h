@@ -21,6 +21,13 @@
  *    special case rather than a separate code path.
  *  - Exceptions thrown by fn are captured and rethrown on the calling
  *    thread after all chunks finish (first one wins).
+ *
+ * Locking discipline: the pool's internal state is annotated with
+ * base/thread_annotations.h (SEVF_GUARDED_BY on every mutex-protected
+ * field) and the global acquisition order — call_mu before mu — is
+ * declared in tools/lock-order.txt; both are enforced by Clang's
+ * -Wthread-safety (SEVF_THREAD_SAFETY=ON) and sevf_lint's
+ * guarded-by/lock-order passes on every test run.
  */
 #ifndef SEVF_BASE_PARALLEL_H_
 #define SEVF_BASE_PARALLEL_H_

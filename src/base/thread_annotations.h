@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Clang thread-safety annotation macros (no-ops on other compilers).
+ *
+ * The host-parallel launch layer (base/parallel.h), the taint runtime's
+ * sharded label map, the observability registry/trace log, and the
+ * workload caches all carry locking rules that used to live in prose.
+ * These macros turn those rules into machine-checked contracts, twice
+ * over:
+ *
+ *  - Under Clang with -DSEVF_THREAD_SAFETY=ON the macros expand to the
+ *    capability attributes behind -Wthread-safety, so the compiler
+ *    proves every SEVF_GUARDED_BY field is only touched with its lock
+ *    held and every SEVF_REQUIRES contract is met at each call site.
+ *  - Under any compiler, tools/sevf_lint's guarded-by and lock-order
+ *    passes parse the same annotations textually, so GCC-only builds
+ *    get the same enforcement (plus a global acquisition-order cycle
+ *    check Clang does not do).
+ *
+ * Conventions (DESIGN.md §13):
+ *  - Annotate the *field*, not the accessor: every mutex-protected
+ *    member carries SEVF_GUARDED_BY(mu) naming the mutex member that
+ *    protects it.
+ *  - Internal helpers that expect the caller to hold a lock take the
+ *    owning struct by reference and declare SEVF_REQUIRES(obj.mu).
+ *  - Lock-free-by-protocol regions (e.g. ThreadPool's chunk claiming,
+ *    where the generation handshake provides the happens-before) are
+ *    marked SEVF_NO_THREAD_SAFETY_ANALYSIS with a comment citing the
+ *    protocol; the marker exempts the function from field checks only,
+ *    never from lock-order checking.
+ */
+#ifndef SEVF_BASE_THREAD_ANNOTATIONS_H_
+#define SEVF_BASE_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define SEVF_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SEVF_THREAD_ANNOTATION_(x)
+#endif
+
+/** Marks a type as a lockable capability (mutex wrappers). */
+#define SEVF_CAPABILITY(x) SEVF_THREAD_ANNOTATION_(capability(x))
+
+/** Marks an RAII type whose constructor acquires and destructor releases. */
+#define SEVF_SCOPED_CAPABILITY SEVF_THREAD_ANNOTATION_(scoped_lockable)
+
+/** The annotated field may only be accessed while holding @p x. */
+#define SEVF_GUARDED_BY(x) SEVF_THREAD_ANNOTATION_(guarded_by(x))
+
+/** The pointed-to data may only be accessed while holding @p x. */
+#define SEVF_PT_GUARDED_BY(x) SEVF_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/** The function acquires the listed capabilities and does not release. */
+#define SEVF_ACQUIRE(...) \
+    SEVF_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/** The function releases the listed capabilities. */
+#define SEVF_RELEASE(...) \
+    SEVF_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/** The function acquires the capability iff it returns @p result. */
+#define SEVF_TRY_ACQUIRE(result, ...) \
+    SEVF_THREAD_ANNOTATION_(try_acquire_capability(result, __VA_ARGS__))
+
+/** Callers must hold the listed capabilities across the call. */
+#define SEVF_REQUIRES(...) \
+    SEVF_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/** Callers must NOT hold the listed capabilities (deadlock guard). */
+#define SEVF_EXCLUDES(...) SEVF_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/** The function returns a reference to the named capability. */
+#define SEVF_RETURN_CAPABILITY(x) SEVF_THREAD_ANNOTATION_(lock_returned(x))
+
+/**
+ * Exempts a function from the guarded-field analysis. Reserve for
+ * lock-free-by-protocol code and cite the protocol in a comment; the
+ * lock-order pass still sees acquisitions inside such functions.
+ */
+#define SEVF_NO_THREAD_SAFETY_ANALYSIS \
+    SEVF_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif // SEVF_BASE_THREAD_ANNOTATIONS_H_

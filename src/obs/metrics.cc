@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "base/logging.h"
+#include "base/mutex.h"
 
 namespace sevf::obs {
 namespace {
@@ -133,13 +133,13 @@ struct Entry {
 } // namespace
 
 struct Registry::Impl {
-    mutable std::mutex mu;
+    mutable base::Mutex mu;
     // std::map keeps snapshot order deterministic by key.
-    std::map<std::string, Entry> entries;
+    std::map<std::string, Entry> entries SEVF_GUARDED_BY(mu);
 
     Entry &
     findOrCreate(std::string_view name, std::string_view help,
-                 Labels labels, MetricKind kind)
+                 Labels labels, MetricKind kind) SEVF_REQUIRES(mu)
     {
         std::string key = metricKey(name, labels);
         auto it = entries.find(key);
@@ -176,7 +176,7 @@ Counter &
 Registry::counter(std::string_view name, std::string_view help, Labels labels)
 {
     Impl &i = impl();
-    std::lock_guard<std::mutex> lock(i.mu);
+    base::MutexLock lock(i.mu);
     Entry &e = i.findOrCreate(name, help, std::move(labels),
                               MetricKind::kCounter);
     if (!e.counter) {
@@ -189,7 +189,7 @@ Gauge &
 Registry::gauge(std::string_view name, std::string_view help, Labels labels)
 {
     Impl &i = impl();
-    std::lock_guard<std::mutex> lock(i.mu);
+    base::MutexLock lock(i.mu);
     Entry &e =
         i.findOrCreate(name, help, std::move(labels), MetricKind::kGauge);
     if (!e.gauge) {
@@ -203,7 +203,7 @@ Registry::histogram(std::string_view name, std::string_view help,
                     std::vector<u64> bounds, Labels labels)
 {
     Impl &i = impl();
-    std::lock_guard<std::mutex> lock(i.mu);
+    base::MutexLock lock(i.mu);
     Entry &e = i.findOrCreate(name, help, std::move(labels),
                               MetricKind::kHistogram);
     if (!e.histogram) {
@@ -216,7 +216,7 @@ std::vector<MetricSnapshot>
 Registry::snapshot() const
 {
     Impl &i = impl();
-    std::lock_guard<std::mutex> lock(i.mu);
+    base::MutexLock lock(i.mu);
     std::vector<MetricSnapshot> out;
     out.reserve(i.entries.size());
     for (const auto &[key, e] : i.entries) {
@@ -245,7 +245,7 @@ void
 Registry::reset()
 {
     Impl &i = impl();
-    std::lock_guard<std::mutex> lock(i.mu);
+    base::MutexLock lock(i.mu);
     for (auto &[key, e] : i.entries) {
         if (e.counter) {
             e.counter->reset();
@@ -273,14 +273,31 @@ defaultTimeBoundsNs()
     return bounds;
 }
 
+namespace {
+
+/** Memoized per-kernel metric pairs, keyed by kernel name. */
+struct KernelMetricsCache {
+    base::Mutex mu;
+    std::map<std::string, std::unique_ptr<KernelMetrics>> entries
+        SEVF_GUARDED_BY(mu);
+};
+
+KernelMetricsCache &
+kernelMetricsCache()
+{
+    static KernelMetricsCache cache;
+    return cache;
+}
+
+} // namespace
+
 KernelMetrics &
 kernelMetrics(const char *kernel)
 {
-    static std::mutex mu;
-    static std::map<std::string, std::unique_ptr<KernelMetrics>> cache;
-    std::lock_guard<std::mutex> lock(mu);
-    auto it = cache.find(kernel);
-    if (it != cache.end()) {
+    KernelMetricsCache &cache = kernelMetricsCache();
+    base::MutexLock lock(cache.mu);
+    auto it = cache.entries.find(kernel);
+    if (it != cache.entries.end()) {
         return *it->second;
     }
     Labels labels = {{"kernel", kernel}};
@@ -292,7 +309,7 @@ kernelMetrics(const char *kernel)
             "sevf_kernel_wall_ns_total",
             "Wall-clock nanoseconds spent inside a data-path kernel",
             labels)});
-    return *cache.emplace(kernel, std::move(metrics)).first->second;
+    return *cache.entries.emplace(kernel, std::move(metrics)).first->second;
 }
 
 } // namespace sevf::obs

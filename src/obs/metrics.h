@@ -24,7 +24,9 @@
  *    function-local static so the steady state never locks. Metrics are
  *    identified by name + label set (Prometheus style) and live for the
  *    process lifetime; registering the same identity twice returns the
- *    same object.
+ *    same object. The registry's mutex-protected state carries
+ *    SEVF_GUARDED_BY annotations (base/thread_annotations.h) checked by
+ *    Clang -Wthread-safety and sevf_lint's guarded-by pass.
  *
  * Exporters (Prometheus text, JSON snapshot) live in obs/export.h; span
  * tracing lives in obs/span.h. docs/OBSERVABILITY.md is the operator

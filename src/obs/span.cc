@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
-#include <mutex>
 
+#include "base/mutex.h"
 #include "base/parallel.h"
 
 namespace sevf::obs {
@@ -85,8 +85,8 @@ setTracingEnabled(bool on)
 // ---- TraceLog ------------------------------------------------------------
 
 struct TraceLog::Impl {
-    mutable std::mutex mu;
-    std::vector<TraceEvent> events;
+    mutable base::Mutex mu;
+    std::vector<TraceEvent> events SEVF_GUARDED_BY(mu);
 };
 
 TraceLog &
@@ -107,7 +107,7 @@ void
 TraceLog::record(TraceEvent event)
 {
     Impl &i = impl();
-    std::lock_guard<std::mutex> lock(i.mu);
+    base::MutexLock lock(i.mu);
     if (i.events.size() >= kMaxEvents) {
         droppedCounter().add();
         return;
@@ -119,7 +119,7 @@ std::vector<TraceEvent>
 TraceLog::snapshot() const
 {
     Impl &i = impl();
-    std::lock_guard<std::mutex> lock(i.mu);
+    base::MutexLock lock(i.mu);
     return i.events;
 }
 
@@ -127,7 +127,7 @@ std::size_t
 TraceLog::size() const
 {
     Impl &i = impl();
-    std::lock_guard<std::mutex> lock(i.mu);
+    base::MutexLock lock(i.mu);
     return i.events.size();
 }
 
@@ -135,7 +135,7 @@ void
 TraceLog::clear()
 {
     Impl &i = impl();
-    std::lock_guard<std::mutex> lock(i.mu);
+    base::MutexLock lock(i.mu);
     i.events.clear();
 }
 

@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 
 #include "base/logging.h"
+#include "base/mutex.h"
 
 namespace sevf::taint {
 
@@ -37,20 +37,25 @@ constexpr u64 kSliceSize = u64{1} << kShardShift;
 constexpr unsigned kShardCount = 64;
 
 struct Shard {
-    std::mutex mu;
-    std::map<u64, Segment> segments;
+    base::Mutex mu;
+    std::map<u64, Segment> segments SEVF_GUARDED_BY(mu);
 };
 
 /** Mode is read on every hook: an atomic, not a lock. */
 std::atomic<Mode> g_mode{kDefaultMode};
 
-/** Audit log (violations, declassifications) behind its own mutex. */
+/**
+ * Audit log (violations, declassifications) behind its own mutex.
+ * Lock order (tools/lock-order.txt): Shard::mu and AuditState::mu are
+ * mutually exclusive — no code path holds one while acquiring the
+ * other, so the hooks can never deadlock against each other.
+ */
 struct AuditState {
-    std::mutex mu;
-    std::vector<Violation> violations;
-    std::vector<Declassification> declassifications;
-    u64 violation_count = 0;
-    u64 declassification_count = 0;
+    base::Mutex mu;
+    std::vector<Violation> violations SEVF_GUARDED_BY(mu);
+    std::vector<Declassification> declassifications SEVF_GUARDED_BY(mu);
+    u64 violation_count SEVF_GUARDED_BY(mu) = 0;
+    u64 declassification_count SEVF_GUARDED_BY(mu) = 0;
 };
 
 Shard &
@@ -84,11 +89,12 @@ forEachSlice(u64 lo, u64 hi, Fn fn)
 
 /**
  * Split any segment straddling @p addr so that @p addr is a segment
- * boundary. Caller holds the shard lock.
+ * boundary. Callers hold the shard lock (checked: SEVF_REQUIRES).
  */
 void
-splitAt(std::map<u64, Segment> &segs, u64 addr)
+splitAt(Shard &shard, u64 addr) SEVF_REQUIRES(shard.mu)
 {
+    std::map<u64, Segment> &segs = shard.segments;
     auto it = segs.upper_bound(addr);
     if (it == segs.begin()) {
         return;
@@ -166,10 +172,10 @@ mark(const void *p, u64 len, TaintSet labels)
     u64 lo = reinterpret_cast<u64>(p);
     forEachSlice(lo, lo + len, [&](u64 slice_lo, u64 slice_hi) {
         Shard &shard = shardFor(slice_lo);
-        std::lock_guard<std::mutex> lock(shard.mu);
+        base::MutexLock lock(shard.mu);
         std::map<u64, Segment> &segs = shard.segments;
-        splitAt(segs, slice_lo);
-        splitAt(segs, slice_hi);
+        splitAt(shard, slice_lo);
+        splitAt(shard, slice_hi);
         // Join onto existing segments inside the slice, fill the gaps.
         u64 cursor = slice_lo;
         auto it = segs.lower_bound(slice_lo);
@@ -196,10 +202,10 @@ clearRange(const void *p, u64 len)
     u64 lo = reinterpret_cast<u64>(p);
     forEachSlice(lo, lo + len, [&](u64 slice_lo, u64 slice_hi) {
         Shard &shard = shardFor(slice_lo);
-        std::lock_guard<std::mutex> lock(shard.mu);
+        base::MutexLock lock(shard.mu);
         std::map<u64, Segment> &segs = shard.segments;
-        splitAt(segs, slice_lo);
-        splitAt(segs, slice_hi);
+        splitAt(shard, slice_lo);
+        splitAt(shard, slice_hi);
         auto it = segs.lower_bound(slice_lo);
         while (it != segs.end() && it->first < slice_hi) {
             it = segs.erase(it);
@@ -217,7 +223,7 @@ query(const void *p, u64 len)
     TaintSet out = kNone;
     forEachSlice(lo, lo + len, [&](u64 slice_lo, u64 slice_hi) {
         Shard &shard = shardFor(slice_lo);
-        std::lock_guard<std::mutex> lock(shard.mu);
+        base::MutexLock lock(shard.mu);
         const std::map<u64, Segment> &segs = shard.segments;
         auto it = segs.upper_bound(slice_lo);
         if (it != segs.begin()) {
@@ -239,6 +245,7 @@ namespace {
 
 void
 appendDeclassification(AuditState &s, std::string_view reason, u64 bytes)
+    SEVF_REQUIRES(s.mu)
 {
     ++s.declassification_count;
     if (s.declassifications.size() < kMaxAuditEntries) {
@@ -253,7 +260,7 @@ declassify(const void *p, u64 len, std::string_view reason)
 {
     clearRange(p, len);
     AuditState &s = audit();
-    std::lock_guard<std::mutex> lock(s.mu);
+    base::MutexLock lock(s.mu);
     appendDeclassification(s, reason, len);
 }
 
@@ -264,7 +271,7 @@ noteDeclassified(std::string_view reason)
         return;
     }
     AuditState &s = audit();
-    std::lock_guard<std::mutex> lock(s.mu);
+    base::MutexLock lock(s.mu);
     appendDeclassification(s, reason, 0);
 }
 
@@ -272,7 +279,7 @@ std::vector<Declassification>
 declassifications()
 {
     AuditState &s = audit();
-    std::lock_guard<std::mutex> lock(s.mu);
+    base::MutexLock lock(s.mu);
     return s.declassifications;
 }
 
@@ -280,7 +287,7 @@ u64
 declassificationCount()
 {
     AuditState &s = audit();
-    std::lock_guard<std::mutex> lock(s.mu);
+    base::MutexLock lock(s.mu);
     return s.declassification_count;
 }
 
@@ -302,7 +309,7 @@ guardSink(Sink sink, const void *p, u64 len, std::string_view context)
         "reviewed boundary";
     AuditState &s = audit();
     {
-        std::lock_guard<std::mutex> lock(s.mu);
+        base::MutexLock lock(s.mu);
         ++s.violation_count;
         if (s.violations.size() < kMaxAuditEntries) {
             s.violations.push_back(
@@ -319,7 +326,7 @@ std::vector<Violation>
 violations()
 {
     AuditState &s = audit();
-    std::lock_guard<std::mutex> lock(s.mu);
+    base::MutexLock lock(s.mu);
     return s.violations;
 }
 
@@ -327,7 +334,7 @@ u64
 violationCount()
 {
     AuditState &s = audit();
-    std::lock_guard<std::mutex> lock(s.mu);
+    base::MutexLock lock(s.mu);
     return s.violation_count;
 }
 
@@ -335,7 +342,7 @@ void
 clearViolations()
 {
     AuditState &s = audit();
-    std::lock_guard<std::mutex> lock(s.mu);
+    base::MutexLock lock(s.mu);
     s.violations.clear();
     s.declassifications.clear();
     s.violation_count = 0;

@@ -38,7 +38,13 @@
  * operation splits its range at slice boundaries and takes exactly one
  * shard lock at a time, never nested, so hooks cannot deadlock against
  * each other. The mode knob is an atomic and the audit log has a
- * separate mutex. Corollary for callers: a mark/clear racing a query
+ * separate mutex. This rule is no longer prose-only: the shard map and
+ * audit log carry SEVF_GUARDED_BY annotations (base/thread_annotations.h)
+ * checked by Clang -Wthread-safety and by sevf_lint's guarded-by pass,
+ * and the never-nested invariant is the `exclusive Shard::mu ...`
+ * entries in tools/lock-order.txt, which sevf_lint's lock-order pass
+ * verifies against the whole tree's acquisition graph on every test
+ * run. Corollary for callers: a mark/clear racing a query
  * on the SAME bytes is a data race in the caller's protocol, not the
  * map's — parallel launch code labels a buffer before fan-out or after
  * join, never from inside chunk workers touching shared ranges.

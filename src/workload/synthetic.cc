@@ -4,9 +4,9 @@
 #include <cstdio>
 #include <iterator>
 #include <map>
-#include <mutex>
 
 #include "base/bytes.h"
+#include "base/mutex.h"
 #include "base/logging.h"
 #include "base/rng.h"
 #include "image/bzimage.h"
@@ -146,18 +146,35 @@ buildKernelArtifacts(const KernelSpec &spec, u64 seed, double scale)
     return art;
 }
 
+namespace {
+
+/** Memoized kernel artifacts keyed by (config, rounded scale). */
+struct KernelArtifactCache {
+    base::Mutex mu;
+    std::map<std::pair<int, long>, KernelArtifacts> entries
+        SEVF_GUARDED_BY(mu);
+};
+
+KernelArtifactCache &
+kernelArtifactCache()
+{
+    static KernelArtifactCache cache;
+    return cache;
+}
+
+} // namespace
+
 const KernelArtifacts &
 cachedKernelArtifacts(KernelConfig config, double scale)
 {
-    static std::mutex mu;
-    static std::map<std::pair<int, long>, KernelArtifacts> cache;
-    std::scoped_lock lock(mu);
+    KernelArtifactCache &cache = kernelArtifactCache();
+    base::MutexLock lock(cache.mu);
     auto key = std::make_pair(static_cast<int>(config),
                               std::lround(scale * 1e6));
-    auto it = cache.find(key);
-    if (it == cache.end()) {
+    auto it = cache.entries.find(key);
+    if (it == cache.entries.end()) {
         const KernelSpec &spec = kernelSpec(config);
-        it = cache
+        it = cache.entries
                  .emplace(key, buildKernelArtifacts(
                                    spec, 0x5ef0 + static_cast<u64>(config),
                                    scale))
@@ -237,18 +254,34 @@ syntheticInitrd(u64 uncompressed_size, u64 seed)
     return image::writeCpio(entries);
 }
 
+namespace {
+
+/** Memoized synthetic initrds keyed by rounded scale. */
+struct InitrdCache {
+    base::Mutex mu;
+    std::map<long, ByteVec> entries SEVF_GUARDED_BY(mu);
+};
+
+InitrdCache &
+initrdCache()
+{
+    static InitrdCache cache;
+    return cache;
+}
+
+} // namespace
+
 const ByteVec &
 cachedInitrd(double scale)
 {
-    static std::mutex mu;
-    static std::map<long, ByteVec> cache;
-    std::scoped_lock lock(mu);
+    InitrdCache &cache = initrdCache();
+    base::MutexLock lock(cache.mu);
     long key = std::lround(scale * 1e6);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
+    auto it = cache.entries.find(key);
+    if (it == cache.entries.end()) {
         u64 size = static_cast<u64>(
             static_cast<double>(kInitrdUncompressedSize) * scale);
-        it = cache.emplace(key, syntheticInitrd(size, 0x1217d)).first;
+        it = cache.entries.emplace(key, syntheticInitrd(size, 0x1217d)).first;
     }
     return it->second;
 }

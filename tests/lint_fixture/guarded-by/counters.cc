@@ -1,0 +1,48 @@
+/*
+ * Seeded-defect fixture for the guarded-by (lockset) pass: the
+ * unlocked field access and the SEVF_REQUIRES call without the lock
+ * must both be flagged; the locked variants must stay clean.
+ */
+
+namespace fixture {
+
+struct Counters {
+    base::Mutex mu;
+    long hits SEVF_GUARDED_BY(mu) = 0;
+    long misses SEVF_GUARDED_BY(mu) = 0;
+
+    void
+    bumpLocked()
+    {
+        base::MutexLock lock(mu);
+        ++hits;
+    }
+
+    void
+    bumpUnlocked()
+    {
+        ++misses; // BUG: mu not held
+    }
+};
+
+void
+touchBoth(Counters &c) SEVF_REQUIRES(c.mu)
+{
+    ++c.hits;
+    ++c.misses;
+}
+
+void
+requiresWithLock(Counters &c)
+{
+    base::MutexLock lock(c.mu);
+    touchBoth(c);
+}
+
+void
+requiresWithoutLock(Counters &c)
+{
+    touchBoth(c); // BUG: c.mu not held
+}
+
+} // namespace fixture

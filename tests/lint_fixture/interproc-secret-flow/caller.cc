@@ -1,0 +1,32 @@
+/*
+ * Interprocedural secret-flow fixture, caller TU: both leaks cross a
+ * function boundary (a secret-returning callee, a sink-forwarding
+ * parameter) and must be reported as interproc-secret-flow. The
+ * declassified flow must stay clean.
+ */
+
+namespace fixture {
+
+void
+leakDerivedKey(unsigned long salt)
+{
+    auto key = rewrapSessionKey(salt);
+    inform("session key ", key); // BUG: summary-tainted value into sink
+}
+
+void
+leakThroughForwarder(unsigned long salt)
+{
+    auto key = dhSharedKey(salt);
+    logPayload(key); // BUG: tainted argument into sink-forwarding param
+}
+
+void
+declassifiedInterprocIsClean(unsigned long salt)
+{
+    auto key = rewrapSessionKey(salt);
+    declassify(key, "fixture: reviewed boundary");
+    inform("session key fingerprint ", key);
+}
+
+} // namespace fixture

@@ -1,0 +1,31 @@
+/*
+ * Interprocedural secret-flow fixture, helper TU. None of these
+ * functions is a violation by itself; the summary pass must classify
+ * deriveSessionKey and rewrapSessionKey (two hops, so the fixed point
+ * matters) as secret-returning and logPayload's parameter as
+ * sink-forwarding. caller.cc holds the actual leaks.
+ */
+
+namespace fixture {
+
+unsigned long
+deriveSessionKey(unsigned long salt)
+{
+    auto key = dhSharedKey(salt);
+    return key;
+}
+
+unsigned long
+rewrapSessionKey(unsigned long salt)
+{
+    auto wrapped = deriveSessionKey(salt);
+    return wrapped;
+}
+
+void
+logPayload(unsigned long data)
+{
+    inform("payload ", data);
+}
+
+} // namespace fixture

@@ -1,0 +1,26 @@
+/*
+ * Seeded-defect fixture for the lock-order pass, half one: nests
+ * Device::reg_mu -> Device::queue_mu. On its own this is a legal
+ * (undeclared) ordering; ba.cc nests the same pair the other way
+ * around, closing a cross-file cycle the pass must report.
+ */
+
+namespace fixture {
+
+struct Device {
+    base::Mutex reg_mu;
+    base::Mutex queue_mu;
+    int regs SEVF_GUARDED_BY(reg_mu) = 0;
+    int queue_depth SEVF_GUARDED_BY(queue_mu) = 0;
+};
+
+void
+resetThenDrain(Device &d)
+{
+    base::MutexLock reg_lock(d.reg_mu);
+    d.regs = 0;
+    base::MutexLock queue_lock(d.queue_mu);
+    d.queue_depth = 0;
+}
+
+} // namespace fixture

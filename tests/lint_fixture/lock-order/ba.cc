@@ -1,0 +1,19 @@
+/*
+ * Seeded-defect fixture for the lock-order pass, half two: nests
+ * Device::queue_mu -> Device::reg_mu, the reverse of ab.cc. The cycle
+ * only exists across the two translation units, so catching it
+ * exercises the cross-TU acquisition graph.
+ */
+
+namespace fixture {
+
+void
+drainThenReset(Device &d)
+{
+    base::MutexLock queue_lock(d.queue_mu);
+    d.queue_depth = 0;
+    base::MutexLock reg_lock(d.reg_mu);
+    d.regs = 0;
+}
+
+} // namespace fixture

@@ -1,0 +1,53 @@
+/*
+ * Rule-breaking concurrency and interprocedural flows, every finding
+ * suppressed: this directory must lint clean, and every marker must be
+ * consumed (a stale one would trip unused-suppression).
+ */
+
+namespace fixture {
+
+struct Gauge2 {
+    base::Mutex mu;
+    long level SEVF_GUARDED_BY(mu) = 0;
+
+    void
+    poke()
+    {
+        ++level; // sevf_lint: allow(guarded-by)
+    }
+};
+
+struct Pair2 {
+    base::Mutex a_mu;
+    base::Mutex b_mu;
+};
+
+void
+forward2(Pair2 &p)
+{
+    base::MutexLock a(p.a_mu);
+    base::MutexLock b(p.b_mu); // sevf_lint: allow(lock-order)
+}
+
+void
+backward2(Pair2 &p)
+{
+    base::MutexLock b(p.b_mu);
+    base::MutexLock a(p.a_mu); // sevf_lint: allow(lock-order)
+}
+
+unsigned long
+makeKey2(unsigned long salt)
+{
+    auto key = dhSharedKey(salt);
+    return key;
+}
+
+void
+noteKey2(unsigned long salt)
+{
+    auto key = makeKey2(salt);
+    inform("key ", key); // sevf_lint: allow(interproc-secret-flow)
+}
+
+} // namespace fixture

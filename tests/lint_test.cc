@@ -1,0 +1,530 @@
+/**
+ * @file
+ * Unit tests for the sevf_lint concurrency/interprocedural engine
+ * (tools/sevf_lint_engine.h): cross-TU symbol resolution, summary
+ * fixed-point convergence, the guarded-by lockset pass, lock-order
+ * spec + cycle checking, and suppression handling on the three
+ * concurrency fixture families. The fixture self-test (sevf_lint
+ * --selftest) covers the end-to-end CLI; these tests pin down engine
+ * semantics at the API level where failures are easier to localize.
+ */
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "tools/sevf_lint_engine.h"
+
+namespace fs = std::filesystem;
+using sevf::lint::LockOrderSpec;
+using sevf::lint::Options;
+using sevf::lint::RunResult;
+using sevf::lint::Violation;
+
+namespace {
+
+/** A per-test scratch tree under the system temp dir, removed on exit. */
+class TempTree
+{
+  public:
+    TempTree()
+    {
+        static int counter = 0;
+        root_ = fs::temp_directory_path() /
+                ("sevf_lint_test_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(counter++));
+        fs::create_directories(root_);
+    }
+
+    ~TempTree() { fs::remove_all(root_); }
+
+    TempTree(const TempTree &) = delete;
+    TempTree &operator=(const TempTree &) = delete;
+
+    const fs::path &root() const { return root_; }
+
+    void
+    write(const std::string &rel, const std::string &content)
+    {
+        fs::path p = root_ / rel;
+        fs::create_directories(p.parent_path());
+        std::ofstream out(p);
+        out << content;
+    }
+
+  private:
+    fs::path root_;
+};
+
+std::vector<Violation>
+lint(const TempTree &tree,
+     std::optional<LockOrderSpec> spec = std::nullopt)
+{
+    Options opts;
+    opts.root = tree.root();
+    opts.jobs = 1;
+    opts.lock_order_spec = std::move(spec);
+    return sevf::lint::runLint(opts).violations;
+}
+
+size_t
+countRule(const std::vector<Violation> &vs, const std::string &rule)
+{
+    size_t n = 0;
+    for (const Violation &v : vs) {
+        if (v.rule == rule) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+// ---- guarded-by ----------------------------------------------------------
+
+constexpr const char *kGuardedStruct = R"(
+namespace t {
+
+struct Counters {
+    base::Mutex mu;
+    long hits SEVF_GUARDED_BY(mu) = 0;
+
+    void
+    bumpLocked()
+    {
+        base::MutexLock lock(mu);
+        ++hits;
+    }
+
+    void
+    bumpUnlocked()
+    {
+        ++hits;
+    }
+};
+
+} // namespace t
+)";
+
+TEST(LintGuardedBy, UnlockedFieldAccessFlaggedLockedClean)
+{
+    TempTree tree;
+    tree.write("a.cc", kGuardedStruct);
+    std::vector<Violation> vs = lint(tree);
+    ASSERT_EQ(countRule(vs, "guarded-by"), 1u);
+    for (const Violation &v : vs) {
+        if (v.rule == "guarded-by") {
+            EXPECT_NE(v.message.find("Counters::hits"), std::string::npos)
+                << v.message;
+        }
+    }
+}
+
+TEST(LintGuardedBy, RequiresCallNeedsLock)
+{
+    TempTree tree;
+    tree.write("a.cc", R"(
+namespace t {
+
+struct Box {
+    base::Mutex mu;
+    long v SEVF_GUARDED_BY(mu) = 0;
+};
+
+void
+touch(Box &b) SEVF_REQUIRES(b.mu)
+{
+    ++b.v;
+}
+
+void
+good(Box &b)
+{
+    base::MutexLock lock(b.mu);
+    touch(b);
+}
+
+void
+bad(Box &b)
+{
+    touch(b);
+}
+
+} // namespace t
+)");
+    std::vector<Violation> vs = lint(tree);
+    ASSERT_EQ(countRule(vs, "guarded-by"), 1u);
+    for (const Violation &v : vs) {
+        if (v.rule == "guarded-by") {
+            EXPECT_NE(v.message.find("touch"), std::string::npos);
+            EXPECT_NE(v.message.find("Box::mu"), std::string::npos);
+        }
+    }
+}
+
+TEST(LintGuardedBy, NoThreadSafetyAnalysisExemptsFunction)
+{
+    TempTree tree;
+    tree.write("a.cc", R"(
+namespace t {
+
+struct Counters {
+    base::Mutex mu;
+    long hits SEVF_GUARDED_BY(mu) = 0;
+
+    void
+    lockFree() SEVF_NO_THREAD_SAFETY_ANALYSIS
+    {
+        ++hits;
+    }
+};
+
+} // namespace t
+)");
+    EXPECT_EQ(countRule(lint(tree), "guarded-by"), 0u);
+}
+
+// ---- lock-order: cross-TU resolution + cycles ----------------------------
+
+TEST(LintLockOrder, CrossFileCycleReportedPerEdge)
+{
+    TempTree tree;
+    // The struct lives in one TU; the reversed nesting in another. The
+    // cycle only exists once both files resolve against the same
+    // symbol table, so this is the multi-file resolution test too.
+    tree.write("ab.cc", R"(
+namespace t {
+
+struct Device {
+    base::Mutex reg_mu;
+    base::Mutex queue_mu;
+};
+
+void
+forward(Device &d)
+{
+    base::MutexLock a(d.reg_mu);
+    base::MutexLock b(d.queue_mu);
+}
+
+} // namespace t
+)");
+    tree.write("ba.cc", R"(
+namespace t {
+
+void
+backward(Device &d)
+{
+    base::MutexLock b(d.queue_mu);
+    base::MutexLock a(d.reg_mu);
+}
+
+} // namespace t
+)");
+    std::vector<Violation> vs = lint(tree);
+    // One violation per edge in the cycle, so each site can carry its
+    // own suppression.
+    EXPECT_EQ(countRule(vs, "lock-order"), 2u);
+    bool in_ab = false;
+    bool in_ba = false;
+    for (const Violation &v : vs) {
+        in_ab = in_ab || v.file == "ab.cc";
+        in_ba = in_ba || v.file == "ba.cc";
+    }
+    EXPECT_TRUE(in_ab);
+    EXPECT_TRUE(in_ba);
+}
+
+TEST(LintLockOrder, DeclaredOrderSilencesForwardFlagsReverse)
+{
+    TempTree tree;
+    tree.write("a.cc", R"(
+namespace t {
+
+struct Device {
+    base::Mutex reg_mu;
+    base::Mutex queue_mu;
+};
+
+void
+forward(Device &d)
+{
+    base::MutexLock a(d.reg_mu);
+    base::MutexLock b(d.queue_mu);
+}
+
+} // namespace t
+)");
+    LockOrderSpec forward_spec;
+    forward_spec.order.emplace_back("Device::reg_mu", "Device::queue_mu");
+    EXPECT_EQ(countRule(lint(tree, forward_spec), "lock-order"), 0u);
+
+    LockOrderSpec reverse_spec;
+    reverse_spec.order.emplace_back("Device::queue_mu", "Device::reg_mu");
+    std::vector<Violation> vs = lint(tree, reverse_spec);
+    ASSERT_EQ(countRule(vs, "lock-order"), 1u);
+    for (const Violation &v : vs) {
+        EXPECT_NE(v.message.find("contradicts"), std::string::npos);
+    }
+}
+
+TEST(LintLockOrder, ExclusivePairBansNestingBothWaysAndSelf)
+{
+    TempTree tree;
+    tree.write("a.cc", R"(
+namespace t {
+
+struct Shardish {
+    base::Mutex mu;
+};
+
+struct Auditish {
+    base::Mutex mu;
+};
+
+void
+nested(Shardish &s, Auditish &a)
+{
+    base::MutexLock sl(s.mu);
+    base::MutexLock al(a.mu);
+}
+
+void
+selfNested(Shardish &s, Shardish &t2)
+{
+    base::MutexLock sl(s.mu);
+    base::MutexLock tl(t2.mu);
+}
+
+} // namespace t
+)");
+    LockOrderSpec spec;
+    spec.exclusive.emplace_back("Shardish::mu", "Auditish::mu");
+    spec.exclusive.emplace_back("Shardish::mu", "Shardish::mu");
+    std::vector<Violation> vs = lint(tree, spec);
+    EXPECT_EQ(countRule(vs, "lock-order"), 2u);
+}
+
+// ---- interprocedural secret-flow summaries -------------------------------
+
+TEST(LintSecretFlow, SummaryChainConvergesAcrossFiles)
+{
+    TempTree tree;
+    // Two-hop secret-returning chain split across TUs: the fixed point
+    // must first classify derive(), then rewrap() on a later round.
+    tree.write("helper.cc", R"(
+namespace t {
+
+unsigned long
+derive(unsigned long salt)
+{
+    auto key = dhSharedKey(salt);
+    return key;
+}
+
+unsigned long
+rewrap(unsigned long salt)
+{
+    auto wrapped = derive(salt);
+    return wrapped;
+}
+
+} // namespace t
+)");
+    tree.write("caller.cc", R"(
+namespace t {
+
+void
+leak(unsigned long salt)
+{
+    auto key = rewrap(salt);
+    inform("key ", key);
+}
+
+} // namespace t
+)");
+    std::vector<Violation> vs = lint(tree);
+    EXPECT_EQ(countRule(vs, "interproc-secret-flow"), 1u);
+    EXPECT_EQ(countRule(vs, "secret-flow"), 0u);
+}
+
+TEST(LintSecretFlow, MutualRecursionConverges)
+{
+    TempTree tree;
+    // ping/pong call each other; the fixed point must terminate and
+    // neither is secret-returning (no source anywhere).
+    tree.write("a.cc", R"(
+namespace t {
+
+unsigned long
+ping(unsigned long n)
+{
+    auto v = pong(n);
+    return v;
+}
+
+unsigned long
+pong(unsigned long n)
+{
+    auto v = ping(n);
+    return v;
+}
+
+void
+fine(unsigned long n)
+{
+    auto v = ping(n);
+    inform("value ", v);
+}
+
+} // namespace t
+)");
+    std::vector<Violation> vs = lint(tree);
+    EXPECT_EQ(countRule(vs, "interproc-secret-flow"), 0u);
+    EXPECT_EQ(countRule(vs, "secret-flow"), 0u);
+}
+
+TEST(LintSecretFlow, SinkForwardingParameterFlagsTaintedArgument)
+{
+    TempTree tree;
+    tree.write("a.cc", R"(
+namespace t {
+
+void
+logPayload(unsigned long data)
+{
+    inform("payload ", data);
+}
+
+void
+leak(unsigned long salt)
+{
+    auto key = dhSharedKey(salt);
+    logPayload(key);
+}
+
+void
+fine(unsigned long plain)
+{
+    logPayload(plain);
+}
+
+} // namespace t
+)");
+    std::vector<Violation> vs = lint(tree);
+    EXPECT_EQ(countRule(vs, "interproc-secret-flow"), 1u);
+}
+
+TEST(LintSecretFlow, DeclassifyLaundersInterprocTaint)
+{
+    TempTree tree;
+    tree.write("a.cc", R"(
+namespace t {
+
+unsigned long
+derive(unsigned long salt)
+{
+    auto key = dhSharedKey(salt);
+    return key;
+}
+
+void
+clean(unsigned long salt)
+{
+    auto key = derive(salt);
+    declassify(key, "reviewed");
+    inform("key ", key);
+}
+
+} // namespace t
+)");
+    std::vector<Violation> vs = lint(tree);
+    EXPECT_EQ(countRule(vs, "interproc-secret-flow"), 0u);
+    EXPECT_EQ(countRule(vs, "secret-flow"), 0u);
+}
+
+// ---- suppression on the three new rule families --------------------------
+
+TEST(LintSuppression, AllThreeConcurrencyFamiliesSuppressible)
+{
+    TempTree tree;
+    tree.write("a.cc", R"(
+namespace t {
+
+struct Gauge {
+    base::Mutex mu;
+    long level SEVF_GUARDED_BY(mu) = 0;
+
+    void
+    poke()
+    {
+        ++level; // sevf_lint: allow(guarded-by)
+    }
+};
+
+struct Pair {
+    base::Mutex a_mu;
+    base::Mutex b_mu;
+};
+
+void
+forward(Pair &p)
+{
+    base::MutexLock a(p.a_mu);
+    base::MutexLock b(p.b_mu); // sevf_lint: allow(lock-order)
+}
+
+void
+backward(Pair &p)
+{
+    base::MutexLock b(p.b_mu);
+    base::MutexLock a(p.a_mu); // sevf_lint: allow(lock-order)
+}
+
+unsigned long
+makeKey(unsigned long salt)
+{
+    auto key = dhSharedKey(salt);
+    return key;
+}
+
+void
+noteKey(unsigned long salt)
+{
+    auto key = makeKey(salt);
+    inform("key ", key); // sevf_lint: allow(interproc-secret-flow)
+}
+
+} // namespace t
+)");
+    // Every violation suppressed, every marker consumed: fully clean.
+    EXPECT_TRUE(lint(tree).empty());
+}
+
+TEST(LintSuppression, StaleConcurrencyMarkerIsAnError)
+{
+    TempTree tree;
+    tree.write("a.cc", R"(
+namespace t {
+
+struct Gauge {
+    base::Mutex mu;
+    long level SEVF_GUARDED_BY(mu) = 0;
+
+    void
+    poke()
+    {
+        base::MutexLock lock(mu);
+        ++level; // sevf_lint: allow(guarded-by)
+    }
+};
+
+} // namespace t
+)");
+    std::vector<Violation> vs = lint(tree);
+    EXPECT_EQ(countRule(vs, "unused-suppression"), 1u);
+}
+
+} // namespace

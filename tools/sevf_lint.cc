@@ -1,9 +1,10 @@
 /**
  * @file
- * sevf_lint: the project's custom invariant checker.
+ * sevf_lint: the project's custom invariant checker (CLI).
  *
- * Walks a source tree (default: src/) and enforces the conventions the
- * compiler cannot:
+ * All analysis lives in tools/sevf_lint_engine.h; this file is argument
+ * parsing and reporting. The engine walks a source tree (default: src/)
+ * and enforces the conventions the compiler cannot:
  *
  *   header-guard      .h guards are SEVF_<DIR>_<FILE>_H_
  *   include-path      quoted includes are project-relative ("base/status.h",
@@ -24,6 +25,19 @@
  *                     it into a logging/serialization sink (inform,
  *                     record, recordData, addItem, toHex, render, ...)
  *                     without an intervening declassify() is flagged
+ *   interproc-secret-flow  the same dataflow across function boundaries:
+ *                     per-function summaries (secret-returning callees,
+ *                     sink-forwarding parameters) are computed to a
+ *                     fixed point over the cross-TU call graph, so a
+ *                     secret laundered through a helper still trips
+ *   guarded-by        lockset analysis over SEVF_GUARDED_BY /
+ *                     SEVF_REQUIRES annotations (base/thread_annotations.h):
+ *                     a guarded field accessed, or an SEVF_REQUIRES
+ *                     function called, without the guard held is flagged
+ *   lock-order        the global lock-acquisition-order graph (direct +
+ *                     transitive-through-calls) is checked against
+ *                     tools/lock-order.txt ('order A B' / 'exclusive A B')
+ *                     and searched for ordering cycles
  *   unused-suppression  every "sevf_lint: allow(...)" comment must
  *                     actually suppress a violation; stale ones rot
  *                     into blanket permission and are errors themselves
@@ -34,621 +48,31 @@
  *
  * Usage:
  *     sevf_lint --root <dir> [--secret-sources <file>]
+ *               [--lock-order <file>] [--jobs <n>] [--stats]
  *                                  lint a tree, exit 1 on violations;
- *                                  the file adds one secret-source
- *                                  function name per line ('#' comments)
+ *                                  --secret-sources adds one source
+ *                                  function name per line ('#' comments);
+ *                                  --lock-order loads the acquisition-
+ *                                  order spec; --jobs 0 = hardware;
+ *                                  --stats prints per-pass wall time
  *     sevf_lint --selftest <dir>   run the fixture self-test: each
  *                                  subdirectory is named for the rule it
  *                                  must trip ("suppressed" must be clean)
  *
- * Registered as two ctests so every test run is also a lint run.
+ * Registered as ctests so every test run is also a lint run.
  */
-#include <algorithm>
-#include <cctype>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <optional>
-#include <regex>
-#include <sstream>
-#include <string>
-#include <vector>
 
-namespace fs = std::filesystem;
+#include "tools/sevf_lint_engine.h"
 
 namespace {
 
-struct Violation {
-    std::string file; // path relative to the lint root
-    size_t line;      // 1-based
-    std::string rule;
-    std::string message;
-};
+using sevf::lint::LockOrderSpec;
+using sevf::lint::Options;
+using sevf::lint::RunResult;
+using sevf::lint::Violation;
 
-struct FileText {
-    std::vector<std::string> raw;      //!< original lines
-    std::vector<std::string> scrubbed; //!< comments + literals blanked
-};
-
-/**
- * Blank out //, multi-line comments, and string/char literals while
- * preserving line structure, so construct scans don't fire on prose
- * like "no exceptions are thrown here".
- */
-std::vector<std::string>
-scrub(const std::vector<std::string> &lines)
-{
-    std::vector<std::string> out;
-    out.reserve(lines.size());
-    bool in_block_comment = false;
-    for (const std::string &line : lines) {
-        std::string s;
-        s.reserve(line.size());
-        for (size_t i = 0; i < line.size(); ++i) {
-            if (in_block_comment) {
-                if (line[i] == '*' && i + 1 < line.size() &&
-                    line[i + 1] == '/') {
-                    in_block_comment = false;
-                    ++i;
-                }
-                s.push_back(' ');
-                continue;
-            }
-            if (line[i] == '/' && i + 1 < line.size()) {
-                if (line[i + 1] == '/') {
-                    break; // rest of line is a comment
-                }
-                if (line[i + 1] == '*') {
-                    in_block_comment = true;
-                    s.push_back(' ');
-                    ++i;
-                    continue;
-                }
-            }
-            if (line[i] == '"' || line[i] == '\'') {
-                char quote = line[i];
-                s.push_back(quote);
-                ++i;
-                while (i < line.size()) {
-                    if (line[i] == '\\') {
-                        i += 2;
-                        continue;
-                    }
-                    if (line[i] == quote) {
-                        break;
-                    }
-                    ++i;
-                }
-                s.push_back(quote);
-                continue;
-            }
-            s.push_back(line[i]);
-        }
-        out.push_back(std::move(s));
-    }
-    return out;
-}
-
-std::optional<FileText>
-loadFile(const fs::path &path)
-{
-    std::ifstream in(path);
-    if (!in) {
-        return std::nullopt;
-    }
-    FileText text;
-    std::string line;
-    while (std::getline(in, line)) {
-        text.raw.push_back(line);
-    }
-    text.scrubbed = scrub(text.raw);
-    return text;
-}
-
-/** Does @p line contain @p word with identifier boundaries? */
-bool
-containsWord(const std::string &line, const std::string &word)
-{
-    auto ident = [](char c) {
-        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-    };
-    size_t pos = 0;
-    while ((pos = line.find(word, pos)) != std::string::npos) {
-        bool left_ok = pos == 0 || !ident(line[pos - 1]);
-        size_t end = pos + word.size();
-        bool right_ok = end >= line.size() || !ident(line[end]);
-        if (left_ok && right_ok) {
-            return true;
-        }
-        ++pos;
-    }
-    return false;
-}
-
-/** Does @p line call @p fn (name followed by an open paren)? */
-bool
-callsFunction(const std::string &line, const std::string &fn)
-{
-    auto ident = [](char c) {
-        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-    };
-    size_t pos = 0;
-    while ((pos = line.find(fn, pos)) != std::string::npos) {
-        bool left_ok = pos == 0 || !ident(line[pos - 1]);
-        size_t end = pos + fn.size();
-        while (end < line.size() && std::isspace(static_cast<unsigned char>(
-                                        line[end]))) {
-            ++end;
-        }
-        if (left_ok && end < line.size() && line[end] == '(') {
-            return true;
-        }
-        ++pos;
-    }
-    return false;
-}
-
-std::string
-upperIdent(std::string s)
-{
-    for (char &c : s) {
-        c = (c == '.' || c == '/' || c == '-')
-                ? '_'
-                : static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-    }
-    return s;
-}
-
-/** Functions whose return value is secret by project policy. */
-const char *const kDefaultSecretSources[] = {
-    "dhSharedKey", // DH channel keys
-    "open",        // unsealed launch secrets (crypto/seal.h)
-    "keyFor",      // chip signing keys out of the KDS
-};
-
-/** Host-visible logging/serialization sinks for the secret-flow rule. */
-const char *const kSecretSinks[] = {
-    "inform", "warn", "record", "recordData", "addItem", "addItemAt",
-    "toHex",  "render", "toJson",
-};
-
-class Linter
-{
-  public:
-    explicit Linter(fs::path root,
-                    std::vector<std::string> extra_secret_sources = {})
-        : root_(std::move(root)),
-          secret_sources_(std::begin(kDefaultSecretSources),
-                          std::end(kDefaultSecretSources))
-    {
-        secret_sources_.insert(secret_sources_.end(),
-                               extra_secret_sources.begin(),
-                               extra_secret_sources.end());
-    }
-
-    std::vector<Violation>
-    run()
-    {
-        std::vector<fs::path> files;
-        for (const auto &entry : fs::recursive_directory_iterator(root_)) {
-            if (!entry.is_regular_file()) {
-                continue;
-            }
-            fs::path p = entry.path();
-            if (p.extension() == ".h" || p.extension() == ".cc") {
-                files.push_back(p);
-            }
-        }
-        std::sort(files.begin(), files.end());
-        for (const fs::path &p : files) {
-            lintFile(p);
-        }
-        return violations_;
-    }
-
-  private:
-    /**
-     * Is a violation of @p rule at @p line (1-based) suppressed? A hit
-     * records which marker did the suppressing so unused markers can be
-     * flagged after all checks ran.
-     */
-    bool
-    suppressed(const FileText &text, const std::string &rule, size_t line)
-    {
-        std::string marker = "sevf_lint: allow(" + rule + ")";
-        for (size_t l : {line, line - 1}) {
-            if (l >= 1 && l <= text.raw.size() &&
-                text.raw[l - 1].find(marker) != std::string::npos) {
-                used_markers_.emplace_back(l, rule);
-                return true;
-            }
-        }
-        return false;
-    }
-
-    void
-    report(const fs::path &file, size_t line, const std::string &rule,
-           const std::string &message, const FileText &text)
-    {
-        if (suppressed(text, rule, line)) {
-            return;
-        }
-        violations_.push_back(
-            {fs::relative(file, root_).generic_string(), line, rule,
-             message});
-    }
-
-    void
-    lintFile(const fs::path &path)
-    {
-        std::optional<FileText> text = loadFile(path);
-        if (!text) {
-            violations_.push_back({path.generic_string(), 0, "io",
-                                   "could not read file"});
-            return;
-        }
-        used_markers_.clear();
-        std::string rel = fs::relative(path, root_).generic_string();
-        if (path.extension() == ".h") {
-            checkHeaderGuard(path, rel, *text);
-        }
-        checkIncludes(path, rel, *text);
-        checkBannedConstructs(path, rel, *text);
-        if (path.extension() == ".cc") {
-            checkPairing(path, rel, *text);
-            checkUnguardedResult(path, *text);
-        }
-        checkSecretFlow(path, *text);
-        checkUnusedSuppressions(path, *text);
-    }
-
-    // ------------------------------------------------------- header-guard
-
-    void
-    checkHeaderGuard(const fs::path &path, const std::string &rel,
-                     const FileText &text)
-    {
-        std::string stem = fs::path(rel).replace_extension("").generic_string();
-        std::string expected = "SEVF_" + upperIdent(stem) + "_H_";
-        size_t ifndef_line = 0;
-        std::string got;
-        for (size_t i = 0; i < text.scrubbed.size(); ++i) {
-            const std::string &line = text.scrubbed[i];
-            size_t pos = line.find("#ifndef ");
-            if (pos != std::string::npos) {
-                std::istringstream is(line.substr(pos + 8));
-                is >> got;
-                ifndef_line = i + 1;
-                break;
-            }
-        }
-        if (ifndef_line == 0) {
-            report(path, 1, "header-guard",
-                   "missing include guard (expected " + expected + ")",
-                   text);
-            return;
-        }
-        if (got != expected) {
-            report(path, ifndef_line, "header-guard",
-                   "guard is " + got + ", expected " + expected, text);
-            return;
-        }
-        bool defined = false;
-        for (const std::string &line : text.scrubbed) {
-            if (line.find("#define " + expected) != std::string::npos) {
-                defined = true;
-                break;
-            }
-        }
-        if (!defined) {
-            report(path, ifndef_line, "header-guard",
-                   "guard " + expected + " is never #defined", text);
-        }
-    }
-
-    // ------------------------------------------------------- include-path
-
-    /** Quoted includes in file order: (line number, include path). */
-    std::vector<std::pair<size_t, std::string>>
-    quotedIncludes(const FileText &text)
-    {
-        static const std::regex re("^\\s*#\\s*include\\s+\"([^\"]+)\"");
-        std::vector<std::pair<size_t, std::string>> out;
-        for (size_t i = 0; i < text.raw.size(); ++i) {
-            std::smatch m;
-            if (std::regex_search(text.raw[i], m, re)) {
-                out.emplace_back(i + 1, m[1].str());
-            }
-        }
-        return out;
-    }
-
-    void
-    checkIncludes(const fs::path &path, const std::string &,
-                  const FileText &text)
-    {
-        for (const auto &[line, inc] : quotedIncludes(text)) {
-            if (inc.find("..") != std::string::npos) {
-                report(path, line, "include-path",
-                       "\"" + inc + "\" uses a parent-relative path", text);
-                continue;
-            }
-            if (inc.find('/') == std::string::npos) {
-                report(path, line, "include-path",
-                       "\"" + inc +
-                           "\" is not project-relative (expected "
-                           "\"<module>/<file>\")",
-                       text);
-                continue;
-            }
-            if (!fs::exists(root_ / inc)) {
-                report(path, line, "include-path",
-                       "\"" + inc + "\" does not exist under " +
-                           root_.generic_string(),
-                       text);
-            }
-        }
-    }
-
-    // --------------------------------------------------- banned-construct
-
-    void
-    checkBannedConstructs(const fs::path &path, const std::string &rel,
-                          const FileText &text)
-    {
-        static const std::regex throw_re("\\bthrow\\b");
-        static const std::regex rand_re("\\brand\\s*\\(");
-        static const std::regex new_array_re("\\bnew\\b[^;({]*\\[");
-        static const std::regex cout_re("\\bstd::cout\\b");
-        bool cout_allowed = rel.rfind("stats/", 0) == 0;
-        for (size_t i = 0; i < text.scrubbed.size(); ++i) {
-            const std::string &line = text.scrubbed[i];
-            if (std::regex_search(line, throw_re)) {
-                report(path, i + 1, "banned-construct",
-                       "'throw' is banned on the boot path (use "
-                       "Status/Result)",
-                       text);
-            }
-            if (std::regex_search(line, rand_re)) {
-                report(path, i + 1, "banned-construct",
-                       "'rand()' is banned (use base/rng.h for "
-                       "deterministic streams)",
-                       text);
-            }
-            if (std::regex_search(line, new_array_re)) {
-                report(path, i + 1, "banned-construct",
-                       "raw 'new[]' is banned (use ByteVec/std::vector)",
-                       text);
-            }
-            if (!cout_allowed && std::regex_search(line, cout_re)) {
-                report(path, i + 1, "banned-construct",
-                       "'std::cout' outside stats/ (use base/logging.h)",
-                       text);
-            }
-        }
-    }
-
-    // ------------------------------------------------------- cc-h-pairing
-
-    void
-    checkPairing(const fs::path &path, const std::string &,
-                 const FileText &text)
-    {
-        fs::path header = fs::path(path).replace_extension(".h");
-        if (!fs::exists(header)) {
-            return; // implementation-only file (e.g. core/strategies.cc)
-        }
-        std::string expected = fs::relative(header, root_).generic_string();
-        auto incs = quotedIncludes(text);
-        if (incs.empty() || incs.front().second != expected) {
-            report(path, incs.empty() ? 1 : incs.front().first,
-                   "cc-h-pairing",
-                   "first include must be the paired header \"" + expected +
-                       "\"",
-                   text);
-        }
-    }
-
-    // --------------------------------------------------- unguarded-result
-
-    /**
-     * Heuristic, matched to the project brace style (function bodies
-     * open with "{" in column 0): inside each body, a variable declared
-     * `Result<...> name` must appear in a guard expression —
-     * name.isOk(), name.valueOr(, name.errorOr( — before name.value()
-     * or name.take().
-     */
-    void
-    checkUnguardedResult(const fs::path &path, const FileText &text)
-    {
-        static const std::regex decl_re(
-            "\\bResult\\s*<[^;{}()]*>\\s+(\\w+)\\s*[=;]");
-        size_t body_start = 0; // 0 = not inside a body
-        std::vector<std::string> decls;
-        std::vector<std::string> guarded;
-        for (size_t i = 0; i < text.scrubbed.size(); ++i) {
-            const std::string &line = text.scrubbed[i];
-            if (line == "{") {
-                body_start = i + 1;
-                decls.clear();
-                guarded.clear();
-                continue;
-            }
-            if (line == "}") {
-                body_start = 0;
-                continue;
-            }
-            if (body_start == 0) {
-                continue;
-            }
-            std::smatch m;
-            std::string rest = line;
-            while (std::regex_search(rest, m, decl_re)) {
-                decls.push_back(m[1].str());
-                rest = m.suffix().str();
-            }
-            for (const std::string &name : decls) {
-                if (line.find(name + ".isOk(") != std::string::npos ||
-                    line.find(name + ".valueOr(") != std::string::npos ||
-                    line.find(name + ".errorOr(") != std::string::npos) {
-                    guarded.push_back(name);
-                }
-            }
-            for (const std::string &name : decls) {
-                bool is_guarded =
-                    std::find(guarded.begin(), guarded.end(), name) !=
-                    guarded.end();
-                if (is_guarded) {
-                    continue;
-                }
-                if (line.find(name + ".value(") != std::string::npos ||
-                    line.find(name + ".take(") != std::string::npos) {
-                    report(path, i + 1, "unguarded-result",
-                           "Result '" + name +
-                               "' dereferenced without a prior isOk()/"
-                               "valueOr()/errorOr() guard in this function",
-                           text);
-                }
-            }
-        }
-    }
-
-    // ------------------------------------------------------- secret-flow
-
-    /**
-     * Intraprocedural dataflow over the same brace heuristic as
-     * unguarded-result. A variable assigned from a secret-source
-     * function becomes tainted; assignments whose right side mentions a
-     * tainted variable propagate the taint; declassify(x, ...) clears
-     * it. A tainted variable reaching a logging/serialization sink —
-     * or a source call nested directly inside a sink call — is flagged.
-     */
-    void
-    checkSecretFlow(const fs::path &path, const FileText &text)
-    {
-        static const std::regex assign_re("(\\w+)\\s*=(?!=)");
-        static const std::regex assign_or_return_re(
-            "SEVF_ASSIGN_OR_RETURN\\s*\\(\\s*[^,]*?(\\w+)\\s*,");
-        bool in_body = false;
-        std::vector<std::string> tainted;
-        auto isTainted = [&](const std::string &name) {
-            return std::find(tainted.begin(), tainted.end(), name) !=
-                   tainted.end();
-        };
-        for (size_t i = 0; i < text.scrubbed.size(); ++i) {
-            const std::string &line = text.scrubbed[i];
-            if (line == "{") {
-                in_body = true;
-                tainted.clear();
-                continue;
-            }
-            if (line == "}") {
-                in_body = false;
-                continue;
-            }
-            if (!in_body) {
-                continue;
-            }
-
-            if (line.find("declassify") != std::string::npos) {
-                // An explicit declassification launders every tainted
-                // variable named in it (the runtime audit-logs it).
-                tainted.erase(
-                    std::remove_if(tainted.begin(), tainted.end(),
-                                   [&](const std::string &name) {
-                                       return containsWord(line, name);
-                                   }),
-                    tainted.end());
-                continue;
-            }
-
-            bool calls_source = std::any_of(
-                secret_sources_.begin(), secret_sources_.end(),
-                [&](const std::string &src) {
-                    return callsFunction(line, src);
-                });
-            bool rhs_tainted =
-                calls_source ||
-                std::any_of(tainted.begin(), tainted.end(),
-                            [&](const std::string &name) {
-                                return containsWord(line, name);
-                            });
-
-            // Sink check first: a source call (or tainted variable)
-            // feeding a sink on this very line is a leak even when the
-            // value is also being assigned somewhere.
-            if (rhs_tainted) {
-                for (const char *sink : kSecretSinks) {
-                    if (!callsFunction(line, sink)) {
-                        continue;
-                    }
-                    report(path, i + 1, "secret-flow",
-                           std::string("secret value flows into sink '") +
-                               sink +
-                               "' without declassify(); if this flow is "
-                               "reviewed and intentional, declassify() "
-                               "the value first",
-                           text);
-                    break;
-                }
-            }
-
-            if (!rhs_tainted) {
-                continue;
-            }
-            std::smatch m;
-            if (std::regex_search(line, m, assign_re)) {
-                if (!isTainted(m[1].str())) {
-                    tainted.push_back(m[1].str());
-                }
-            } else if (std::regex_search(line, m, assign_or_return_re)) {
-                if (!isTainted(m[1].str())) {
-                    tainted.push_back(m[1].str());
-                }
-            }
-        }
-    }
-
-    // ------------------------------------------------ unused-suppression
-
-    /**
-     * Runs after every other check: any "sevf_lint: allow(rule)" marker
-     * that did not suppress a violation is itself an error. Stale
-     * markers are how suppressions rot into blanket permission.
-     */
-    void
-    checkUnusedSuppressions(const fs::path &path, const FileText &text)
-    {
-        static const std::regex marker_re(
-            "sevf_lint:\\s*allow\\(([\\w-]+)\\)");
-        for (size_t i = 0; i < text.raw.size(); ++i) {
-            std::string rest = text.raw[i];
-            std::smatch m;
-            while (std::regex_search(rest, m, marker_re)) {
-                std::string rule = m[1].str();
-                bool used =
-                    std::find(used_markers_.begin(), used_markers_.end(),
-                              std::make_pair(i + 1, rule)) !=
-                    used_markers_.end();
-                if (!used) {
-                    violations_.push_back(
-                        {fs::relative(path, root_).generic_string(), i + 1,
-                         "unused-suppression",
-                         "suppression 'allow(" + rule +
-                             ")' matches no violation on this or the "
-                             "next line — remove it"});
-                }
-                rest = m.suffix().str();
-            }
-        }
-    }
-
-    fs::path root_;
-    std::vector<std::string> secret_sources_;
-    /** (marker line, rule) pairs consumed by suppressed() in this file. */
-    std::vector<std::pair<size_t, std::string>> used_markers_;
-    std::vector<Violation> violations_;
-};
+namespace fs = std::filesystem;
 
 /** One secret-source function name per line; '#' starts a comment. */
 std::optional<std::vector<std::string>>
@@ -674,25 +98,42 @@ loadSecretSources(const fs::path &path)
     return sources;
 }
 
-int
-lintTree(const fs::path &root, std::vector<std::string> extra_sources)
+void
+printStats(const RunResult &result)
 {
-    if (!fs::is_directory(root)) {
-        std::cerr << "sevf_lint: not a directory: " << root << "\n";
+    long long total = 0;
+    for (const auto &s : result.stats) {
+        total += s.ns;
+    }
+    std::cout << "pass timings:\n";
+    for (const auto &s : result.stats) {
+        std::cout << "  " << s.name << ": " << s.ns / 1000000.0 << " ms\n";
+    }
+    std::cout << "  total: " << total / 1000000.0 << " ms\n";
+}
+
+int
+lintTree(Options opts, bool stats)
+{
+    if (!fs::is_directory(opts.root)) {
+        std::cerr << "sevf_lint: not a directory: " << opts.root << "\n";
         return 2;
     }
-    std::vector<Violation> violations =
-        Linter(root, std::move(extra_sources)).run();
-    for (const Violation &v : violations) {
+    RunResult result = sevf::lint::runLint(opts);
+    for (const Violation &v : result.violations) {
         std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
                   << v.message << "\n";
     }
-    if (!violations.empty()) {
-        std::cout << violations.size() << " violation(s) under " << root
-                  << "\n";
+    if (stats) {
+        printStats(result);
+    }
+    if (!result.violations.empty()) {
+        std::cout << result.violations.size() << " violation(s) under "
+                  << opts.root << "\n";
         return 1;
     }
-    std::cout << "sevf_lint: clean (" << root.generic_string() << ")\n";
+    std::cout << "sevf_lint: clean (" << opts.root.generic_string()
+              << ")\n";
     return 0;
 }
 
@@ -700,6 +141,9 @@ lintTree(const fs::path &root, std::vector<std::string> extra_sources)
  * Fixture self-test: every subdirectory of @p fixture_root is named for
  * the rule its files must trip; the special directory "suppressed" holds
  * rule-breaking code with suppression comments and must lint clean.
+ * Fixtures run single-threaded with no lock-order spec, so cycle
+ * detection (not spec matching) is what the lock-order fixture
+ * exercises.
  */
 int
 selfTest(const fs::path &fixture_root)
@@ -717,7 +161,11 @@ selfTest(const fs::path &fixture_root)
         }
         ++cases;
         std::string rule = entry.path().filename().string();
-        std::vector<Violation> violations = Linter(entry.path()).run();
+        Options opts;
+        opts.root = entry.path();
+        opts.jobs = 1;
+        std::vector<Violation> violations =
+            sevf::lint::runLint(opts).violations;
         if (rule == "suppressed") {
             if (!violations.empty()) {
                 std::cerr << "FAIL " << rule << ": expected clean, got "
@@ -736,6 +184,10 @@ selfTest(const fs::path &fixture_root)
         if (!hit) {
             std::cerr << "FAIL " << rule << ": fixture did not trip the '"
                       << rule << "' rule\n";
+            for (const Violation &v : violations) {
+                std::cerr << "  got " << v.file << ":" << v.line << ": ["
+                          << v.rule << "] " << v.message << "\n";
+            }
             ++failures;
         } else {
             std::cout << "ok   " << rule << "\n";
@@ -758,7 +210,8 @@ main(int argc, char **argv)
     std::vector<std::string> args(argv + 1, argv + argc);
     std::string root;
     std::string selftest_root;
-    std::vector<std::string> extra_sources;
+    bool stats = false;
+    Options opts;
     for (size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--root" && i + 1 < args.size()) {
             root = args[++i];
@@ -772,11 +225,25 @@ main(int argc, char **argv)
                           << args[i] << "\n";
                 return 2;
             }
-            extra_sources.insert(extra_sources.end(), loaded->begin(),
-                                 loaded->end());
+            opts.extra_secret_sources.insert(
+                opts.extra_secret_sources.end(), loaded->begin(),
+                loaded->end());
+        } else if (args[i] == "--lock-order" && i + 1 < args.size()) {
+            auto spec = sevf::lint::loadLockOrderSpec(args[++i]);
+            if (!spec) {
+                std::cerr << "sevf_lint: could not read lock-order file: "
+                          << args[i] << "\n";
+                return 2;
+            }
+            opts.lock_order_spec = std::move(*spec);
+        } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+            opts.jobs = static_cast<unsigned>(std::stoul(args[++i]));
+        } else if (args[i] == "--stats") {
+            stats = true;
         } else {
             std::cerr << "usage: sevf_lint [--root <dir>] "
-                         "[--secret-sources <file>] | --selftest "
+                         "[--secret-sources <file>] [--lock-order <file>] "
+                         "[--jobs <n>] [--stats] | --selftest "
                          "<fixture_root>\n";
             return 2;
         }
@@ -784,5 +251,6 @@ main(int argc, char **argv)
     if (!selftest_root.empty()) {
         return selfTest(selftest_root);
     }
-    return lintTree(root.empty() ? "src" : root, std::move(extra_sources));
+    opts.root = root.empty() ? "src" : root;
+    return lintTree(std::move(opts), stats);
 }
