@@ -1,6 +1,7 @@
 #include "attest/guest_owner.h"
 
 #include "base/bytes.h"
+#include "base/trust_zones.h"
 #include "crypto/dh.h"
 #include "crypto/seal.h"
 #include "psp/attestation_report.h"
@@ -21,6 +22,7 @@ GuestOwner::GuestOwner(const psp::KeyServer &key_server,
 
 Result<ProvisionResponse>
 GuestOwner::handleReport(ByteSpan report_wire)
+    SEVF_TCB_EXEMPT SEVF_UNTRUSTED_INPUT
 {
     Result<psp::AttestationReport> report =
         psp::AttestationReport::parse(report_wire);

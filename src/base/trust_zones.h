@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Trust-zone annotation macros for the root-of-trust audit.
+ *
+ * SEVeriFast's security argument rests on a *minimal* root of trust:
+ * only the measured bootstrap/verifier and the code it can reach at
+ * boot time must be trusted, instead of a full OVMF firmware. These
+ * macros turn that boundary from prose into a machine-checked
+ * contract: tools/sevf_lint computes the transitive callee closure of
+ * every SEVF_TCB entry point, inventories it per module, and enforces
+ * tools/tcb-budget.txt (size budget, banned modules such as
+ * compress/gzip_lite, banned constructs, no call-graph cycles).
+ *
+ * All three macros expand to nothing under every compiler — they exist
+ * purely for the linter and for the human reader.
+ *
+ * Conventions (DESIGN.md §14):
+ *  - SEVF_TCB marks a *definition* as a root-of-trust entry point
+ *    (BootVerifier::run, runBootstrapLoader, runAttestation). Only
+ *    entry points are annotated; everything they transitively call is
+ *    discovered by the reachability pass, never hand-listed.
+ *  - SEVF_UNTRUSTED_INPUT marks a definition that parses bytes an
+ *    attacker (the host, the network) may have formed: bzImage/ELF/
+ *    cpio headers, LZ4 frames, fw_cfg payloads, attestation wire
+ *    formats. Inside such functions the untrusted-bounds pass flags
+ *    offset/length arithmetic used for indexing, subspan() or copies
+ *    without a preceding bounds check.
+ *  - SEVF_TCB_EXEMPT marks a definition as a deliberate trust-boundary
+ *    crossing the closure must stop at (e.g. the PSP device model the
+ *    guest talks to, the guest owner's tenant-side handler). Each
+ *    exemption must carry a comment naming the boundary; one that is
+ *    never reached from an entry point is itself an error
+ *    (unused-suppression), so exemptions cannot rot.
+ */
+#ifndef SEVF_BASE_TRUST_ZONES_H_
+#define SEVF_BASE_TRUST_ZONES_H_
+
+/** Root-of-trust entry point: seeds the TCB reachability closure. */
+#define SEVF_TCB
+
+/** Parses attacker-controlled bytes: bounds-check idioms enforced. */
+#define SEVF_UNTRUSTED_INPUT
+
+/** Deliberate trust-boundary crossing: the TCB closure stops here. */
+#define SEVF_TCB_EXEMPT
+
+#endif // SEVF_BASE_TRUST_ZONES_H_

@@ -1,6 +1,7 @@
 #include "compress/codec.h"
 
 #include "base/logging.h"
+#include "base/trust_zones.h"
 #include "compress/frame.h"
 #include "compress/gzip_lite.h"
 #include "compress/lz4.h"
@@ -20,7 +21,7 @@ writeHeader(ByteWriter &w, CodecKind kind, u64 decompressed_size)
 }
 
 Result<Header>
-readHeader(ByteReader &r)
+readHeader(ByteReader &r) SEVF_UNTRUSTED_INPUT
 {
     SEVF_ASSIGN_OR_RETURN(ByteVec magic, r.bytes(4));
     if (!std::equal(magic.begin(), magic.end(), kMagic)) {

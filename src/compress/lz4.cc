@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "base/bytes.h"
+#include "base/trust_zones.h"
 #include "compress/frame.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -164,6 +165,7 @@ Lz4Codec::compressBlock(ByteSpan input)
 
 Result<ByteVec>
 Lz4Codec::decompressBlock(ByteSpan block, u64 decompressed_size)
+    SEVF_UNTRUSTED_INPUT
 {
     // Sized upfront so literals and matches land via memcpy into a flat
     // buffer instead of per-byte push_back through vector growth checks.
@@ -247,7 +249,9 @@ Lz4Codec::decompressBlock(ByteSpan block, u64 decompressed_size)
             // store.
             u8 *end = d + match_len;
             do {
-                std::memcpy(d, src, 8);
+                // Audited above: the <= out_size guard on entry bounds
+                // the whole overshooting copy.
+                std::memcpy(d, src, 8); // sevf_lint: allow(untrusted-bounds)
                 d += 8;
                 src += 8;
             } while (d < end);
@@ -280,7 +284,7 @@ Lz4Codec::compress(ByteSpan input) const
 }
 
 Result<ByteVec>
-Lz4Codec::decompress(ByteSpan stream) const
+Lz4Codec::decompress(ByteSpan stream) const SEVF_UNTRUSTED_INPUT
 {
     static obs::KernelMetrics &metrics = obs::kernelMetrics("lz4_decompress");
     obs::KernelTimer timer(metrics, stream.size());

@@ -2,6 +2,7 @@
 
 #include "base/bytes.h"
 #include "base/rng.h"
+#include "base/trust_zones.h"
 #include "crypto/dh.h"
 #include "crypto/seal.h"
 #include "taint/taint.h"
@@ -11,7 +12,7 @@ namespace sevf::guest {
 Result<AttestationOutcome>
 runAttestation(psp::Psp &psp, psp::GuestHandle handle,
                memory::GuestMemory &mem, Gpa secret_dest,
-               attest::GuestOwner &owner, u64 seed)
+               attest::GuestOwner &owner, u64 seed) SEVF_TCB
 {
     // Key material is generated after launch, inside the guest, so it
     // never appears in the plaintext initrd (§2.6 secret-free

@@ -1,7 +1,7 @@
 #include "guest/bootstrap_loader.h"
 
 #include "base/rng.h"
-
+#include "base/trust_zones.h"
 #include "image/bzimage.h"
 #include "image/elf.h"
 
@@ -44,7 +44,7 @@ pickSlide(const KaslrConfig &kaslr)
 
 Result<LoadedKernel>
 runBootstrapLoader(memory::GuestMemory &mem, Gpa bzimage_gpa, u64 size,
-                   bool c_bit, const KaslrConfig &kaslr)
+                   bool c_bit, const KaslrConfig &kaslr) SEVF_TCB
 {
     SEVF_ASSIGN_OR_RETURN(ByteVec file,
                           mem.guestRead(bzimage_gpa, size, c_bit));

@@ -2,6 +2,7 @@
 
 #include "base/bytes.h"
 #include "base/rng.h"
+#include "base/trust_zones.h"
 
 namespace sevf::image {
 
@@ -71,7 +72,7 @@ buildBzImage(ByteSpan vmlinux, const BzImageBuildConfig &config)
 }
 
 Result<BzImageInfo>
-parseBzImage(ByteSpan file)
+parseBzImage(ByteSpan file) SEVF_UNTRUSTED_INPUT
 {
     if (file.size() < 0x268) {
         return errCorrupted("bzImage: file too small for setup header");
@@ -112,15 +113,21 @@ parseBzImage(ByteSpan file)
 }
 
 Result<ByteSpan>
-bzImagePayload(ByteSpan file)
+bzImagePayload(ByteSpan file) SEVF_UNTRUSTED_INPUT
 {
     SEVF_ASSIGN_OR_RETURN(BzImageInfo info, parseBzImage(file));
+    // parseBzImage checked this, but re-establish the bound locally so
+    // the subspan below never depends on a remote invariant.
+    if (info.pm_offset + info.payload_offset + info.payload_length >
+        file.size()) {
+        return errCorrupted("bzImage: payload extends past end of file");
+    }
     return file.subspan(info.pm_offset + info.payload_offset,
                         info.payload_length);
 }
 
 Result<ByteVec>
-extractVmlinux(ByteSpan file)
+extractVmlinux(ByteSpan file) SEVF_UNTRUSTED_INPUT
 {
     SEVF_ASSIGN_OR_RETURN(BzImageInfo info, parseBzImage(file));
     SEVF_ASSIGN_OR_RETURN(ByteSpan payload, bzImagePayload(file));

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "base/bytes.h"
+#include "base/trust_zones.h"
 
 namespace sevf::image {
 
@@ -22,9 +23,12 @@ writeHexField(ByteWriter &w, u32 value)
 }
 
 Result<u32>
-readHexField(ByteSpan header, std::size_t index)
+readHexField(ByteSpan header, std::size_t index) SEVF_UNTRUSTED_INPUT
 {
     // Field i occupies bytes [6 + 8i, 6 + 8i + 8).
+    if (6 + 8 * index + 8 > header.size()) {
+        return errCorrupted("cpio: header field out of range");
+    }
     u32 v = 0;
     for (std::size_t k = 0; k < 8; ++k) {
         char c = static_cast<char>(header[6 + 8 * index + k]);
@@ -85,7 +89,7 @@ writeCpio(const std::vector<CpioEntry> &entries)
 }
 
 Result<std::vector<CpioEntry>>
-parseCpio(ByteSpan archive)
+parseCpio(ByteSpan archive) SEVF_UNTRUSTED_INPUT
 {
     std::vector<CpioEntry> entries;
     std::size_t pos = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/bytes.h"
+#include "base/trust_zones.h"
 
 namespace sevf::image {
 
@@ -90,7 +91,7 @@ writeElf(const ElfImage &image)
 }
 
 Result<ElfLayout>
-parseElfHeader(ByteSpan ehdr)
+parseElfHeader(ByteSpan ehdr) SEVF_UNTRUSTED_INPUT
 {
     if (ehdr.size() < kEhdrSize) {
         return errCorrupted("elf: header too short");
@@ -129,7 +130,7 @@ parseElfHeader(ByteSpan ehdr)
 }
 
 Result<ElfPhdr>
-parseElfPhdr(ByteSpan phdr)
+parseElfPhdr(ByteSpan phdr) SEVF_UNTRUSTED_INPUT
 {
     if (phdr.size() < kPhdrSize) {
         return errCorrupted("elf: phdr too short");
@@ -147,7 +148,7 @@ parseElfPhdr(ByteSpan phdr)
 }
 
 Result<ElfImage>
-parseElf(ByteSpan file)
+parseElf(ByteSpan file) SEVF_UNTRUSTED_INPUT
 {
     SEVF_ASSIGN_OR_RETURN(ElfLayout layout, parseElfHeader(file));
     if (layout.phoff + static_cast<u64>(layout.phnum) * kPhdrSize >

@@ -1,6 +1,7 @@
 #include "psp/attestation_report.h"
 
 #include "base/bytes.h"
+#include "base/trust_zones.h"
 #include "crypto/hmac.h"
 
 namespace sevf::psp {
@@ -28,7 +29,7 @@ AttestationReport::serialize() const
 }
 
 Result<AttestationReport>
-AttestationReport::parse(ByteSpan wire)
+AttestationReport::parse(ByteSpan wire) SEVF_UNTRUSTED_INPUT
 {
     ByteReader r(wire);
     AttestationReport rep;

@@ -4,6 +4,7 @@
 
 #include "base/logging.h"
 #include "base/bytes.h"
+#include "base/trust_zones.h"
 #include "crypto/sha256.h"
 #include "crypto/xex.h"
 #include "obs/metrics.h"
@@ -283,7 +284,7 @@ Psp::launchFinish(GuestHandle handle)
 
 Result<AttestationReport>
 Psp::guestRequestReport(GuestHandle handle,
-                        const ReportData &report_data) const
+                        const ReportData &report_data) const SEVF_TCB_EXEMPT
 {
     SEVF_SPAN("psp.guest_request_report");
     Result<AttestationReport> r = doGuestRequestReport(handle, report_data);

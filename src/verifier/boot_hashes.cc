@@ -1,6 +1,7 @@
 #include "verifier/boot_hashes.h"
 
 #include "base/bytes.h"
+#include "base/trust_zones.h"
 #include "base/parallel.h"
 
 namespace sevf::verifier {
@@ -55,7 +56,7 @@ BootHashes::toPage() const
 }
 
 Result<BootHashes>
-BootHashes::fromPage(ByteSpan page)
+BootHashes::fromPage(ByteSpan page) SEVF_UNTRUSTED_INPUT
 {
     ByteReader r(page);
     Result<u32> magic = r.u32le();

@@ -1,6 +1,7 @@
 #include "verifier/boot_verifier.h"
 
 #include "base/bytes.h"
+#include "base/trust_zones.h"
 #include "image/elf.h"
 #include "memory/page_table.h"
 
@@ -180,7 +181,7 @@ BootVerifier::streamVmlinux(const VerifierInputs &inputs,
 }
 
 Result<VerifiedBoot>
-BootVerifier::run(const VerifierInputs &inputs)
+BootVerifier::run(const VerifierInputs &inputs) SEVF_TCB
 {
     VerifiedBoot out;
 

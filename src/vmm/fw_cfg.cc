@@ -1,6 +1,7 @@
 #include "vmm/fw_cfg.h"
 
 #include "image/elf.h"
+#include "base/trust_zones.h"
 #include "taint/taint.h"
 
 namespace sevf::vmm {
@@ -41,7 +42,7 @@ FwCfg::find(std::string_view name) const
 }
 
 Status
-stageVmlinuxViaFwCfg(FwCfg &fw_cfg, ByteSpan vmlinux)
+stageVmlinuxViaFwCfg(FwCfg &fw_cfg, ByteSpan vmlinux) SEVF_UNTRUSTED_INPUT
 {
     SEVF_ASSIGN_OR_RETURN(image::ElfLayout layout,
                           image::parseElfHeader(vmlinux));

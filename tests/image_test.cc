@@ -3,6 +3,8 @@
  * Image-format tests: ELF64 writer/parser, bzImage boot protocol, and
  * CPIO newc archives, including malformed-input rejection.
  */
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 #include "base/bytes.h"
@@ -156,6 +158,37 @@ TEST(Elf, ZeroLengthSegmentDataRoundTrips)
     EXPECT_EQ(back->segments[0].memsz, 4096u);
 }
 
+
+TEST(Elf, RejectsPhdrTablePastEnd)
+{
+    ByteVec file = writeElf(sampleImage());
+    // e_phnum lives at offset 56; an absurd count pushes the program
+    // header table past the end of the file.
+    storeLe<u16>(file.data() + 56, 0xffff);
+    EXPECT_FALSE(parseElf(file).isOk());
+}
+
+TEST(Elf, RejectsWrongPhentsize)
+{
+    ByteVec file = writeElf(sampleImage());
+    storeLe<u16>(file.data() + 54, kPhdrSize + 8);
+    EXPECT_FALSE(parseElfHeader(file).isOk());
+}
+
+TEST(Elf, RejectsMemszSmallerThanFilesz)
+{
+    ByteVec file = writeElf(sampleImage());
+    // First phdr starts at kEhdrSize; p_memsz is its 6th 8-byte field.
+    storeLe<u64>(file.data() + kEhdrSize + 40, 1);
+    EXPECT_FALSE(parseElf(file).isOk());
+}
+
+TEST(Elf, RejectsTruncatedPhdrSpan)
+{
+    ByteVec file = writeElf(sampleImage());
+    EXPECT_FALSE(parseElfPhdr(ByteSpan(file.data(), 10)).isOk());
+}
+
 // ------------------------------------------------------------- bzImage
 
 class BzImageTest : public ::testing::Test
@@ -253,6 +286,33 @@ TEST_F(BzImageTest, CorruptPayloadFailsExtraction)
     }
 }
 
+
+TEST_F(BzImageTest, RejectsHugePayloadOffset)
+{
+    ByteVec bz = buildBzImage(vmlinux_, {});
+    // A payload_offset pointing far past the file must be rejected even
+    // though payload_length alone still fits.
+    storeLe<u32>(bz.data() + 0x248, 0x7fffffff);
+    EXPECT_FALSE(parseBzImage(bz).isOk());
+    EXPECT_FALSE(bzImagePayload(bz).isOk());
+    EXPECT_FALSE(extractVmlinux(bz).isOk());
+}
+
+TEST_F(BzImageTest, RejectsHugePayloadLength)
+{
+    ByteVec bz = buildBzImage(vmlinux_, {});
+    storeLe<u32>(bz.data() + 0x24c, 0xf0000000);
+    EXPECT_FALSE(parseBzImage(bz).isOk());
+    EXPECT_FALSE(bzImagePayload(bz).isOk());
+}
+
+TEST_F(BzImageTest, RejectsPreNoPayloadProtocol)
+{
+    ByteVec bz = buildBzImage(vmlinux_, {});
+    storeLe<u16>(bz.data() + 0x206, 0x0207);
+    EXPECT_FALSE(parseBzImage(bz).isOk());
+}
+
 // ---------------------------------------------------------------- CPIO
 
 TEST(Cpio, RoundTrip)
@@ -325,6 +385,30 @@ TEST(Cpio, RejectsNonHexHeaderField)
 {
     ByteVec archive = writeCpio({{"f", 0100644, toBytes("d")}});
     archive[6 + 8 * 11 + 1] = 'Z'; // inside c_namesize (a parsed field)
+    EXPECT_FALSE(parseCpio(archive).isOk());
+}
+
+
+TEST(Cpio, RejectsZeroNamesize)
+{
+    ByteVec archive = writeCpio({{"f", 0100644, toBytes("d")}});
+    // c_namesize is header field 11: bytes [6 + 88, 6 + 96).
+    std::memcpy(archive.data() + 6 + 8 * 11, "00000000", 8);
+    EXPECT_FALSE(parseCpio(archive).isOk());
+}
+
+TEST(Cpio, RejectsNamePastEnd)
+{
+    ByteVec archive = writeCpio({{"f", 0100644, toBytes("d")}});
+    std::memcpy(archive.data() + 6 + 8 * 11, "000FFFFF", 8);
+    EXPECT_FALSE(parseCpio(archive).isOk());
+}
+
+TEST(Cpio, RejectsDataPastEnd)
+{
+    ByteVec archive = writeCpio({{"f", 0100644, toBytes("d")}});
+    // c_filesize is header field 6: bytes [6 + 48, 6 + 56).
+    std::memcpy(archive.data() + 6 + 8 * 6, "000FFFFF", 8);
     EXPECT_FALSE(parseCpio(archive).isOk());
 }
 

@@ -1,0 +1,27 @@
+// Fixture: trust-zone annotations that must all be consumed, leaving
+// the directory clean. stopAtBoundary is reached from the entry point,
+// so its SEVF_TCB_EXEMPT is live; the subscript suppression is consumed
+// by the untrusted-bounds pass.
+namespace fixture {
+
+int
+stopAtBoundary(int x) SEVF_TCB_EXEMPT
+{
+    return x * 3;
+}
+
+int
+enterTcb(int x) SEVF_TCB
+{
+    return stopAtBoundary(x);
+}
+
+int
+readRawByte(const unsigned char *data, unsigned long off)
+    SEVF_UNTRUSTED_INPUT
+{
+    // Caller contract: off was validated against the frame header.
+    return data[off]; // sevf_lint: allow(untrusted-bounds)
+}
+
+} // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: the closure holds two functions but ./tcb-budget.txt allows
+// one, so the audit must trip tcb-budget.
+namespace fixture {
+
+int
+helperStep(int x)
+{
+    return x - 1;
+}
+
+int
+runEntry(int x) SEVF_TCB
+{
+    return helperStep(x);
+}
+
+} // namespace fixture

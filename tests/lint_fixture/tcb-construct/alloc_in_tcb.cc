@@ -1,0 +1,13 @@
+// Fixture: dynamic allocation inside the TCB closure must trip
+// tcb-construct (the measured bootstrap is allocation-free).
+namespace fixture {
+
+int
+grabScratch(unsigned long n) SEVF_TCB
+{
+    void *p = malloc(n);
+    free(p);
+    return p != 0;
+}
+
+} // namespace fixture

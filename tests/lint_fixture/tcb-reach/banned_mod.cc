@@ -1,0 +1,11 @@
+// Fixture: stands in for compress/gzip_lite - a module the TCB closure
+// must never reach (banned in ./tcb-budget.txt).
+namespace fixture {
+
+int
+inflateChunk(int window)
+{
+    return window * 2;
+}
+
+} // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: an SEVF_TCB entry point whose closure crosses into a module
+// banned by this directory's tcb-budget.txt. The boundary call below
+// must trip tcb-reach.
+namespace fixture {
+
+int
+verifyBoot(int staged)
+{
+    return staged + 1;
+}
+
+int
+runEntry(int staged) SEVF_TCB
+{
+    int checked = verifyBoot(staged);
+    return inflateChunk(checked);
+}
+
+} // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: a call-graph cycle inside the TCB closure must trip
+// tcb-recursion (the bootstrap runs on a fixed-depth stack).
+namespace fixture {
+
+int
+descend(int n) SEVF_TCB
+{
+    if (n <= 0) {
+        return 0;
+    }
+    return descend(n - 1);
+}
+
+} // namespace fixture

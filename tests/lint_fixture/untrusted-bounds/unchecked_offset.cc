@@ -1,0 +1,23 @@
+// Fixture: a header-supplied offset used to index the input without a
+// preceding bounds check must trip untrusted-bounds; the checked read
+// below it must not.
+namespace fixture {
+
+int
+readFieldUnchecked(const unsigned char *data, unsigned long off)
+    SEVF_UNTRUSTED_INPUT
+{
+    return data[off];
+}
+
+int
+readFieldChecked(const unsigned char *data, unsigned long len,
+                 unsigned long off) SEVF_UNTRUSTED_INPUT
+{
+    if (off + 1 > len) {
+        return -1;
+    }
+    return data[off];
+}
+
+} // namespace fixture

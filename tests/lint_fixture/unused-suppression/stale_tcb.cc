@@ -1,0 +1,19 @@
+// Fixture: both trust-zone suppressions here are stale and must trip
+// unused-suppression - the exempt function is never reached from any
+// SEVF_TCB entry point, and the allow() comment sits in a function the
+// untrusted-bounds pass never visits.
+namespace fixture {
+
+int
+neverReached(int x) SEVF_TCB_EXEMPT
+{
+    return x + 7;
+}
+
+int
+plainAdd(int a, int b)
+{
+    return a + b; // sevf_lint: allow(untrusted-bounds)
+}
+
+} // namespace fixture

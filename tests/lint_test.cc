@@ -527,4 +527,470 @@ struct Gauge {
     EXPECT_EQ(countRule(vs, "unused-suppression"), 1u);
 }
 
+
+// ---- root-of-trust audit -------------------------------------------------
+
+sevf::lint::RunResult
+lintFull(const TempTree &tree,
+         std::optional<sevf::lint::TcbBudget> budget = std::nullopt)
+{
+    Options opts;
+    opts.root = tree.root();
+    opts.jobs = 1;
+    opts.tcb_budget = std::move(budget);
+    return sevf::lint::runLint(opts);
+}
+
+constexpr const char *kTcbEntryTree = R"(
+namespace t {
+
+int
+leafStep(int x)
+{
+    return x + 1;
+}
+
+int
+middleStep(int x)
+{
+    return leafStep(x) + leafStep(x + 1);
+}
+
+int
+bootEntry(int x) SEVF_TCB
+{
+    return middleStep(x);
+}
+
+int
+notInTcb(int x)
+{
+    return x * 5;
+}
+
+} // namespace t
+)";
+
+TEST(LintTcb, ClosureInventoryCoversTransitiveCalleesOnly)
+{
+    TempTree tree;
+    tree.write("boot/entry.cc", kTcbEntryTree);
+    sevf::lint::RunResult r = lintFull(tree);
+    EXPECT_TRUE(r.violations.empty());
+    ASSERT_EQ(r.tcb.entry_points.size(), 1u);
+    EXPECT_EQ(r.tcb.entry_points[0], "bootEntry");
+    EXPECT_EQ(r.tcb.total_functions, 3u);
+    std::vector<std::string> names;
+    for (const auto &fn : r.tcb.functions) {
+        names.push_back(fn.name);
+        EXPECT_EQ(fn.module, "boot/entry");
+        EXPECT_GT(fn.loc, 0u);
+    }
+    EXPECT_EQ(names,
+              (std::vector<std::string>{"bootEntry", "leafStep",
+                                        "middleStep"}));
+}
+
+TEST(LintTcb, BannedModuleReachReportedAtBoundaryCall)
+{
+    TempTree tree;
+    tree.write("boot/entry.cc", R"(
+namespace t {
+
+int
+bootEntry(int x) SEVF_TCB
+{
+    return inflate(x);
+}
+
+} // namespace t
+)");
+    tree.write("zip/inflate.cc", R"(
+namespace t {
+
+int
+inflateInner(int x)
+{
+    return x * 2;
+}
+
+int
+inflate(int x)
+{
+    return inflateInner(x);
+}
+
+} // namespace t
+)");
+    sevf::lint::TcbBudget budget;
+    budget.banned_modules.push_back("zip");
+    std::vector<Violation> vs = lintFull(tree, budget).violations;
+    // Only the boundary crossing is reported, not every banned-module
+    // function the closure goes on to reach.
+    ASSERT_EQ(countRule(vs, "tcb-reach"), 1u);
+    for (const Violation &v : vs) {
+        if (v.rule == "tcb-reach") {
+            EXPECT_EQ(v.file, "boot/entry.cc");
+            EXPECT_NE(v.message.find("inflate"), std::string::npos);
+        }
+    }
+}
+
+TEST(LintTcb, BudgetOverflowFlagged)
+{
+    TempTree tree;
+    tree.write("a.cc", kTcbEntryTree);
+    sevf::lint::TcbBudget functions_budget;
+    functions_budget.max_functions = 2;
+    EXPECT_EQ(countRule(lintFull(tree, functions_budget).violations,
+                        "tcb-budget"),
+              1u);
+    sevf::lint::TcbBudget loc_budget;
+    loc_budget.max_loc = 3;
+    EXPECT_EQ(
+        countRule(lintFull(tree, loc_budget).violations, "tcb-budget"),
+        1u);
+    sevf::lint::TcbBudget roomy;
+    roomy.max_functions = 50;
+    roomy.max_loc = 500;
+    EXPECT_TRUE(lintFull(tree, roomy).violations.empty());
+}
+
+TEST(LintTcb, ExemptFunctionPrunesClosure)
+{
+    TempTree tree;
+    tree.write("a.cc", R"(
+namespace t {
+
+int
+behindBoundary(int x)
+{
+    return x * 3;
+}
+
+int
+boundary(int x) SEVF_TCB_EXEMPT
+{
+    return behindBoundary(x);
+}
+
+int
+bootEntry(int x) SEVF_TCB
+{
+    return boundary(x);
+}
+
+} // namespace t
+)");
+    sevf::lint::RunResult r = lintFull(tree);
+    EXPECT_TRUE(r.violations.empty());
+    // boundary is recorded as exempt-reached; nothing behind it is
+    // inventoried.
+    ASSERT_EQ(r.tcb.exempt.size(), 1u);
+    EXPECT_EQ(r.tcb.exempt[0], "boundary");
+    EXPECT_EQ(r.tcb.total_functions, 1u);
+}
+
+TEST(LintTcb, StaleExemptIsAnError)
+{
+    TempTree tree;
+    tree.write("a.cc", R"(
+namespace t {
+
+int
+neverReached(int x) SEVF_TCB_EXEMPT
+{
+    return x;
+}
+
+int
+bootEntry(int x) SEVF_TCB
+{
+    return x + 1;
+}
+
+} // namespace t
+)");
+    std::vector<Violation> vs = lintFull(tree).violations;
+    ASSERT_EQ(countRule(vs, "unused-suppression"), 1u);
+    for (const Violation &v : vs) {
+        if (v.rule == "unused-suppression") {
+            EXPECT_NE(v.message.find("neverReached"), std::string::npos);
+        }
+    }
+}
+
+TEST(LintTcb, ExemptModulePrunesTraversal)
+{
+    TempTree tree;
+    tree.write("boot/entry.cc", R"(
+namespace t {
+
+int
+bootEntry(int x) SEVF_TCB
+{
+    return probe(x);
+}
+
+} // namespace t
+)");
+    tree.write("obs/probe.cc", R"(
+namespace t {
+
+int
+probeInner(int x)
+{
+    return x - 1;
+}
+
+int
+probe(int x)
+{
+    return probeInner(x);
+}
+
+} // namespace t
+)");
+    sevf::lint::TcbBudget budget;
+    budget.exempt_modules.push_back("obs");
+    sevf::lint::RunResult r = lintFull(tree, budget);
+    EXPECT_TRUE(r.violations.empty());
+    ASSERT_EQ(r.tcb.exempt.size(), 1u);
+    EXPECT_EQ(r.tcb.exempt[0], "probe");
+    EXPECT_EQ(r.tcb.total_functions, 1u);
+}
+
+TEST(LintTcb, DynamicAllocationInClosureFlagged)
+{
+    TempTree tree;
+    tree.write("a.cc", R"(
+namespace t {
+
+int
+grabInTcb(unsigned long n) SEVF_TCB
+{
+    void *p = malloc(n);
+    free(p);
+    return p != 0;
+}
+
+int
+grabOutside(unsigned long n)
+{
+    void *p = malloc(n);
+    free(p);
+    return p != 0;
+}
+
+} // namespace t
+)");
+    std::vector<Violation> vs = lintFull(tree).violations;
+    // malloc and free each trip, but only in the function inside the
+    // closure.
+    ASSERT_EQ(countRule(vs, "tcb-construct"), 2u);
+    for (const Violation &v : vs) {
+        if (v.rule == "tcb-construct") {
+            EXPECT_NE(v.message.find("grabInTcb"), std::string::npos);
+        }
+    }
+}
+
+TEST(LintTcb, BannedApiCallFlagged)
+{
+    TempTree tree;
+    tree.write("a.cc", R"(
+namespace t {
+
+int
+formatInTcb(char *buf, int v) SEVF_TCB
+{
+    return sprintf(buf, "%d", v);
+}
+
+} // namespace t
+)");
+    sevf::lint::TcbBudget budget;
+    budget.banned_apis.push_back("sprintf");
+    EXPECT_EQ(countRule(lintFull(tree, budget).violations,
+                        "tcb-construct"),
+              1u);
+    EXPECT_TRUE(lintFull(tree).violations.empty());
+}
+
+TEST(LintTcb, CallGraphCycleFlagged)
+{
+    TempTree tree;
+    tree.write("a.cc", R"(
+namespace t {
+
+int pong(int n);
+
+int
+ping(int n) SEVF_TCB
+{
+    if (n <= 0) {
+        return 0;
+    }
+    return pong(n - 1);
+}
+
+int
+pong(int n)
+{
+    return ping(n);
+}
+
+} // namespace t
+)");
+    std::vector<Violation> vs = lintFull(tree).violations;
+    EXPECT_GE(countRule(vs, "tcb-recursion"), 1u);
+}
+
+// ---- untrusted-input bounds ----------------------------------------------
+
+TEST(LintBounds, UncheckedOffsetFlaggedCheckedClean)
+{
+    TempTree tree;
+    tree.write("a.cc", R"(
+namespace t {
+
+int
+readUnchecked(const unsigned char *data, unsigned long off)
+    SEVF_UNTRUSTED_INPUT
+{
+    return data[off];
+}
+
+int
+readChecked(const unsigned char *data, unsigned long len,
+            unsigned long off) SEVF_UNTRUSTED_INPUT
+{
+    if (off + 1 > len) {
+        return -1;
+    }
+    return data[off];
+}
+
+int
+readUnannotated(const unsigned char *data, unsigned long off)
+{
+    return data[off];
+}
+
+} // namespace t
+)");
+    std::vector<Violation> vs = lintFull(tree).violations;
+    ASSERT_EQ(countRule(vs, "untrusted-bounds"), 1u);
+    for (const Violation &v : vs) {
+        if (v.rule == "untrusted-bounds") {
+            EXPECT_NE(v.message.find("readUnchecked"), std::string::npos);
+            EXPECT_NE(v.message.find("'off'"), std::string::npos);
+        }
+    }
+}
+
+TEST(LintBounds, ClampIdiomCountsAsGuard)
+{
+    TempTree tree;
+    tree.write("a.cc", R"(
+namespace t {
+
+unsigned long
+copyClamped(unsigned char *dst, const unsigned char *payload,
+            unsigned long avail, unsigned long want) SEVF_UNTRUSTED_INPUT
+{
+    unsigned long n = std::min(want, avail);
+    memcpy(dst, payload, n);
+    return n;
+}
+
+} // namespace t
+)");
+    EXPECT_TRUE(lintFull(tree).violations.empty());
+}
+
+TEST(LintBounds, SubspanAndCopyCallsAreSites)
+{
+    TempTree tree;
+    tree.write("a.cc", R"(
+namespace t {
+
+int
+sliceFrame(ByteSpan frame, unsigned long body_off, unsigned long body_len)
+    SEVF_UNTRUSTED_INPUT
+{
+    auto body = frame.subspan(body_off, body_len);
+    return body.size();
+}
+
+} // namespace t
+)");
+    std::vector<Violation> vs = lintFull(tree).violations;
+    EXPECT_GE(countRule(vs, "untrusted-bounds"), 1u);
+}
+
+TEST(LintBounds, SuppressionConsumedAndStaleOnePersists)
+{
+    TempTree tree;
+    tree.write("a.cc", R"(
+namespace t {
+
+int
+readAudited(const unsigned char *data, unsigned long off)
+    SEVF_UNTRUSTED_INPUT
+{
+    return data[off]; // sevf_lint: allow(untrusted-bounds)
+}
+
+} // namespace t
+)");
+    EXPECT_TRUE(lintFull(tree).violations.empty());
+}
+
+// ---- JSON rendering ------------------------------------------------------
+
+TEST(LintJson, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(sevf::lint::jsonEscape("a\"b\\c\nd"),
+              "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(sevf::lint::jsonEscape(std::string(1, '\x02')), "\\u0002");
+}
+
+TEST(LintJson, TcbInventoryRenderIsDeterministic)
+{
+    TempTree tree;
+    tree.write("boot/entry.cc", kTcbEntryTree);
+    sevf::lint::RunResult r1 = lintFull(tree);
+    sevf::lint::RunResult r2 = lintFull(tree);
+    std::string json = sevf::lint::renderTcbJson(r1.tcb);
+    EXPECT_EQ(json, sevf::lint::renderTcbJson(r2.tcb));
+    EXPECT_NE(json.find("\"entry_points\": [\"bootEntry\"]"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"module\": \"boot/entry\""), std::string::npos);
+    EXPECT_NE(json.find("\"total_functions\": 3"), std::string::npos);
+}
+
+TEST(LintJson, ReportJsonCarriesViolationsAndInventory)
+{
+    TempTree tree;
+    tree.write("a.cc", R"(
+namespace t {
+
+int
+readUnchecked(const unsigned char *data, unsigned long off)
+    SEVF_UNTRUSTED_INPUT
+{
+    return data[off];
+}
+
+} // namespace t
+)");
+    sevf::lint::RunResult r = lintFull(tree);
+    std::string json = sevf::lint::renderReportJson(r);
+    EXPECT_NE(json.find("\"violations\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"rule\": \"untrusted-bounds\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"tcb\": {"), std::string::npos);
+}
+
 } // namespace

@@ -278,6 +278,22 @@ TEST(BootHashesPage, RejectsBadMagic)
     EXPECT_FALSE(BootHashes::fromPage(page).isOk());
 }
 
+TEST(BootHashesPage, RejectsTruncatedPage)
+{
+    BootHashes h =
+        BootHashes::compute(toBytes("k"), toBytes("i"), std::nullopt);
+    ByteVec page = h.toPage();
+    // Cut inside the digest block: magic/flags/sizes parse, digests
+    // don't.
+    ByteVec cut(page.begin(), page.begin() + 40);
+    EXPECT_FALSE(BootHashes::fromPage(cut).isOk());
+    // Cut inside the size fields.
+    ByteVec tiny(page.begin(), page.begin() + 10);
+    EXPECT_FALSE(BootHashes::fromPage(tiny).isOk());
+    // Empty page: not even the magic.
+    EXPECT_FALSE(BootHashes::fromPage(ByteSpan()).isOk());
+}
+
 // --------------------------------------------------------------- binary
 
 TEST(VerifierBinary, ThirteenKiBAndDeterministic)
@@ -288,6 +304,20 @@ TEST(VerifierBinary, ThirteenKiBAndDeterministic)
     std::string banner(bin.begin(), bin.begin() + 18);
     EXPECT_EQ(banner, "SEVF-BOOT-VERIFIER");
     EXPECT_EQ(bloatedVerifierBinary(64 * kKiB).size(), 64 * kKiB);
+}
+
+TEST(VmlinuxStreamDigestTest, RejectsCorruptElf)
+{
+    const workload::KernelArtifacts &art = workload::cachedKernelArtifacts(
+        workload::KernelConfig::kLupine, kScale);
+    // An absurd e_phnum pushes the phdr table past the end of the file.
+    ByteVec bad = art.vmlinux;
+    storeLe<u16>(bad.data() + 56, 0xffff);
+    EXPECT_FALSE(vmlinuxStreamDigest(bad).isOk());
+    // Truncating mid-segment must also fail, not hash short data.
+    ByteVec cut(art.vmlinux.begin(),
+                art.vmlinux.begin() + static_cast<long>(image::kEhdrSize) + 8);
+    EXPECT_FALSE(vmlinuxStreamDigest(cut).isOk());
 }
 
 TEST(VmlinuxStreamDigestTest, SensitiveToContent)

@@ -70,13 +70,41 @@ run_matrix_entry tsan -DSEVF_WERROR=ON -DSEVF_SANITIZE=thread
 #    build.
 lint="$root/build-ci-werror/tools/sevf_lint"
 echo "==> [lint] $lint --root src --secret-sources tools/secret-sources.txt" \
-     "--lock-order tools/lock-order.txt"
+     "--lock-order tools/lock-order.txt --tcb-budget tools/tcb-budget.txt"
 "$lint" --root "$root/src" \
     --secret-sources "$root/tools/secret-sources.txt" \
     --lock-order "$root/tools/lock-order.txt" \
+    --tcb-budget "$root/tools/tcb-budget.txt" \
     --jobs "$jobs" --stats
 echo "==> [lint] selftest"
 "$lint" --selftest "$root/tests/lint_fixture"
+
+# 5a. Root-of-trust audit: the TCB inventory must match the committed
+#     baseline byte-for-byte (tools/tcb-baseline.json; regenerate with
+#     --tcb-out after a reviewed change), the machine-readable report
+#     must stay clean, and the seeded mutants must be caught — a
+#     verifier that grows a gzip call or a parser that loses a bounds
+#     check fails here even if every test still passes.
+tcb_dir="$root/build-ci-werror/tcb-ci"
+mkdir -p "$tcb_dir"
+echo "==> [tcb] json report + inventory"
+"$lint" --root "$root/src" \
+    --secret-sources "$root/tools/secret-sources.txt" \
+    --lock-order "$root/tools/lock-order.txt" \
+    --tcb-budget "$root/tools/tcb-budget.txt" \
+    --jobs "$jobs" --format=json \
+    --tcb-out "$tcb_dir/tcb-inventory.json" >"$tcb_dir/report.json"
+echo "==> [tcb] inventory matches committed baseline"
+if ! diff -u "$root/tools/tcb-baseline.json" \
+        "$tcb_dir/tcb-inventory.json"; then
+    echo "error: TCB inventory drifted from tools/tcb-baseline.json;" >&2
+    echo "review the diff, then regenerate the baseline with:" >&2
+    echo "  sevf_lint --root src --tcb-budget tools/tcb-budget.txt" \
+         "--tcb-out tools/tcb-baseline.json" >&2
+    exit 1
+fi
+echo "==> [tcb] seeded mutants must be caught"
+sh "$root/tools/tcb_mutants.sh" "$lint" "$root"
 
 # 5b. Clang thread-safety analysis: the SEVF_GUARDED_BY / SEVF_REQUIRES
 #     annotations compile to Clang capability attributes, so a clang
@@ -130,4 +158,4 @@ echo "==> [obs] validate exports + doc-drift gate"
     --docs "$root/docs/OBSERVABILITY.md"
 
 echo "==> CI green: hygiene + werror + asan,ubsan + taint-enforce + tsan" \
-     "+ lint + thread-safety + model + bench + obs"
+     "+ lint + tcb + thread-safety + model + bench + obs"

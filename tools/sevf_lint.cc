@@ -39,8 +39,23 @@
  *                     tools/lock-order.txt ('order A B' / 'exclusive A B')
  *                     and searched for ordering cycles
  *   unused-suppression  every "sevf_lint: allow(...)" comment must
- *                     actually suppress a violation; stale ones rot
- *                     into blanket permission and are errors themselves
+ *                     actually suppress a violation, and every
+ *                     SEVF_TCB_EXEMPT must be reached by the TCB
+ *                     closure; stale ones rot into blanket permission
+ *                     and are errors themselves
+ *   tcb-reach / tcb-budget / tcb-construct / tcb-recursion
+ *                     the root-of-trust audit (base/trust_zones.h):
+ *                     the transitive callee closure of every SEVF_TCB
+ *                     entry point is inventoried per module and checked
+ *                     against tools/tcb-budget.txt - size budget,
+ *                     banned modules (the verifier must never reach
+ *                     compress/gzip_lite or compress/huffman), banned
+ *                     APIs/dynamic allocation, call-graph cycles
+ *   untrusted-bounds  inside SEVF_UNTRUSTED_INPUT parsers (bzImage/
+ *                     ELF/cpio headers, LZ4 frames, fw_cfg), offset/
+ *                     length arithmetic used in subscripts, subspan()
+ *                     or copies needs a preceding bounds-check idiom
+ *                     or an audited suppression
  *
  * Suppress a finding with a trailing or preceding comment:
  *
@@ -48,13 +63,23 @@
  *
  * Usage:
  *     sevf_lint --root <dir> [--secret-sources <file>]
- *               [--lock-order <file>] [--jobs <n>] [--stats]
+ *               [--lock-order <file>] [--tcb-budget <file>]
+ *               [--jobs <n>] [--stats] [--format=json]
+ *               [--tcb] [--tcb-out <file>]
  *                                  lint a tree, exit 1 on violations;
  *                                  --secret-sources adds one source
  *                                  function name per line ('#' comments);
  *                                  --lock-order loads the acquisition-
- *                                  order spec; --jobs 0 = hardware;
- *                                  --stats prints per-pass wall time
+ *                                  order spec; --tcb-budget loads the
+ *                                  TCB budget (default: <root>/
+ *                                  tcb-budget.txt when present);
+ *                                  --jobs 0 = hardware; --stats prints
+ *                                  per-pass wall time; --format=json
+ *                                  emits the machine-readable report
+ *                                  (violations + TCB inventory);
+ *                                  --tcb prints the per-module TCB
+ *                                  inventory JSON; --tcb-out writes it
+ *                                  to a file (for the CI baseline diff)
  *     sevf_lint --selftest <dir>   run the fixture self-test: each
  *                                  subdirectory is named for the rule it
  *                                  must trip ("suppressed" must be clean)
@@ -112,28 +137,55 @@ printStats(const RunResult &result)
     std::cout << "  total: " << total / 1000000.0 << " ms\n";
 }
 
+struct OutputOptions {
+    bool stats = false;
+    bool json = false;     //!< --format=json: machine-readable report
+    bool print_tcb = false; //!< --tcb: inventory JSON on stdout
+    std::string tcb_out;   //!< --tcb-out: inventory JSON to a file
+};
+
 int
-lintTree(Options opts, bool stats)
+lintTree(Options opts, const OutputOptions &out)
 {
     if (!fs::is_directory(opts.root)) {
         std::cerr << "sevf_lint: not a directory: " << opts.root << "\n";
         return 2;
     }
     RunResult result = sevf::lint::runLint(opts);
-    for (const Violation &v : result.violations) {
-        std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
-                  << v.message << "\n";
+    if (out.json) {
+        std::cout << sevf::lint::renderReportJson(result);
+    } else {
+        for (const Violation &v : result.violations) {
+            std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
+                      << v.message << "\n";
+        }
     }
-    if (stats) {
+    if (out.print_tcb && !out.json) {
+        std::cout << sevf::lint::renderTcbJson(result.tcb) << "\n";
+    }
+    if (!out.tcb_out.empty()) {
+        std::ofstream f(out.tcb_out);
+        if (!f) {
+            std::cerr << "sevf_lint: could not write " << out.tcb_out
+                      << "\n";
+            return 2;
+        }
+        f << sevf::lint::renderTcbJson(result.tcb) << "\n";
+    }
+    if (out.stats) {
         printStats(result);
     }
     if (!result.violations.empty()) {
-        std::cout << result.violations.size() << " violation(s) under "
-                  << opts.root << "\n";
+        if (!out.json) {
+            std::cout << result.violations.size()
+                      << " violation(s) under " << opts.root << "\n";
+        }
         return 1;
     }
-    std::cout << "sevf_lint: clean (" << opts.root.generic_string()
-              << ")\n";
+    if (!out.json && !out.print_tcb) {
+        std::cout << "sevf_lint: clean (" << opts.root.generic_string()
+                  << ")\n";
+    }
     return 0;
 }
 
@@ -210,7 +262,7 @@ main(int argc, char **argv)
     std::vector<std::string> args(argv + 1, argv + argc);
     std::string root;
     std::string selftest_root;
-    bool stats = false;
+    OutputOptions out;
     Options opts;
     for (size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--root" && i + 1 < args.size()) {
@@ -236,15 +288,30 @@ main(int argc, char **argv)
                 return 2;
             }
             opts.lock_order_spec = std::move(*spec);
+        } else if (args[i] == "--tcb-budget" && i + 1 < args.size()) {
+            auto budget = sevf::lint::loadTcbBudget(args[++i]);
+            if (!budget) {
+                std::cerr << "sevf_lint: could not read tcb-budget file: "
+                          << args[i] << "\n";
+                return 2;
+            }
+            opts.tcb_budget = std::move(*budget);
         } else if (args[i] == "--jobs" && i + 1 < args.size()) {
             opts.jobs = static_cast<unsigned>(std::stoul(args[++i]));
         } else if (args[i] == "--stats") {
-            stats = true;
+            out.stats = true;
+        } else if (args[i] == "--format=json") {
+            out.json = true;
+        } else if (args[i] == "--tcb") {
+            out.print_tcb = true;
+        } else if (args[i] == "--tcb-out" && i + 1 < args.size()) {
+            out.tcb_out = args[++i];
         } else {
             std::cerr << "usage: sevf_lint [--root <dir>] "
                          "[--secret-sources <file>] [--lock-order <file>] "
-                         "[--jobs <n>] [--stats] | --selftest "
-                         "<fixture_root>\n";
+                         "[--tcb-budget <file>] [--jobs <n>] [--stats] "
+                         "[--format=json] [--tcb] [--tcb-out <file>] | "
+                         "--selftest <fixture_root>\n";
             return 2;
         }
     }
@@ -252,5 +319,5 @@ main(int argc, char **argv)
         return selfTest(selftest_root);
     }
     opts.root = root.empty() ? "src" : root;
-    return lintTree(std::move(opts), stats);
+    return lintTree(std::move(opts), out);
 }

@@ -21,8 +21,11 @@
  *   Passes          per-file rules (header-guard, include-path,
  *                   banned-construct, cc-h-pairing, unguarded-result,
  *                   unused-suppression), the concurrency passes
- *                   (guarded-by, lock-order), and the secret-flow pass
- *                   (intra- and interprocedural).
+ *                   (guarded-by, lock-order), the secret-flow pass
+ *                   (intra- and interprocedural), and the root-of-trust
+ *                   audit (TCB reachability/budget, banned constructs
+ *                   and call cycles inside the closure, untrusted-input
+ *                   bounds checking).
  *
  * Canonical lock names are "<Struct>::<member>" (namespaces omitted,
  * nested/out-of-line struct names kept: "ThreadPool::Impl::mu"); the
@@ -40,6 +43,14 @@
  * about. SEVF_NO_THREAD_SAFETY_ANALYSIS exempts a function from
  * guarded-by (field and REQUIRES checks) only - its acquisitions still
  * feed lock-order, which is about whole-program ordering.
+ *
+ * The root-of-trust audit (base/trust_zones.h) computes the transitive
+ * callee closure of every SEVF_TCB entry point over the same resolved
+ * call graph. resolveCall's conservatism cuts both ways here: an
+ * ambiguous callee never joins the closure, so the inventory is a
+ * lower bound - which is why banned modules and banned constructs are
+ * enforced on top of the budget, and why entry points live on
+ * definitions (the parser models bodies, not declarations).
  */
 #ifndef SEVF_TOOLS_SEVF_LINT_ENGINE_H_
 #define SEVF_TOOLS_SEVF_LINT_ENGINE_H_
@@ -50,6 +61,7 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iterator>
 #include <map>
 #include <optional>
@@ -195,6 +207,23 @@ callsFunction(const std::string &line, const std::string &fn)
         ++pos;
     }
     return false;
+}
+
+/** Index of the ')' matching the '(' at @p open, or npos. */
+inline size_t
+matchParenAt(const std::string &s, size_t open)
+{
+    int depth = 0;
+    for (size_t i = open; i < s.size(); ++i) {
+        if (s[i] == '(') {
+            ++depth;
+        } else if (s[i] == ')') {
+            if (--depth == 0) {
+                return i;
+            }
+        }
+    }
+    return std::string::npos;
 }
 
 inline std::string
@@ -394,10 +423,15 @@ struct FunctionDecl {
     std::string struct_name; //!< enclosing struct canonical, or "" for free
     std::string file;
     size_t line = 0;
+    size_t end_line = 0; //!< closing-brace line (0 until the body ends)
     bool no_tsa = false;
+    bool tcb_entry = false;       //!< SEVF_TCB on the definition
+    bool untrusted_input = false; //!< SEVF_UNTRUSTED_INPUT
+    bool tcb_exempt = false;      //!< SEVF_TCB_EXEMPT
     std::vector<std::string> requires_exprs;
     std::vector<std::string> excludes_exprs;
     std::vector<std::pair<std::string, std::string>> params; //!< name, type
+    std::vector<std::string> pointer_params; //!< params declared with '*'
     std::vector<std::pair<std::string, std::string>> locals; //!< name, type
     std::vector<AcquireSite> acquires;
     std::vector<CallRec> calls;
@@ -756,6 +790,9 @@ class FileParser
                                            return h.level > new_level;
                                        }),
                         held_.end());
+            if (popped.func >= 0) {
+                model_.functions[popped.func].end_line = line_no_;
+            }
         }
     }
 
@@ -976,6 +1013,9 @@ class FileParser
                 continue; // unnamed parameter: pname was the type
             }
             fn.params.emplace_back(pname, ptype);
+            if (p.substr(0, pb).find('*') != std::string::npos) {
+                fn.pointer_params.push_back(pname);
+            }
         }
         // Annotations live after the parameter list.
         std::string suffix =
@@ -996,6 +1036,11 @@ class FileParser
         collect(suffix, exc_re, fn.excludes_exprs);
         fn.no_tsa =
             sig.find("SEVF_NO_THREAD_SAFETY_ANALYSIS") != std::string::npos;
+        // Word-boundary matches: SEVF_TCB must not fire inside
+        // SEVF_TCB_EXEMPT.
+        fn.tcb_entry = containsWord(sig, "SEVF_TCB");
+        fn.untrusted_input = containsWord(sig, "SEVF_UNTRUSTED_INPUT");
+        fn.tcb_exempt = containsWord(sig, "SEVF_TCB_EXEMPT");
         // REQUIRES locks are held on entry for the whole body.
         model_.functions.push_back(std::move(fn));
         int idx = static_cast<int>(model_.functions.size()) - 1;
@@ -2304,6 +2349,748 @@ runSecretFlowPass(FileModel &fm, const GlobalModel &gm,
     }
 }
 
+// ---- Root-of-trust audit -------------------------------------------------
+
+/**
+ * tools/tcb-budget.txt format, one rule per line ('#' comments):
+ *
+ *   max-functions N   the TCB closure may contain at most N functions
+ *   max-loc N         total lines of code across the closure
+ *   ban <module>      the closure must never reach the module - a file
+ *                     path minus extension ("compress/gzip_lite") or a
+ *                     directory prefix ("compress")
+ *   ban-api <name>    calling <name> anywhere inside the closure is an
+ *                     error (tcb-construct)
+ *   exempt <module>   infrastructure the closure stops at wholesale
+ *                     (e.g. obs, taint) without per-function
+ *                     SEVF_TCB_EXEMPT annotations
+ */
+struct TcbBudget {
+    size_t max_functions = 0; //!< 0 = unlimited
+    size_t max_loc = 0;       //!< 0 = unlimited
+    std::vector<std::string> banned_modules;
+    std::vector<std::string> banned_apis;
+    std::vector<std::string> exempt_modules;
+};
+
+inline std::optional<TcbBudget>
+loadTcbBudget(const fs::path &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return std::nullopt;
+    }
+    TcbBudget budget;
+    std::string line;
+    while (std::getline(in, line)) {
+        size_t hash = line.find('#');
+        if (hash != std::string::npos) {
+            line.erase(hash);
+        }
+        std::istringstream is(line);
+        std::string kind;
+        std::string arg;
+        if (!(is >> kind)) {
+            continue;
+        }
+        if (kind == "max-functions") {
+            is >> budget.max_functions;
+        } else if (kind == "max-loc") {
+            is >> budget.max_loc;
+        } else if (kind == "ban" && is >> arg) {
+            budget.banned_modules.push_back(arg);
+        } else if (kind == "ban-api" && is >> arg) {
+            budget.banned_apis.push_back(arg);
+        } else if (kind == "exempt" && is >> arg) {
+            budget.exempt_modules.push_back(arg);
+        }
+    }
+    return budget;
+}
+
+/** "image/bzimage" from "image/bzimage.cc". */
+inline std::string
+moduleOf(const std::string &rel)
+{
+    return fs::path(rel).replace_extension("").generic_string();
+}
+
+/** Exact module or directory-prefix match ("compress" bans the tree). */
+inline bool
+moduleMatches(const std::string &module, const std::string &pattern)
+{
+    return module == pattern ||
+           (module.size() > pattern.size() &&
+            module.compare(0, pattern.size(), pattern) == 0 &&
+            module[pattern.size()] == '/');
+}
+
+struct TcbFunction {
+    std::string name; //!< FunctionDecl::display()
+    std::string file;
+    size_t line = 0;
+    size_t loc = 0;
+    std::string module;
+};
+
+/** The audited root of trust: everything reachable from an entry. */
+struct TcbInventory {
+    std::vector<std::string> entry_points;
+    /** Trust-boundary functions the closure reached and stopped at. */
+    std::vector<std::string> exempt;
+    std::vector<TcbFunction> functions; //!< sorted (module, name, file, line)
+    size_t total_functions = 0;
+    size_t total_loc = 0;
+};
+
+/**
+ * The TCB reachability pass: BFS over resolvable calls from every
+ * SEVF_TCB entry point. SEVF_TCB_EXEMPT functions (and modules listed
+ * as 'exempt' in the budget) terminate a branch - they are recorded in
+ * the inventory's exempt list, never traversed. On the closure it
+ * enforces the budget (tcb-budget), banned modules reported at the
+ * first call site that crosses into them (tcb-reach), banned
+ * constructs/APIs (tcb-construct), and call-graph cycles
+ * (tcb-recursion). A SEVF_TCB_EXEMPT annotation no entry point ever
+ * reaches is itself flagged (unused-suppression) so exemptions cannot
+ * outlive the call edge that justified them.
+ */
+inline TcbInventory
+runTcbAudit(std::vector<FileModel> &files, const GlobalModel &gm,
+            const std::optional<TcbBudget> &budget_opt)
+{
+    const TcbBudget budget = budget_opt.value_or(TcbBudget{});
+    TcbInventory inv;
+    std::map<const FunctionDecl *, FileModel *> owner;
+    std::vector<const FunctionDecl *> entries;
+    for (FileModel &fm : files) {
+        for (const FunctionDecl &fn : fm.functions) {
+            owner[&fn] = &fm;
+            if (fn.tcb_entry) {
+                entries.push_back(&fn);
+            }
+        }
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const FunctionDecl *a, const FunctionDecl *b) {
+                  return std::tie(a->file, a->line) <
+                         std::tie(b->file, b->line);
+              });
+    auto inExemptModule = [&](const FunctionDecl *fn) {
+        std::string m = moduleOf(fn->file);
+        for (const std::string &p : budget.exempt_modules) {
+            if (moduleMatches(m, p)) {
+                return true;
+            }
+        }
+        return false;
+    };
+
+    struct Reach {
+        const FunctionDecl *via = nullptr; //!< caller at the first reach
+        size_t line = 0;
+    };
+    std::map<const FunctionDecl *, Reach> first_reach;
+    std::set<const FunctionDecl *> closure(entries.begin(), entries.end());
+    std::set<const FunctionDecl *> exempt_reached;
+    std::vector<const FunctionDecl *> work(entries.begin(), entries.end());
+    while (!work.empty()) {
+        const FunctionDecl *fn = work.back();
+        work.pop_back();
+        for (const CallRec &call : fn->calls) {
+            const FunctionDecl *callee = gm.resolveCall(call, *fn);
+            if (callee == nullptr || callee == fn) {
+                continue;
+            }
+            if (callee->tcb_exempt || inExemptModule(callee)) {
+                exempt_reached.insert(callee);
+                continue;
+            }
+            if (closure.insert(callee).second) {
+                first_reach[callee] = {fn, call.line};
+                work.push_back(callee);
+            }
+        }
+    }
+
+    // Inventory.
+    for (const FunctionDecl *fn : entries) {
+        inv.entry_points.push_back(fn->display());
+    }
+    for (const FunctionDecl *fn : exempt_reached) {
+        inv.exempt.push_back(fn->display());
+    }
+    std::sort(inv.exempt.begin(), inv.exempt.end());
+    inv.exempt.erase(std::unique(inv.exempt.begin(), inv.exempt.end()),
+                     inv.exempt.end());
+    for (const FunctionDecl *fn : closure) {
+        size_t loc =
+            fn->end_line >= fn->line ? fn->end_line - fn->line + 1 : 1;
+        inv.functions.push_back({fn->display(), fn->file, fn->line, loc,
+                                 moduleOf(fn->file)});
+        inv.total_loc += loc;
+    }
+    inv.total_functions = closure.size();
+    std::sort(inv.functions.begin(), inv.functions.end(),
+              [](const TcbFunction &a, const TcbFunction &b) {
+                  return std::tie(a.module, a.name, a.file, a.line) <
+                         std::tie(b.module, b.name, b.file, b.line);
+              });
+
+    // Banned-module reach, reported once per boundary crossing (the
+    // interior of a banned module is not re-reported).
+    auto bannedOf = [&](const FunctionDecl *fn) -> const std::string * {
+        std::string m = moduleOf(fn->file);
+        for (const std::string &p : budget.banned_modules) {
+            if (moduleMatches(m, p)) {
+                return &p;
+            }
+        }
+        return nullptr;
+    };
+    for (const FunctionDecl *fn : closure) {
+        const std::string *ban = bannedOf(fn);
+        if (ban == nullptr) {
+            continue;
+        }
+        auto it = first_reach.find(fn);
+        const FunctionDecl *caller =
+            it != first_reach.end() ? it->second.via : nullptr;
+        if (caller != nullptr && bannedOf(caller) != nullptr) {
+            continue;
+        }
+        if (caller != nullptr) {
+            reportTo(*owner[caller], it->second.line, "tcb-reach",
+                     "TCB closure reaches banned module '" + *ban +
+                         "' via call to '" + fn->display() +
+                         "' - the root of trust must not include it "
+                         "(tcb-budget 'ban')");
+        } else {
+            reportTo(*owner[fn], fn->line, "tcb-reach",
+                     "TCB entry point '" + fn->display() +
+                         "' lives in banned module '" + *ban + "'");
+        }
+    }
+
+    // Budget, anchored at the first entry point's definition.
+    if (!entries.empty()) {
+        const FunctionDecl *anchor = entries.front();
+        if (budget.max_functions > 0 &&
+            inv.total_functions > budget.max_functions) {
+            reportTo(*owner[anchor], anchor->line, "tcb-budget",
+                     "TCB closure contains " +
+                         std::to_string(inv.total_functions) +
+                         " functions, over the budget of " +
+                         std::to_string(budget.max_functions) +
+                         " (tcb-budget 'max-functions'); shrink the "
+                         "closure or review and raise the budget");
+        }
+        if (budget.max_loc > 0 && inv.total_loc > budget.max_loc) {
+            reportTo(*owner[anchor], anchor->line, "tcb-budget",
+                     "TCB closure spans " + std::to_string(inv.total_loc) +
+                         " lines, over the budget of " +
+                         std::to_string(budget.max_loc) +
+                         " (tcb-budget 'max-loc'); shrink the closure "
+                         "or review and raise the budget");
+        }
+    }
+
+    // Banned constructs inside the closure: the root of trust must not
+    // allocate dynamically or call budget-banned APIs.
+    for (const FunctionDecl *fn : closure) {
+        FileModel &fm = *owner[fn];
+        for (const StmtRec &stmt : fn->stmts) {
+            for (const char *word : {"new", "delete"}) {
+                if (containsWord(stmt.text, word)) {
+                    reportTo(fm, stmt.line, "tcb-construct",
+                             std::string("'") + word +
+                                 "' inside the TCB ('" + fn->display() +
+                                 "'): the root of trust must not "
+                                 "allocate dynamically");
+                }
+            }
+            for (const char *api : {"malloc", "calloc", "realloc", "free"}) {
+                if (callsFunction(stmt.text, api)) {
+                    reportTo(fm, stmt.line, "tcb-construct",
+                             std::string("'") + api +
+                                 "()' inside the TCB ('" + fn->display() +
+                                 "'): the root of trust must not "
+                                 "allocate dynamically");
+                }
+            }
+        }
+        for (const CallRec &call : fn->calls) {
+            for (const std::string &api : budget.banned_apis) {
+                if (call.name == api) {
+                    reportTo(fm, call.line, "tcb-construct",
+                             "call to banned API '" + api +
+                                 "' inside the TCB ('" + fn->display() +
+                                 "') (tcb-budget 'ban-api')");
+                }
+            }
+        }
+    }
+
+    // Call cycles within the closure: recursion depth would be
+    // attacker-influencable, and the bootstrap runs on a fixed stack.
+    std::map<const FunctionDecl *, std::vector<const FunctionDecl *>> adj;
+    for (const FunctionDecl *fn : closure) {
+        for (const CallRec &call : fn->calls) {
+            const FunctionDecl *callee = gm.resolveCall(call, *fn);
+            if (callee != nullptr && closure.count(callee) != 0) {
+                adj[fn].push_back(callee);
+            }
+        }
+    }
+    for (const FunctionDecl *fn : closure) {
+        std::vector<const FunctionDecl *> stack = adj[fn];
+        std::set<const FunctionDecl *> seen;
+        bool cycle = false;
+        while (!stack.empty()) {
+            const FunctionDecl *n = stack.back();
+            stack.pop_back();
+            if (n == fn) {
+                cycle = true;
+                break;
+            }
+            if (!seen.insert(n).second) {
+                continue;
+            }
+            auto it = adj.find(n);
+            if (it != adj.end()) {
+                stack.insert(stack.end(), it->second.begin(),
+                             it->second.end());
+            }
+        }
+        if (cycle) {
+            reportTo(*owner[fn], fn->line, "tcb-recursion",
+                     "'" + fn->display() +
+                         "' participates in a call cycle inside the TCB "
+                         "- unbounded recursion; rewrite iteratively or "
+                         "bound and exempt it");
+        }
+    }
+
+    // Stale exemptions: an SEVF_TCB_EXEMPT nothing reaches is rot.
+    for (FileModel &fm : files) {
+        for (const FunctionDecl &fn : fm.functions) {
+            if (fn.tcb_exempt && exempt_reached.count(&fn) == 0) {
+                reportTo(fm, fn.line, "unused-suppression",
+                         "SEVF_TCB_EXEMPT on '" + fn.display() +
+                             "' is stale: not reached from any SEVF_TCB "
+                             "entry point - remove the exemption");
+            }
+        }
+    }
+    return inv;
+}
+
+// ---- untrusted-input bounds pass -----------------------------------------
+
+/**
+ * Identifier roots of an index/length expression that stand for
+ * attacker-influencable offsets. Skips numeric literals, kConstants and
+ * ALL_CAPS, ::-qualified names, call expressions (a chain ending in
+ * '(', e.g. file.size()), keywords/builtin types, and @p base_ptrs
+ * (locals bound from .data()/.begin() - whole-container pointers, not
+ * offsets).
+ */
+inline std::vector<std::string>
+riskyRoots(const std::string &expr, const std::set<std::string> &base_ptrs)
+{
+    static const std::set<std::string> kSkip = {
+        "sizeof", "static_cast", "reinterpret_cast", "const_cast",
+        "std",    "size_t",      "u8",               "u16",
+        "u32",    "u64",         "i8",               "i16",
+        "i32",    "i64",         "int",              "long",
+        "short",  "unsigned",    "signed",           "char",
+        "bool",   "auto",        "const",            "true",
+        "false",  "nullptr",     "this",             "min",
+        "max",    "clamp",
+    };
+    std::vector<std::string> out;
+    size_t i = 0;
+    while (i < expr.size()) {
+        if (!isIdentChar(expr[i]) ||
+            (i > 0 && isIdentChar(expr[i - 1]))) {
+            ++i;
+            continue;
+        }
+        // Chain members (".len", "->len") are attributed to their root.
+        size_t p = i;
+        while (p > 0 && expr[p - 1] == ' ') {
+            --p;
+        }
+        if (p > 0 && (expr[p - 1] == '.' || expr[p - 1] == ':' ||
+                      (p > 1 && expr[p - 1] == '>' &&
+                       expr[p - 2] == '-'))) {
+            while (i < expr.size() && isIdentChar(expr[i])) {
+                ++i;
+            }
+            continue;
+        }
+        size_t e = i;
+        while (e < expr.size() && isIdentChar(expr[e])) {
+            ++e;
+        }
+        std::string root = expr.substr(i, e - i);
+        // Walk the member chain; a trailing '(' or '::' disqualifies.
+        bool call_or_qualified = false;
+        size_t j = e;
+        while (true) {
+            size_t k = j;
+            while (k < expr.size() && expr[k] == ' ') {
+                ++k;
+            }
+            if (k < expr.size() && expr[k] == '(') {
+                call_or_qualified = true;
+                break;
+            }
+            if (k + 1 < expr.size() && expr[k] == ':' &&
+                expr[k + 1] == ':') {
+                call_or_qualified = true;
+                break;
+            }
+            if (k + 1 < expr.size() && expr[k] == '.' &&
+                isIdentChar(expr[k + 1])) {
+                j = k + 1;
+            } else if (k + 2 < expr.size() && expr[k] == '-' &&
+                       expr[k + 1] == '>' && isIdentChar(expr[k + 2])) {
+                j = k + 2;
+            } else {
+                break;
+            }
+            while (j < expr.size() && isIdentChar(expr[j])) {
+                ++j;
+            }
+        }
+        i = std::max(e, j);
+        if (call_or_qualified ||
+            std::isdigit(static_cast<unsigned char>(root[0])) ||
+            kSkip.count(root) != 0 || base_ptrs.count(root) != 0) {
+            continue;
+        }
+        bool k_const = root.size() >= 2 && root[0] == 'k' &&
+                       std::isupper(static_cast<unsigned char>(root[1]));
+        bool all_caps = root.size() > 1;
+        bool has_alpha = false;
+        for (char c : root) {
+            if (std::islower(static_cast<unsigned char>(c))) {
+                all_caps = false;
+            }
+            if (std::isalpha(static_cast<unsigned char>(c))) {
+                has_alpha = true;
+            }
+        }
+        if (k_const || (all_caps && has_alpha)) {
+            continue;
+        }
+        out.push_back(root);
+    }
+    return out;
+}
+
+/**
+ * Did an earlier (or this) statement bounds-check @p ident? A guard is
+ * a conditional (if/for/while) mentioning the identifier with a
+ * relational comparison - '<'/'>' surviving after '->', '<<' and '>>'
+ * are stripped - or any statement clamping it through min()/max()/
+ * clamp(). Flow-insensitive beyond statement order, by design: the
+ * pass asks "was a check even attempted", the review of its adequacy
+ * is what the suppression comment records.
+ */
+inline bool
+hasBoundsGuard(const FunctionDecl &fn, const std::string &ident,
+               size_t stmt_idx)
+{
+    for (size_t i = 0; i <= stmt_idx && i < fn.stmts.size(); ++i) {
+        const std::string &t = fn.stmts[i].text;
+        if (!containsWord(t, ident)) {
+            continue;
+        }
+        bool clamped = t.find("min(") != std::string::npos ||
+                       t.find("max(") != std::string::npos ||
+                       t.find("clamp(") != std::string::npos;
+        if (clamped) {
+            return true;
+        }
+        std::string tok;
+        {
+            size_t b = 0;
+            while (b < t.size() && !isIdentChar(t[b])) {
+                ++b;
+            }
+            size_t e = b;
+            while (e < t.size() && isIdentChar(t[e])) {
+                ++e;
+            }
+            tok = t.substr(b, e - b);
+        }
+        if (tok != "if" && tok != "for" && tok != "while") {
+            continue;
+        }
+        std::string s;
+        for (size_t j = 0; j < t.size(); ++j) {
+            if (t[j] == '-' && j + 1 < t.size() && t[j + 1] == '>') {
+                ++j;
+                continue;
+            }
+            if ((t[j] == '<' || t[j] == '>') && j + 1 < t.size() &&
+                t[j + 1] == t[j]) {
+                ++j;
+                continue;
+            }
+            s.push_back(t[j]);
+        }
+        if (s.find('<') != std::string::npos ||
+            s.find('>') != std::string::npos) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * The untrusted-input bounds pass, scoped to SEVF_UNTRUSTED_INPUT
+ * functions: every subscript, span/copy call (subspan/first/last/
+ * memcpy/memmove/copy) and .data()/.begin() pointer arithmetic whose
+ * offset/length roots lack a preceding bounds-check idiom is flagged.
+ * Audited-and-accepted sites carry "sevf_lint: allow(untrusted-bounds)"
+ * with a comment explaining why the arithmetic is safe.
+ */
+inline void
+runUntrustedBoundsPass(FileModel &fm)
+{
+    static const char *const kCopyCalls[] = {
+        "memcpy", "memmove", "copy", "copy_n", "subspan", "first", "last",
+    };
+    for (const FunctionDecl &fn : fm.functions) {
+        if (!fn.untrusted_input) {
+            continue;
+        }
+        std::set<std::string> base_ptrs;
+        // Pointer-typed parameters are bases, not offsets: the risky
+        // quantities are the integral offsets/lengths applied to them.
+        // Locals formed by pointer arithmetic stay risky on purpose.
+        base_ptrs.insert(fn.pointer_params.begin(),
+                         fn.pointer_params.end());
+        static const std::regex base_re(
+            "(\\w+)\\s*=\\s*[\\w.>-]*(?:data|begin|end)\\s*\\(\\s*\\)");
+        for (const StmtRec &stmt : fn.stmts) {
+            auto it = std::sregex_iterator(stmt.text.begin(),
+                                           stmt.text.end(), base_re);
+            for (; it != std::sregex_iterator(); ++it) {
+                base_ptrs.insert((*it)[1].str());
+            }
+        }
+        std::set<std::pair<size_t, std::string>> reported;
+        for (size_t si = 0; si < fn.stmts.size(); ++si) {
+            const StmtRec &stmt = fn.stmts[si];
+            const std::string &text = stmt.text;
+            std::vector<std::pair<std::string, std::string>> sites;
+            // Subscripts: '[' preceded by an identifier/')'/']'.
+            for (size_t p = 0; p < text.size(); ++p) {
+                if (text[p] != '[') {
+                    continue;
+                }
+                size_t q = p;
+                while (q > 0 && text[q - 1] == ' ') {
+                    --q;
+                }
+                if (q == 0 || (!isIdentChar(text[q - 1]) &&
+                               text[q - 1] != ')' && text[q - 1] != ']')) {
+                    continue;
+                }
+                int depth = 0;
+                size_t r = p;
+                for (; r < text.size(); ++r) {
+                    if (text[r] == '[') {
+                        ++depth;
+                    } else if (text[r] == ']' && --depth == 0) {
+                        break;
+                    }
+                }
+                if (r >= text.size()) {
+                    continue;
+                }
+                sites.emplace_back(text.substr(p + 1, r - p - 1),
+                                   "a subscript");
+                p = r;
+            }
+            // Span/copy calls: roots of the whole argument list.
+            for (const char *name : kCopyCalls) {
+                size_t pos = 0;
+                std::string fname = name;
+                while ((pos = text.find(fname, pos)) != std::string::npos) {
+                    bool left_ok = pos == 0 || !isIdentChar(text[pos - 1]);
+                    size_t after = pos + fname.size();
+                    while (after < text.size() && text[after] == ' ') {
+                        ++after;
+                    }
+                    if (!left_ok || after >= text.size() ||
+                        text[after] != '(' ||
+                        (pos + fname.size() < text.size() &&
+                         isIdentChar(text[pos + fname.size()]))) {
+                        ++pos;
+                        continue;
+                    }
+                    size_t close = matchParenAt(text, after);
+                    if (close != std::string::npos) {
+                        sites.emplace_back(
+                            text.substr(after + 1, close - after - 1),
+                            std::string("a call to '") + name + "'");
+                    }
+                    pos = after;
+                }
+            }
+            // Pointer arithmetic on a container's raw storage.
+            for (const char *anchor : {".data()", ".begin()"}) {
+                size_t pos = 0;
+                std::string a = anchor;
+                while ((pos = text.find(a, pos)) != std::string::npos) {
+                    size_t after = pos + a.size();
+                    while (after < text.size() && text[after] == ' ') {
+                        ++after;
+                    }
+                    if (after < text.size() &&
+                        (text[after] == '+' || text[after] == '-')) {
+                        size_t end = after;
+                        int depth = 0;
+                        for (; end < text.size(); ++end) {
+                            char c = text[end];
+                            if (c == '(' || c == '[') {
+                                ++depth;
+                            } else if (c == ')' || c == ']') {
+                                if (--depth < 0) {
+                                    break;
+                                }
+                            } else if (c == ',' && depth == 0) {
+                                break;
+                            }
+                        }
+                        sites.emplace_back(
+                            text.substr(after + 1, end - after - 1),
+                            "pointer arithmetic on raw storage");
+                    }
+                    pos = after;
+                }
+            }
+            for (const auto &[expr, kind] : sites) {
+                for (const std::string &root :
+                     riskyRoots(expr, base_ptrs)) {
+                    if (hasBoundsGuard(fn, root, si)) {
+                        continue;
+                    }
+                    if (reported.emplace(stmt.line, root).second) {
+                        reportTo(fm, stmt.line, "untrusted-bounds",
+                                 "'" + root +
+                                     "' derives from untrusted input and "
+                                     "is used in " + kind +
+                                     " without a preceding bounds check "
+                                     "in '" + fn.display() + "'");
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---- JSON rendering ------------------------------------------------------
+
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                std::ostringstream os;
+                os << "\\u00" << std::hex << std::setw(2)
+                   << std::setfill('0')
+                   << static_cast<int>(static_cast<unsigned char>(c));
+                out += os.str();
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * The per-module TCB inventory as pretty-printed JSON with fully
+ * deterministic ordering - this is the artifact CI diffs against
+ * tools/tcb-baseline.json, so any closure change is a reviewable hunk.
+ * @p indent prefixes every line (for embedding in a larger document).
+ */
+inline std::string
+renderTcbJson(const TcbInventory &inv, const std::string &indent = "")
+{
+    std::ostringstream os;
+    auto strArray = [&](const char *key,
+                        const std::vector<std::string> &values,
+                        const char *trailer) {
+        os << indent << "  \"" << key << "\": [";
+        for (size_t i = 0; i < values.size(); ++i) {
+            os << (i ? ", " : "") << "\"" << jsonEscape(values[i]) << "\"";
+        }
+        os << "]" << trailer << "\n";
+    };
+    os << indent << "{\n";
+    strArray("entry_points", inv.entry_points, ",");
+    strArray("exempt", inv.exempt, ",");
+    os << indent << "  \"total_functions\": " << inv.total_functions
+       << ",\n";
+    os << indent << "  \"total_loc\": " << inv.total_loc << ",\n";
+    os << indent << "  \"modules\": [";
+    size_t i = 0;
+    bool first_module = true;
+    while (i < inv.functions.size()) {
+        size_t j = i;
+        size_t loc = 0;
+        while (j < inv.functions.size() &&
+               inv.functions[j].module == inv.functions[i].module) {
+            loc += inv.functions[j].loc;
+            ++j;
+        }
+        os << (first_module ? "\n" : ",\n");
+        first_module = false;
+        os << indent << "    {\n";
+        os << indent << "      \"module\": \""
+           << jsonEscape(inv.functions[i].module) << "\",\n";
+        os << indent << "      \"functions\": " << (j - i) << ",\n";
+        os << indent << "      \"loc\": " << loc << ",\n";
+        os << indent << "      \"members\": [\n";
+        for (size_t k = i; k < j; ++k) {
+            const TcbFunction &f = inv.functions[k];
+            os << indent << "        {\"name\": \"" << jsonEscape(f.name)
+               << "\", \"file\": \"" << jsonEscape(f.file)
+               << "\", \"line\": " << f.line << ", \"loc\": " << f.loc
+               << "}" << (k + 1 < j ? "," : "") << "\n";
+        }
+        os << indent << "      ]\n";
+        os << indent << "    }";
+        i = j;
+    }
+    os << (first_module ? "]" : "\n" + indent + "  ]") << "\n";
+    os << indent << "}";
+    return os.str();
+}
+
 // ---- Per-file legacy rules -----------------------------------------------
 
 inline void
@@ -2528,6 +3315,9 @@ struct Options {
     fs::path root;
     std::vector<std::string> extra_secret_sources;
     std::optional<LockOrderSpec> lock_order_spec;
+    /** TCB budget; when unset, <root>/tcb-budget.txt is auto-loaded if
+     *  present (how fixture trees carry their budget). */
+    std::optional<TcbBudget> tcb_budget;
     /** Worker threads for the file-parallel phases; 0 = hardware. */
     unsigned jobs = 1;
 };
@@ -2540,7 +3330,32 @@ struct PassStat {
 struct RunResult {
     std::vector<Violation> violations;
     std::vector<PassStat> stats;
+    TcbInventory tcb;
 };
+
+/**
+ * Machine-readable run report: the sorted violations plus the TCB
+ * inventory in one document, so CI diffs findings and closure with a
+ * single code path (--format=json in the CLI).
+ */
+inline std::string
+renderReportJson(const RunResult &result)
+{
+    std::ostringstream os;
+    os << "{\n  \"violations\": [";
+    for (size_t i = 0; i < result.violations.size(); ++i) {
+        const Violation &v = result.violations[i];
+        os << (i ? ",\n" : "\n");
+        os << "    {\"file\": \"" << jsonEscape(v.file)
+           << "\", \"line\": " << v.line << ", \"rule\": \""
+           << jsonEscape(v.rule) << "\", \"message\": \""
+           << jsonEscape(v.message) << "\"}";
+    }
+    os << (result.violations.empty() ? "]" : "\n  ]") << ",\n";
+    os << "  \"tcb\": " << renderTcbJson(result.tcb, "  ").substr(2)
+       << "\n}\n";
+    return os.str();
+}
 
 /**
  * Full lint run over every .h/.cc under opts.root. File-local phases
@@ -2659,6 +3474,20 @@ runLint(const Options &opts)
     timed("lock-order", [&] {
         runLockOrderPass(files, gm,
                          opts.lock_order_spec.value_or(LockOrderSpec{}));
+    });
+
+    std::optional<TcbBudget> budget = opts.tcb_budget;
+    if (!budget) {
+        budget = loadTcbBudget(opts.root / "tcb-budget.txt");
+    }
+    timed("tcb-audit", [&] { out.tcb = runTcbAudit(files, gm, budget); });
+
+    timed("untrusted-bounds", [&] {
+        forEachFile([&](FileModel &fm) {
+            if (fm.loaded) {
+                runUntrustedBoundsPass(fm);
+            }
+        });
     });
 
     timed("suppressions", [&] {
