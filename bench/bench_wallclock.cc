@@ -198,6 +198,9 @@ main(int argc, char **argv)
         core::LaunchRequest request;
         request.scale = 0.25;
         request.host_threads = base::hardwareThreads();
+        // This section reports COLD launch latency; warm-path numbers
+        // live in the "cache" section (bench_cache_hit).
+        request.use_template_cache = false;
         core::Platform platform;
         double dt = 0;
         u64 pre_encrypted = 0;

@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "sim/cost_model.h"
+#include "stats/json.h"
 #include "stats/summary.h"
 #include "stats/table.h"
 
@@ -240,6 +242,57 @@ throughputRecord(std::string_view name, u64 bytes, double seconds)
         .field("seconds", seconds)
         .field("mb_per_s", mbPerSec(bytes, seconds));
     return o;
+}
+
+/**
+ * Merge one subsection into the "cache" object of an existing
+ * BENCH_wallclock.json (created by bench_wallclock): after the call,
+ * root["cache"][subkey] == parse(section_json), every other member
+ * untouched. Lets bench_cache_hit and bench_fig12_concurrent each own
+ * their slice of the result file without clobbering the other. Errors
+ * are soft (warn + no write) so a missing or hand-edited result file
+ * never fails a bench run.
+ */
+inline void
+patchCacheSection(const std::string &path, const std::string &subkey,
+                  const std::string &section_json)
+{
+    Result<stats::JsonValue> section = stats::parseJson(section_json);
+    if (!section.isOk()) {
+        warn("cache section for ", path,
+             " is not valid JSON: ", section.status().toString());
+        return;
+    }
+    stats::JsonValue::Object root;
+    {
+        std::ifstream in(path);
+        if (in) {
+            std::string text((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+            Result<stats::JsonValue> doc = stats::parseJson(text);
+            if (doc.isOk() && doc->isObject()) {
+                root = doc->asObject();
+            } else {
+                warn(path, " is not a JSON object; starting fresh");
+            }
+        }
+    }
+    stats::JsonValue::Object cache;
+    auto it = root.find("cache");
+    if (it != root.end() && it->second.isObject()) {
+        cache = it->second.asObject();
+    }
+    cache[subkey] = section.take();
+    root["cache"] = stats::JsonValue::object(std::move(cache));
+
+    std::ofstream out(path);
+    if (!out) {
+        warn("could not write ", path);
+        return;
+    }
+    out << stats::dumpJson(stats::JsonValue::object(std::move(root)))
+        << "\n";
+    std::printf("  data: %s (cache.%s)\n", path.c_str(), subkey.c_str());
 }
 
 /**

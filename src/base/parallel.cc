@@ -7,6 +7,10 @@
 #include <thread>
 #include <vector>
 
+#ifdef __linux__
+#include <sched.h>
+#endif
+
 #include "base/mutex.h"
 
 namespace sevf::base {
@@ -229,6 +233,19 @@ unsigned
 hardwareThreads()
 {
     unsigned n = std::thread::hardware_concurrency();
+#ifdef __linux__
+    // Respect the CPU affinity mask (containers, taskset): the usable
+    // parallelism can be far below the machine's core count, and sizing
+    // pools past it only adds contention.
+    cpu_set_t mask;
+    CPU_ZERO(&mask);
+    if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+        unsigned allowed = static_cast<unsigned>(CPU_COUNT(&mask));
+        if (allowed != 0 && (n == 0 || allowed < n)) {
+            n = allowed;
+        }
+    }
+#endif
     return n == 0 ? 1 : n;
 }
 

@@ -1,0 +1,111 @@
+#include "cache/launch_key.h"
+
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "base/bytes.h"
+#include "base/mutex.h"
+
+namespace sevf::cache {
+
+std::string
+LaunchKey::hex() const
+{
+    return toHex(ByteSpan(digest.data(), digest.size()));
+}
+
+LaunchKeyBuilder::LaunchKeyBuilder()
+{
+    feedField("format", asBytes(kFormatVersion));
+}
+
+void
+LaunchKeyBuilder::feedField(std::string_view field, ByteSpan payload)
+{
+    u8 len[8];
+    storeLe<u64>(len, field.size());
+    sha_.update(ByteSpan(len, sizeof(len)));
+    sha_.update(asBytes(field));
+    storeLe<u64>(len, payload.size());
+    sha_.update(ByteSpan(len, sizeof(len)));
+    sha_.update(payload);
+}
+
+void
+LaunchKeyBuilder::addString(std::string_view field, std::string_view v)
+{
+    feedField(field, asBytes(v));
+}
+
+void
+LaunchKeyBuilder::addBytes(std::string_view field, ByteSpan v)
+{
+    feedField(field, v);
+}
+
+void
+LaunchKeyBuilder::addU64(std::string_view field, u64 v)
+{
+    u8 buf[8];
+    storeLe<u64>(buf, v);
+    feedField(field, ByteSpan(buf, sizeof(buf)));
+}
+
+void
+LaunchKeyBuilder::addDouble(std::string_view field, double v)
+{
+    static_assert(sizeof(double) == sizeof(u64));
+    u64 bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    addU64(field, bits);
+}
+
+void
+LaunchKeyBuilder::addBool(std::string_view field, bool v)
+{
+    u8 b = v ? 1 : 0;
+    feedField(field, ByteSpan(&b, 1));
+}
+
+void
+LaunchKeyBuilder::addDigest(std::string_view field,
+                            const crypto::Sha256Digest &d)
+{
+    feedField(field, ByteSpan(d.data(), d.size()));
+}
+
+LaunchKey
+LaunchKeyBuilder::build()
+{
+    LaunchKey key;
+    key.digest = sha_.finalize();
+    return key;
+}
+
+crypto::Sha256Digest
+cachedContentDigest(ByteSpan data)
+{
+    // Keyed by (address, size): safe only because callers pass the
+    // process-lifetime workload buffers, which are never freed, so an
+    // address can never be recycled for different content.
+    using MemoMap =
+        std::map<std::pair<const u8 *, std::size_t>, crypto::Sha256Digest>;
+    static base::Mutex mu;
+    static MemoMap memo;
+    {
+        base::MutexLock lock(mu);
+        auto it = memo.find({data.data(), data.size()});
+        if (it != memo.end()) {
+            return it->second;
+        }
+    }
+    // Hash outside the lock: multi-MiB images, and concurrent launches
+    // of different images should not serialize here.
+    crypto::Sha256Digest digest = crypto::Sha256::digest(data);
+    base::MutexLock lock(mu);
+    memo.emplace(std::make_pair(data.data(), data.size()), digest);
+    return digest;
+}
+
+} // namespace sevf::cache

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Content-addressed cache keys for launch templates.
+ *
+ * A LaunchKey is the SHA-256 of every input that can change what a cold
+ * boot stages, measures, or pre-encrypts: the workload images (by
+ * content digest), the command line, the SEV generation, the boot-struct
+ * policy knobs, and the cost-model parameters that shape the virtual
+ * timeline. Two requests with equal keys produce bit-identical launch
+ * measurements and traces, which is the invariant the template cache
+ * (template_cache.h) relies on. Anything per-launch — seeds, host
+ * thread counts, whether to keep the VM — is deliberately excluded:
+ * those vary without changing the template.
+ */
+#ifndef SEVF_CACHE_LAUNCH_KEY_H_
+#define SEVF_CACHE_LAUNCH_KEY_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/types.h"
+#include "crypto/sha256.h"
+
+namespace sevf::cache {
+
+/** Identity of one launch template (see file comment). */
+struct LaunchKey {
+    crypto::Sha256Digest digest{};
+
+    /** Lowercase hex of the digest; doubles as the on-disk file stem. */
+    std::string hex() const;
+
+    bool operator==(const LaunchKey &o) const { return digest == o.digest; }
+    bool operator!=(const LaunchKey &o) const { return !(*this == o); }
+};
+
+/**
+ * Accumulates key material with domain separation: every field is fed
+ * as len(name) || name || len(payload) || payload, so no two field
+ * layouts can collide by concatenation. The builder starts from a
+ * format-version string; bump kFormatVersion whenever the template
+ * layout changes so stale disk entries miss instead of mis-decode.
+ */
+class LaunchKeyBuilder
+{
+  public:
+    static constexpr std::string_view kFormatVersion = "sevf-template-v1";
+
+    LaunchKeyBuilder();
+
+    void addString(std::string_view field, std::string_view v);
+    void addBytes(std::string_view field, ByteSpan v);
+    void addU64(std::string_view field, u64 v);
+    /** Raw bit pattern, so -0.0 vs 0.0 and NaN payloads stay distinct. */
+    void addDouble(std::string_view field, double v);
+    void addBool(std::string_view field, bool v);
+    void addDigest(std::string_view field, const crypto::Sha256Digest &d);
+
+    /**
+     * Named build(), not finalize(): the TCB audit resolves calls by
+     * globally unique base name, and a second "finalize" would make
+     * Sha256::finalize ambiguous inside the verifier closure.
+     */
+    LaunchKey build();
+
+  private:
+    void feedField(std::string_view field, ByteSpan payload);
+
+    crypto::Sha256 sha_;
+};
+
+/**
+ * Content digest of @p data, memoized by (pointer, size). Only valid
+ * for immortal buffers — the process-lifetime workload artifact caches
+ * (workload/synthetic.cc) — where the address is a stable identity.
+ * Saves re-hashing a multi-MiB kernel image on every key derivation.
+ */
+crypto::Sha256Digest cachedContentDigest(ByteSpan data);
+
+} // namespace sevf::cache
+
+#endif // SEVF_CACHE_LAUNCH_KEY_H_

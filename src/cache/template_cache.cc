@@ -1,0 +1,269 @@
+#include "cache/template_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "cache/template_io.h"
+#include "obs/span.h"
+
+namespace sevf::cache {
+
+namespace {
+
+/** Default in-memory budget: generous enough that tests never evict
+ *  unless they ask to (--cache-bytes overrides). */
+constexpr u64 kDefaultCapacityBytes = 2ull * kGiB;
+
+} // namespace
+
+u64
+LaunchTemplate::byteSize() const
+{
+    u64 total = sizeof(LaunchTemplate);
+    for (const TemplateRegion &region : plan) {
+        total += sizeof(TemplateRegion) + region.name.size();
+        total += region.plaintext ? region.plaintext->size() : 0;
+        total += region.page_digests.size() * sizeof(crypto::Sha256Digest);
+    }
+    total += snapshot.byteSize();
+    for (const sim::Step &step : steps) {
+        total += sizeof(sim::Step) + step.phase.size() + step.label.size() +
+                 step.annotation.size();
+    }
+    return total;
+}
+
+TemplateCache::TemplateCache()
+    : capacity_bytes_(kDefaultCapacityBytes),
+      hits_metric_(obs::Registry::instance().counter(
+          "sevf_cache_hits_total",
+          "Launch-template cache hits (warm launches)")),
+      misses_metric_(obs::Registry::instance().counter(
+          "sevf_cache_misses_total",
+          "Launch-template cache misses (cold template builds)")),
+      evictions_metric_(obs::Registry::instance().counter(
+          "sevf_cache_evictions_total",
+          "Launch templates evicted to fit the byte budget")),
+      inserts_metric_(obs::Registry::instance().counter(
+          "sevf_cache_inserts_total", "Launch templates published")),
+      bytes_metric_(obs::Registry::instance().gauge(
+          "sevf_cache_bytes", "Resident bytes of cached launch templates"))
+{
+}
+
+void
+TemplateCache::setCapacityBytes(u64 bytes)
+{
+    base::MutexLock lock(mu_);
+    capacity_bytes_ = bytes;
+    evictToFitLocked();
+}
+
+u64
+TemplateCache::capacityBytes() const
+{
+    base::MutexLock lock(mu_);
+    return capacity_bytes_;
+}
+
+void
+TemplateCache::setDiskDir(std::string dir)
+{
+    base::MutexLock lock(mu_);
+    disk_dir_ = std::move(dir);
+}
+
+void
+TemplateCache::evictToFitLocked() SEVF_REQUIRES(mu_)
+{
+    while (bytes_ > capacity_bytes_ && !entries_.empty()) {
+        auto victim = entries_.begin();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->second.last_use < victim->second.last_use) {
+                victim = it;
+            }
+        }
+        bytes_ -= victim->second.bytes;
+        entries_.erase(victim);
+        stats_.evictions++;
+        evictions_metric_.add();
+    }
+    stats_.bytes = bytes_;
+    stats_.entries = entries_.size();
+    bytes_metric_.set(static_cast<i64>(bytes_));
+}
+
+void
+TemplateCache::insertLocked(const std::string &key_hex,
+                            std::shared_ptr<const LaunchTemplate> tmpl)
+    SEVF_REQUIRES(mu_)
+{
+    auto old = entries_.find(key_hex);
+    if (old != entries_.end()) {
+        bytes_ -= old->second.bytes;
+        entries_.erase(old);
+    }
+    Entry entry;
+    entry.bytes = tmpl->byteSize();
+    entry.tmpl = std::move(tmpl);
+    entry.last_use = ++lru_clock_;
+    bytes_ += entry.bytes;
+    entries_.emplace(key_hex, std::move(entry));
+    stats_.inserts++;
+    inserts_metric_.add();
+    // May evict the entry just inserted when the budget is smaller than
+    // one template — correct (the cache simply stays empty), and the
+    // eviction test relies on it.
+    evictToFitLocked();
+}
+
+std::shared_ptr<const LaunchTemplate>
+TemplateCache::loadFromDiskLocked(const std::string &key_hex)
+    SEVF_REQUIRES(mu_)
+{
+    if (disk_dir_.empty()) {
+        return nullptr;
+    }
+    Result<std::shared_ptr<const LaunchTemplate>> loaded =
+        loadTemplateFile(disk_dir_ + "/" + key_hex + ".tmpl");
+    // Soft failure: a missing or corrupt file is simply a miss. A
+    // tampered file that does decode replays to a wrong measurement and
+    // is rejected at launch time (see template_io.h).
+    return loaded.isOk() ? loaded.take() : nullptr;
+}
+
+void
+TemplateCache::persistToDiskLocked(const std::string &key_hex,
+                                   const LaunchTemplate &tmpl)
+    SEVF_REQUIRES(mu_)
+{
+    if (disk_dir_.empty()) {
+        return;
+    }
+    // Best effort: an unwritable disk tier degrades to memory-only.
+    Status persisted = saveTemplateFile(disk_dir_ + "/" + key_hex + ".tmpl",
+                                        tmpl);
+    (void)persisted;
+}
+
+TemplateCache::Lookup
+TemplateCache::beginLookup(const LaunchKey &key)
+{
+    SEVF_SPAN("cache.lookup");
+    std::string key_hex = key.hex();
+    base::MutexLock lock(mu_);
+    bool counted_wait = false;
+    for (;;) {
+        auto it = entries_.find(key_hex);
+        if (it != entries_.end()) {
+            it->second.last_use = ++lru_clock_;
+            stats_.hits++;
+            hits_metric_.add();
+            return Lookup{it->second.tmpl, false};
+        }
+        if (building_.count(key_hex) == 0) {
+            std::shared_ptr<const LaunchTemplate> loaded =
+                loadFromDiskLocked(key_hex);
+            if (loaded != nullptr) {
+                insertLocked(key_hex, loaded);
+                auto resident = entries_.find(key_hex);
+                if (resident != entries_.end()) {
+                    stats_.hits++;
+                    hits_metric_.add();
+                    return Lookup{resident->second.tmpl, false};
+                }
+                // Evicted on arrival (budget below one template): still
+                // a hit, serve the loaded copy without caching it.
+                stats_.hits++;
+                hits_metric_.add();
+                return Lookup{loaded, false};
+            }
+            building_.insert(key_hex);
+            stats_.misses++;
+            misses_metric_.add();
+            return Lookup{nullptr, true};
+        }
+        // Another thread is building this exact template: wait for its
+        // publish/abandon instead of duplicating a multi-second build.
+        if (!counted_wait) {
+            stats_.single_flight_waits++;
+            counted_wait = true;
+        }
+        while (building_.count(key_hex) != 0) {
+            build_done_.wait(lock.native());
+        }
+    }
+}
+
+void
+TemplateCache::publish(const LaunchKey &key,
+                       std::shared_ptr<const LaunchTemplate> tmpl)
+{
+    SEVF_SPAN("cache.publish");
+    std::string key_hex = key.hex();
+    base::MutexLock lock(mu_);
+    persistToDiskLocked(key_hex, *tmpl);
+    insertLocked(key_hex, std::move(tmpl));
+    building_.erase(key_hex);
+    build_done_.notify_all();
+}
+
+void
+TemplateCache::abandon(const LaunchKey &key)
+{
+    base::MutexLock lock(mu_);
+    building_.erase(key.hex());
+    build_done_.notify_all();
+}
+
+void
+TemplateCache::invalidate(const LaunchKey &key)
+{
+    std::string key_hex = key.hex();
+    base::MutexLock lock(mu_);
+    auto it = entries_.find(key_hex);
+    if (it != entries_.end()) {
+        bytes_ -= it->second.bytes;
+        entries_.erase(it);
+        stats_.bytes = bytes_;
+        stats_.entries = entries_.size();
+        bytes_metric_.set(static_cast<i64>(bytes_));
+    }
+    if (!disk_dir_.empty()) {
+        // Best effort, like every disk-tier operation.
+        (void)std::remove((disk_dir_ + "/" + key_hex + ".tmpl").c_str());
+    }
+}
+
+std::shared_ptr<const LaunchTemplate>
+TemplateCache::find(const LaunchKey &key)
+{
+    base::MutexLock lock(mu_);
+    auto it = entries_.find(key.hex());
+    if (it == entries_.end()) {
+        return nullptr;
+    }
+    it->second.last_use = ++lru_clock_;
+    return it->second.tmpl;
+}
+
+void
+TemplateCache::clear()
+{
+    base::MutexLock lock(mu_);
+    entries_.clear();
+    bytes_ = 0;
+    stats_.bytes = 0;
+    stats_.entries = 0;
+    bytes_metric_.set(0);
+}
+
+TemplateCache::Stats
+TemplateCache::stats() const
+{
+    base::MutexLock lock(mu_);
+    return stats_;
+}
+
+} // namespace sevf::cache

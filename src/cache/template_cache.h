@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Content-addressed launch-template cache.
+ *
+ * A LaunchTemplate is everything a cold boot computes that depends only
+ * on the LaunchKey: the parsed/decompressed payloads staged for
+ * pre-encryption (with their per-page launch digests), the post-boot
+ * memory image as a copy-on-write snapshot, the virtual-time step
+ * prefix, and the final launch measurement. A cache hit replays the
+ * measurement chain from the stored page digests (the PSP's premeasured
+ * path) instead of re-parsing, re-decompressing, and re-hashing — the
+ * per-launch work that remains is re-encrypting the staged plan with
+ * the fresh VM's key and lazily materializing CoW pages.
+ *
+ * Trust story: the cache lives entirely OUTSIDE the TCB closure
+ * (enforced by tools/ci.sh stage [tcb]). A corrupted template changes
+ * the replayed page digests, which changes the launch measurement,
+ * which the guest owner's attestation check rejects — exactly the same
+ * failure mode as a malicious VMM staging wrong bytes, so caching adds
+ * no new trust assumptions.
+ */
+#ifndef SEVF_CACHE_TEMPLATE_CACHE_H_
+#define SEVF_CACHE_TEMPLATE_CACHE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+#include "base/types.h"
+#include "cache/launch_key.h"
+#include "crypto/sha256.h"
+#include "memory/guest_memory.h"
+#include "obs/metrics.h"
+#include "sim/trace.h"
+
+namespace sevf::cache {
+
+/**
+ * One pre-encryption plan region: the plaintext the warm path stages
+ * into the fresh VM plus the per-page content digests the premeasured
+ * LAUNCH_UPDATE_DATA replays into the launch-digest chain.
+ */
+struct TemplateRegion {
+    std::string name;
+    Gpa gpa = 0;
+    std::shared_ptr<const ByteVec> plaintext;
+    std::vector<crypto::Sha256Digest> page_digests;
+};
+
+/** Verifier work counters, mirrored into LaunchResult on a hit. */
+struct TemplateVerifierStats {
+    u64 pages_validated = 0;
+    u64 bytes_copied = 0;
+    u64 bytes_hashed = 0;
+    u64 pagetable_bytes = 0;
+};
+
+/** The fully prepared launch artifact (see file comment). */
+struct LaunchTemplate {
+    /** Regions for the premeasured launch flow, in cold-boot order. */
+    std::vector<TemplateRegion> plan;
+    /** Memory image captured just before the guest tail ran. */
+    memory::MemorySnapshot snapshot;
+    /** Virtual-time steps of the cold boot up to the capture point. */
+    std::vector<sim::Step> steps;
+    /** True when @p steps already include the guest tail (capture at
+     *  end of boot; the non-SEV stock path). */
+    bool tail_in_steps = false;
+    crypto::Sha256Digest measurement{};
+    u64 pre_encrypted_bytes = 0;
+    TemplateVerifierStats verifier;
+
+    /** Approximate resident size, for LRU-by-bytes accounting. */
+    u64 byteSize() const;
+};
+
+/**
+ * LRU-by-bytes cache of launch templates with single-flight build
+ * deduplication and optional disk persistence.
+ *
+ * Single-flight: the first thread to miss on a key claims the build
+ * (Lookup::claimed); concurrent lookups of the same key block until it
+ * calls publish() or abandon(). Distinct keys never wait on each other.
+ */
+class TemplateCache
+{
+  public:
+    struct Stats {
+        u64 hits = 0;
+        u64 misses = 0;
+        u64 inserts = 0;
+        u64 evictions = 0;
+        u64 single_flight_waits = 0;
+        u64 bytes = 0;
+        u64 entries = 0;
+    };
+
+    struct Lookup {
+        /** Non-null on a hit. */
+        std::shared_ptr<const LaunchTemplate> tmpl;
+        /** True when this caller owns the build: it MUST publish() or
+         *  abandon() the key, or waiters block forever. */
+        bool claimed = false;
+    };
+
+    TemplateCache();
+
+    /** In-memory budget; publishing past it evicts LRU entries. */
+    void setCapacityBytes(u64 bytes);
+    u64 capacityBytes() const;
+
+    /**
+     * Enable disk persistence under @p dir (created by the caller).
+     * Misses fall back to loading <dir>/<key-hex>.tmpl; publishes write
+     * it. Errors are soft: a corrupt or unreadable file is a miss.
+     */
+    void setDiskDir(std::string dir);
+
+    /** Hit, or claim the single-flight build slot (see Lookup). */
+    Lookup beginLookup(const LaunchKey &key);
+
+    /** Install the template built for a claimed key and wake waiters. */
+    void publish(const LaunchKey &key,
+                 std::shared_ptr<const LaunchTemplate> tmpl);
+
+    /** Release a claimed key without publishing (build failed). */
+    void abandon(const LaunchKey &key);
+
+    /**
+     * Drop @p key's entry (in memory and on disk): a template that
+     * failed to replay is removed so the next launch rebuilds it
+     * instead of hitting the same broken entry forever.
+     */
+    void invalidate(const LaunchKey &key);
+
+    /** Plain lookup: no single-flight claim, no blocking. */
+    std::shared_ptr<const LaunchTemplate> find(const LaunchKey &key);
+
+    /** Drop every in-memory entry (disk files stay). */
+    void clear();
+
+    Stats stats() const;
+
+  private:
+    struct Entry {
+        std::shared_ptr<const LaunchTemplate> tmpl;
+        u64 bytes = 0;
+        u64 last_use = 0;
+    };
+
+    /** Evict least-recently-used entries until bytes_ <= capacity. */
+    void evictToFitLocked() SEVF_REQUIRES(mu_);
+    void insertLocked(const std::string &key_hex,
+                      std::shared_ptr<const LaunchTemplate> tmpl)
+        SEVF_REQUIRES(mu_);
+    std::shared_ptr<const LaunchTemplate>
+    loadFromDiskLocked(const std::string &key_hex) SEVF_REQUIRES(mu_);
+    void persistToDiskLocked(const std::string &key_hex,
+                             const LaunchTemplate &tmpl) SEVF_REQUIRES(mu_);
+
+    mutable base::Mutex mu_;
+    std::condition_variable build_done_;
+    std::unordered_map<std::string, Entry> entries_ SEVF_GUARDED_BY(mu_);
+    std::set<std::string> building_ SEVF_GUARDED_BY(mu_);
+    u64 lru_clock_ SEVF_GUARDED_BY(mu_) = 0;
+    u64 capacity_bytes_ SEVF_GUARDED_BY(mu_);
+    u64 bytes_ SEVF_GUARDED_BY(mu_) = 0;
+    std::string disk_dir_ SEVF_GUARDED_BY(mu_);
+    Stats stats_ SEVF_GUARDED_BY(mu_);
+
+    // Registered at construction so the cache_* families appear in
+    // every metrics export (sevf_obscheck requires them) even before
+    // the first lookup.
+    obs::Counter &hits_metric_;
+    obs::Counter &misses_metric_;
+    obs::Counter &evictions_metric_;
+    obs::Counter &inserts_metric_;
+    obs::Gauge &bytes_metric_;
+};
+
+} // namespace sevf::cache
+
+#endif // SEVF_CACHE_TEMPLATE_CACHE_H_

@@ -1,0 +1,183 @@
+#include "core/admission.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/parallel.h"
+#include "obs/metrics.h"
+
+namespace sevf::core {
+
+Result<LaunchResult>
+LaunchTicket::take()
+{
+    base::MutexLock lock(mu_);
+    while (!result_.has_value()) {
+        done_.wait(lock.native());
+    }
+    Result<LaunchResult> out = std::move(*result_);
+    // Leave an explicit error behind: ready() stays true, but a second
+    // take() must not observe the moved-from launch result.
+    result_.emplace(errInvalidState("launch ticket already taken"));
+    return out;
+}
+
+bool
+LaunchTicket::ready() const
+{
+    base::MutexLock lock(mu_);
+    return result_.has_value();
+}
+
+void
+LaunchTicket::complete(Result<LaunchResult> result)
+{
+    {
+        base::MutexLock lock(mu_);
+        result_.emplace(std::move(result));
+    }
+    done_.notify_all();
+}
+
+AdmissionPipeline::AdmissionPipeline(Platform &platform,
+                                     AdmissionConfig config)
+    : platform_(platform),
+      queue_limit_(config.queue_depth == 0 ? 1 : config.queue_depth)
+{
+    unsigned n = config.workers != 0
+                     ? config.workers
+                     : std::clamp(base::hardwareThreads(), 2u, 8u);
+    threads_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        threads_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+AdmissionPipeline::~AdmissionPipeline()
+{
+    drain();
+    {
+        base::MutexLock lock(mu_);
+        stopping_ = true;
+    }
+    work_.notify_all();
+    for (std::thread &t : threads_) {
+        t.join();
+    }
+}
+
+std::shared_ptr<LaunchTicket>
+AdmissionPipeline::submit(StrategyKind kind, LaunchRequest request)
+{
+    auto ticket = std::make_shared<LaunchTicket>();
+    Job job;
+    job.kind = kind;
+    job.request = std::move(request);
+    // The pipeline spends the host's parallelism across launches.
+    job.request.host_threads = 1;
+    job.ticket = ticket;
+    job.enqueue_ns = obs::metricsEnabled() ? obs::wallNowNs() : 0;
+
+    u64 depth = 0;
+    {
+        base::MutexLock lock(mu_);
+        while (queue_.size() >= queue_limit_) {
+            space_.wait(lock.native());
+        }
+        queue_.push_back(std::move(job));
+        depth = queue_.size();
+        stats_.submitted++;
+        stats_.peak_queue_depth =
+            std::max<u64>(stats_.peak_queue_depth, depth);
+    }
+    work_.notify_one();
+    if (obs::metricsEnabled()) {
+        obs::Registry::instance()
+            .counter("sevf_admission_submitted_total",
+                     "Launches admitted to the pipeline")
+            .add();
+        obs::Registry::instance()
+            .gauge("sevf_admission_queue_depth",
+                   "Launches waiting in the admission queue (peak)")
+            .setMax(static_cast<i64>(depth));
+    }
+    return ticket;
+}
+
+void
+AdmissionPipeline::drain()
+{
+    base::MutexLock lock(mu_);
+    while (!queue_.empty() || active_ != 0) {
+        idle_.wait(lock.native());
+    }
+}
+
+AdmissionPipeline::Stats
+AdmissionPipeline::stats() const
+{
+    base::MutexLock lock(mu_);
+    return stats_;
+}
+
+void
+AdmissionPipeline::workerLoop()
+{
+    for (;;) {
+        Job job;
+        {
+            base::MutexLock lock(mu_);
+            while (queue_.empty() && !stopping_) {
+                work_.wait(lock.native());
+            }
+            if (queue_.empty()) {
+                return; // stopping, nothing left to do
+            }
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            active_++;
+        }
+        space_.notify_one();
+        if (job.enqueue_ns != 0) {
+            obs::Registry::instance()
+                .histogram("sevf_admission_queue_wait_ns",
+                           "Wall nanoseconds a launch waited for a worker",
+                           obs::defaultTimeBoundsNs())
+                .observe(obs::wallNowNs() - job.enqueue_ns);
+        }
+
+        // One strategy instance per launch: the template-capture state
+        // inside BootStrategy is per-launch (launch.h).
+        std::unique_ptr<BootStrategy> strategy = makeStrategy(job.kind);
+        Result<LaunchResult> result =
+            strategy->launch(platform_, job.request);
+
+        bool ok = result.isOk();
+        // Count completion BEFORE resolving the ticket (a consumer that
+        // saw its result must see it counted), and stay active until
+        // AFTER (drain() must not return with a ticket still pending).
+        {
+            base::MutexLock lock(mu_);
+            stats_.completed++;
+            if (!ok) {
+                stats_.failed++;
+            }
+        }
+        job.ticket->complete(std::move(result));
+        {
+            base::MutexLock lock(mu_);
+            active_--;
+            if (queue_.empty() && active_ == 0) {
+                idle_.notify_all();
+            }
+        }
+        if (obs::metricsEnabled()) {
+            obs::Registry::instance()
+                .counter("sevf_admission_completed_total",
+                         "Launches completed by the pipeline")
+                .add();
+        }
+    }
+}
+
+} // namespace sevf::core

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Concurrent-launch admission pipeline (the Fig 12 serving path).
+ *
+ * A fixed pool of worker threads drains a bounded FIFO of launch
+ * requests. Admission control is the bounded queue itself: submit()
+ * blocks while the queue is full, so a burst of invocations applies
+ * back-pressure instead of piling up unboundedly. Stage overlap falls
+ * out of the concurrency model: while one launch serializes through
+ * the PSP command gate (psp::TicketGate), other launches run their
+ * CPU-side work (staging, hashing, pre-encryption, template capture),
+ * which is exactly the PSP/CPU overlap the paper's Fig 12 bottleneck
+ * analysis calls for. Identical concurrent requests collapse into one
+ * template build via the cache's single-flight claim, and every
+ * follower boots warm.
+ *
+ * Each admitted launch runs with host_threads forced to 1: the pipeline
+ * spends the host's parallelism ACROSS launches; within a launch the
+ * page-parallel kernels (base::ThreadPool via base::parallelFor) would
+ * otherwise contend with sibling workers.
+ */
+#ifndef SEVF_CORE_ADMISSION_H_
+#define SEVF_CORE_ADMISSION_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+#include "core/launch.h"
+
+namespace sevf::core {
+
+/**
+ * Completion handle for one admitted launch. Single-consumer: take()
+ * moves the result out; a second take() returns kInvalidState.
+ */
+class LaunchTicket
+{
+  public:
+    /** Block until the launch completes, then take its result. */
+    Result<LaunchResult> take();
+
+    /** True once the result is available (take() will not block). */
+    bool ready() const;
+
+  private:
+    friend class AdmissionPipeline;
+
+    void complete(Result<LaunchResult> result);
+
+    mutable base::Mutex mu_;
+    std::condition_variable done_;
+    std::optional<Result<LaunchResult>> result_ SEVF_GUARDED_BY(mu_);
+};
+
+struct AdmissionConfig {
+    /** Worker threads; 0 = clamp(base::hardwareThreads(), 2, 8). */
+    unsigned workers = 0;
+    /** Queue slots; submit() blocks while this many launches wait. */
+    std::size_t queue_depth = 32;
+};
+
+/**
+ * The pipeline. Destruction drains the queue (every submitted ticket
+ * completes) before joining the workers.
+ */
+class AdmissionPipeline
+{
+  public:
+    struct Stats {
+        u64 submitted = 0;
+        u64 completed = 0;
+        u64 failed = 0;
+        u64 peak_queue_depth = 0;
+    };
+
+    explicit AdmissionPipeline(Platform &platform,
+                               AdmissionConfig config = {});
+    ~AdmissionPipeline();
+
+    AdmissionPipeline(const AdmissionPipeline &) = delete;
+    AdmissionPipeline &operator=(const AdmissionPipeline &) = delete;
+
+    /**
+     * Admit one launch; blocks while the queue is full. The returned
+     * ticket resolves when a worker finishes the boot. @p request's
+     * host_threads is overridden to 1 (see file comment).
+     */
+    std::shared_ptr<LaunchTicket> submit(StrategyKind kind,
+                                         LaunchRequest request);
+
+    /** Block until the queue is empty and every worker is idle. */
+    void drain();
+
+    Stats stats() const;
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+  private:
+    struct Job {
+        StrategyKind kind = StrategyKind::kStockFirecracker;
+        LaunchRequest request;
+        std::shared_ptr<LaunchTicket> ticket;
+        u64 enqueue_ns = 0;
+    };
+
+    void workerLoop();
+
+    Platform &platform_;
+    std::size_t queue_limit_;
+
+    mutable base::Mutex mu_;
+    std::condition_variable space_; //!< queue has a free slot
+    std::condition_variable work_;  //!< queue has a job / stopping
+    std::condition_variable idle_;  //!< queue empty and no job running
+    std::deque<Job> queue_ SEVF_GUARDED_BY(mu_);
+    unsigned active_ SEVF_GUARDED_BY(mu_) = 0;
+    bool stopping_ SEVF_GUARDED_BY(mu_) = false;
+    Stats stats_ SEVF_GUARDED_BY(mu_);
+
+    std::vector<std::thread> threads_;
+};
+
+} // namespace sevf::core
+
+#endif // SEVF_CORE_ADMISSION_H_

@@ -18,12 +18,20 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
-// Forward declaration to keep the header light.
+// Forward declarations to keep the header light.
 namespace sevf::vmm {
 class MicroVm;
 }
+namespace sevf::attest {
+struct PreEncryptedRegion;
+}
+namespace sevf::cache {
+struct LaunchTemplate;
+}
 
+#include "cache/launch_key.h"
 #include "compress/codec.h"
 #include "memory/sev_mode.h"
 #include "core/platform.h"
@@ -88,11 +96,21 @@ struct LaunchRequest {
      * Host worker threads for the page-parallel launch pipeline
      * (pre-encryption, measurement page digests, out-of-band hashing,
      * image staging). 0 = inherit the Platform knob; 1 = fully serial.
-     * The thread count is invisible in results: chunk boundaries depend
-     * only on the data, so measurements, attestation reports, and
-     * simulated timings are bit-identical at every value.
+     * The thread count is invisible in results: measurements,
+     * attestation reports, and simulated timings are bit-identical at
+     * every value.
      */
     unsigned host_threads = 0;
+    /**
+     * Consult the platform's launch-template cache: a hit skips image
+     * parsing, compression, hashing, and pre-encryption entirely and
+     * replays the recorded measurement chain instead (cache/). The
+     * result is bit-identical to a cold boot - same measurement, same
+     * BootTrace, same timeline; only host wall-clock changes. Launches
+     * with guest_kaslr set always boot cold (the slide is per-launch
+     * entropy by design).
+     */
+    bool use_template_cache = true;
 };
 
 /** Outcome of one cold boot. */
@@ -116,13 +134,22 @@ struct LaunchResult {
     u64 kaslr_slide = 0;
     /** The booted VM, retained only when LaunchRequest::keep_vm. */
     std::shared_ptr<vmm::MicroVm> vm;
+    /** True when this launch was served from the template cache. */
+    bool cache_hit = false;
 
     /** Total boot time excluding/including attestation. */
     sim::Duration bootTime() const;
     sim::Duration totalTime() const { return trace.total(); }
 };
 
-/** A cold-boot scheme. */
+class TraceBuilder;
+
+/**
+ * A boot scheme. One instance serves one launch at a time: launch()
+ * keeps per-launch template-capture state in the strategy object, so
+ * concurrent launches must each use their own instance (the admission
+ * pipeline constructs one per request).
+ */
 class BootStrategy
 {
   public:
@@ -136,9 +163,11 @@ class BootStrategy
     std::string_view name() const { return strategyName(kind()); }
 
     /**
-     * Run one cold boot on @p platform. Installs the effective
-     * host-thread count (request knob, falling back to the platform
-     * knob) for the duration of the launch, then runs the strategy.
+     * Run one boot. Installs the effective host-thread count (request
+     * knob, falling back to the platform knob) for the duration of the
+     * launch, consults the platform's template cache (warm boot on a
+     * hit, single-flight template capture on a miss), then runs the
+     * strategy cold if no usable template exists.
      */
     Result<LaunchResult> launch(Platform &platform,
                                 const LaunchRequest &request);
@@ -147,7 +176,48 @@ class BootStrategy
     /** Strategy body; runs with the host-thread knob already set. */
     virtual Result<LaunchResult> doLaunch(Platform &platform,
                                           const LaunchRequest &request) = 0;
+
+    /**
+     * Capture hook, called by each strategy at the template point: the
+     * instant where all host-side launch work (staging, pre-encryption,
+     * measurement, verifier, bootstrap) is done and only the guest boot
+     * tail remains. No-op unless launch() claimed a single-flight
+     * template build for this launch. @p tail_in_steps marks strategies
+     * whose trace already includes the tail at the capture point (the
+     * non-SEV baseline); warm boots then skip the live tail.
+     */
+    void maybeCaptureTemplate(
+        const LaunchRequest &request, vmm::MicroVm &vm,
+        const TraceBuilder &tb,
+        const std::vector<attest::PreEncryptedRegion> &plan,
+        const LaunchResult &result, bool tail_in_steps);
+
+  private:
+    /** Warm boot from a cached template (strategies.cc). */
+    Result<LaunchResult> launchFromTemplate(Platform &platform,
+                                            const LaunchRequest &request,
+                                            const cache::LaunchTemplate &t);
+
+    /** Single-flight build claim for the launch currently running. */
+    struct TemplateClaim {
+        bool armed = false;
+        std::shared_ptr<cache::LaunchTemplate> built;
+    };
+    TemplateClaim claim_;
 };
+
+/**
+ * The template-cache key for @p request under @p kind: a digest over
+ * every input that shapes the prepared launch state - strategy, kernel
+ * artifacts (by content digest), codecs, VM shape, SEV mode/policy, and
+ * the full cost-parameter set (step durations live in the cached
+ * trace). Deliberately excludes attest, seed, keep_vm, and
+ * host_threads: none of them affect the template (the attested tail
+ * always runs live, and thread count is invisible in results).
+ */
+cache::LaunchKey buildLaunchKey(const Platform &platform,
+                                const LaunchRequest &request,
+                                StrategyKind kind);
 
 /** Factory for the five strategies. */
 std::unique_ptr<BootStrategy> makeStrategy(StrategyKind kind);

@@ -1,19 +1,24 @@
 #include "core/platform.h"
 
+#include "cache/template_cache.h"
+
 namespace sevf::core {
 
 Platform::Platform(sim::CostParams params, u64 seed)
     : cost_(params),
-      psp_(std::make_unique<psp::Psp>("EPYC-7313P-SIM", key_server_, seed))
+      psp_(std::make_unique<psp::Psp>("EPYC-7313P-SIM", key_server_, seed)),
+      template_cache_(std::make_unique<cache::TemplateCache>())
 {
 }
+
+// Out of line so the header only needs TemplateCache's declaration.
+Platform::~Platform() = default;
 
 Spa
 Platform::allocateSpaWindow(u64 size)
 {
-    Spa window = next_spa_;
-    next_spa_ += alignUp(size, kGiB);
-    return window;
+    return next_spa_.fetch_add(alignUp(size, kGiB),
+                               std::memory_order_relaxed);
 }
 
 } // namespace sevf::core

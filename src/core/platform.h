@@ -8,11 +8,16 @@
 #ifndef SEVF_CORE_PLATFORM_H_
 #define SEVF_CORE_PLATFORM_H_
 
+#include <atomic>
 #include <memory>
 
 #include "psp/key_server.h"
 #include "psp/psp.h"
 #include "sim/cost_model.h"
+
+namespace sevf::cache {
+class TemplateCache;
+}
 
 namespace sevf::core {
 
@@ -21,6 +26,7 @@ class Platform
   public:
     explicit Platform(sim::CostParams params = sim::CostParams::calibrated(),
                       u64 seed = 0x7313);
+    ~Platform();
 
     Platform(const Platform &) = delete;
     Platform &operator=(const Platform &) = delete;
@@ -40,11 +46,20 @@ class Platform
     unsigned hostThreads() const { return host_threads_; }
     void setHostThreads(unsigned n) { host_threads_ = n == 0 ? 1 : n; }
 
+    /**
+     * This platform's launch-template cache (cache/template_cache.h).
+     * Strategies consult it on every launch unless the request opts
+     * out; sevf_boot's --cache-* flags configure it.
+     */
+    cache::TemplateCache &templateCache() { return *template_cache_; }
+
   private:
     psp::KeyServer key_server_;
     sim::CostModel cost_;
     std::unique_ptr<psp::Psp> psp_;
-    Spa next_spa_ = 0x100000000ull;
+    std::unique_ptr<cache::TemplateCache> template_cache_;
+    /** Atomic: concurrent launches allocate windows without a lock. */
+    std::atomic<Spa> next_spa_{0x100000000ull};
     unsigned host_threads_ = 1;
 };
 

@@ -15,6 +15,7 @@ launchResultToJson(const LaunchResult &result, bool include_steps)
     json.key("total_time_ms").value(result.totalTime().toMsF());
     json.key("pre_encrypted_bytes").value(result.pre_encrypted_bytes);
     json.key("attested").value(result.attested);
+    json.key("cache_hit").value(result.cache_hit);
     json.key("provisioned_secret_bytes")
         .value(result.provisioned_secret_bytes);
     json.key("kaslr_slide").value(result.kaslr_slide);

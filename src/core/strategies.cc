@@ -13,7 +13,9 @@
 #include "attest/guest_owner.h"
 #include "base/bytes.h"
 #include "base/parallel.h"
+#include "cache/template_cache.h"
 #include "core/trace_builder.h"
+#include "crypto/measurement.h"
 #include "firmware/ovmf.h"
 #include "guest/attestation_client.h"
 #include "guest/bootstrap_loader.h"
@@ -80,7 +82,9 @@ Result<GuestBootTail>
 runGuestTail(Platform &platform, const LaunchRequest &request,
              TraceBuilder &tb, memory::GuestMemory &mem,
              psp::GuestHandle handle,
-             const std::vector<attest::PreEncryptedRegion> &plan)
+             const std::vector<attest::PreEncryptedRegion> &plan,
+             const std::optional<crypto::Sha256Digest> &expected =
+                 std::nullopt)
 {
     const sim::CostModel &cost = platform.cost();
     const workload::KernelSpec &spec = workload::kernelSpec(request.kernel);
@@ -101,9 +105,13 @@ runGuestTail(Platform &platform, const LaunchRequest &request,
         vmsa = attest::VmsaInfo{request.vm.vcpus, request.vm.sev_policy,
                                 layout::kVmsaGpa};
     }
+    // Warm boots pass the template measurement (verified equal to this
+    // launch's LAUNCH_MEASURE) instead of re-deriving it from the plan.
     ByteVec secret = ownerSecret(request.seed);
     attest::GuestOwner owner(platform.keyServer(),
-                             attest::expectedMeasurement(plan, vmsa),
+                             expected ? *expected
+                                      : attest::expectedMeasurement(plan,
+                                                                    vmsa),
                              secret, request.seed ^ 0x0143);
     Result<guest::AttestationOutcome> outcome = guest::runAttestation(
         platform.psp(), handle, mem, kSecretGpa, owner,
@@ -219,6 +227,10 @@ class StockFirecrackerStrategy final : public BootStrategy
                kLinuxBoot, "linux_boot");
         tb.cpu(cost.initExec(), kLinuxBoot, "exec_init");
 
+        // Non-SEV: nothing is measured, so the whole boot (tail
+        // included) is template state.
+        maybeCaptureTemplate(request, vm, tb, {}, result,
+                             /*tail_in_steps=*/true);
         if (request.keep_vm) {
             result.vm = vm_ptr;
         }
@@ -449,6 +461,8 @@ class SeveriFastStrategy final : public BootStrategy
                    kBootstrapLoader, "decompress_initrd");
         }
 
+        maybeCaptureTemplate(request, vm, tb, *plan, result,
+                             /*tail_in_steps=*/false);
         Result<GuestBootTail> tail = runGuestTail(platform, request, tb,
                                                   vm.memory(), *handle,
                                                   *plan);
@@ -585,6 +599,8 @@ class QemuOvmfStrategy final : public BootStrategy
         tb.cpu(cost.lz4Decompress(loaded->decompressed_bytes),
                kBootstrapLoader, "decompress_kernel");
 
+        maybeCaptureTemplate(request, vm, tb, plan, result,
+                             /*tail_in_steps=*/false);
         Result<GuestBootTail> tail = runGuestTail(platform, request, tb,
                                                   vm.memory(), *handle,
                                                   plan);
@@ -724,6 +740,8 @@ class SevDirectBootStrategy final : public BootStrategy
                    kBootstrapLoader, "decompress_kernel");
         }
 
+        maybeCaptureTemplate(request, vm, tb, plan, result,
+                             /*tail_in_steps=*/false);
         Result<GuestBootTail> tail = runGuestTail(platform, request, tb,
                                                   vm.memory(), *handle,
                                                   plan);
@@ -761,6 +779,235 @@ LaunchResult::bootTime() const
     return trace.total() - trace.phaseTotal(sim::phase::kAttestation);
 }
 
+namespace {
+
+void
+observeLaunchSim(const LaunchResult &result)
+{
+    if (!obs::metricsEnabled()) {
+        return;
+    }
+    static obs::Histogram &sim_ns = obs::Registry::instance().histogram(
+        "sevf_launch_sim_ns",
+        "Total simulated launch duration (attestation included)",
+        obs::defaultTimeBoundsNs());
+    sim_ns.observe(static_cast<u64>(result.trace.total().ns()));
+}
+
+} // namespace
+
+cache::LaunchKey
+buildLaunchKey(const Platform &platform, const LaunchRequest &request,
+               StrategyKind kind)
+{
+    cache::LaunchKeyBuilder kb;
+    kb.addString("strategy", strategyName(kind));
+    kb.addString("kernel", workload::kernelSpec(request.kernel).name);
+    kb.addDouble("scale", request.scale);
+    kb.addU64("sev_mode", static_cast<u64>(request.sev_mode));
+    kb.addU64("memory_size", request.vm.memory_size);
+    kb.addU64("vcpus", request.vm.vcpus);
+    kb.addString("cmdline", request.vm.cmdline);
+    kb.addBool("hugepages", request.vm.hugepages);
+    kb.addU64("sev_policy", request.vm.sev_policy);
+    kb.addBool("out_of_band_hashing", request.out_of_band_hashing);
+    kb.addU64("kernel_codec", static_cast<u64>(request.kernel_codec));
+    kb.addU64("initrd_codec", static_cast<u64>(request.initrd_codec));
+    kb.addU64("verifier_size", request.verifier_size);
+    kb.addBool("share_platform_key", request.share_platform_key);
+
+    // Workload images by content: any byte change anywhere in a kernel
+    // or initrd produces a different key.
+    const workload::KernelArtifacts &art =
+        workload::cachedKernelArtifacts(request.kernel, request.scale);
+    kb.addDigest("vmlinux", cache::cachedContentDigest(art.vmlinux));
+    kb.addDigest("bzimage", cache::cachedContentDigest(art.bzimage));
+    kb.addDigest("initrd", cache::cachedContentDigest(
+                               workload::cachedInitrd(request.scale)));
+
+    // The cached trace stores concrete step durations, so every cost
+    // parameter is key material. The assert pins the struct layout:
+    // adding a parameter must revisit this function.
+    static_assert(sizeof(sim::CostParams) == 44 * sizeof(double),
+                  "CostParams changed: update buildLaunchKey");
+    const sim::CostParams &p = platform.cost().params();
+    kb.addBytes("cost_params",
+                ByteSpan(reinterpret_cast<const u8 *>(&p), sizeof(p)));
+    return kb.build();
+}
+
+void
+BootStrategy::maybeCaptureTemplate(
+    const LaunchRequest &request, vmm::MicroVm &vm, const TraceBuilder &tb,
+    const std::vector<attest::PreEncryptedRegion> &plan,
+    const LaunchResult &result, bool tail_in_steps)
+{
+    if (!claim_.armed) {
+        return;
+    }
+    SEVF_SPAN("cache.capture", "strategy", strategyName(kind()));
+
+    // The warm path regenerates the plan regions (premeasured launch
+    // flow) and the VMSAs (live LAUNCH_UPDATE_VMSA) itself, so both are
+    // excluded from the memory snapshot.
+    std::vector<memory::GpaRange> exclude;
+    for (const attest::PreEncryptedRegion &r : plan) {
+        exclude.push_back({alignDown(r.gpa, kPageSize),
+                           alignUp(r.gpa + r.bytes.size(), kPageSize)});
+    }
+    if (memory::hasEncryptedState(vm.memory().sevMode())) {
+        exclude.push_back({layout::kVmsaGpa,
+                           layout::kVmsaGpa +
+                               u64{request.vm.vcpus} * kPageSize});
+    }
+    Result<memory::MemorySnapshot> snap =
+        vm.memory().captureSnapshot(exclude);
+    if (!snap.isOk()) {
+        // Refusing to cache (e.g. secret-labelled pages) is always
+        // safe: this and future launches simply stay cold.
+        return;
+    }
+
+    auto t = std::make_shared<cache::LaunchTemplate>();
+    for (const attest::PreEncryptedRegion &r : plan) {
+        cache::TemplateRegion region;
+        region.name = r.name;
+        region.gpa = r.gpa;
+        region.page_digests = crypto::pageContentDigests(r.bytes);
+        region.plaintext = std::make_shared<const ByteVec>(r.bytes);
+        t->plan.push_back(std::move(region));
+    }
+    t->snapshot = snap.take();
+    t->steps = tb.trace().steps();
+    t->tail_in_steps = tail_in_steps;
+    t->measurement = result.measurement;
+    t->pre_encrypted_bytes = result.pre_encrypted_bytes;
+    t->verifier.pages_validated = result.verifier_stats.pages_validated;
+    t->verifier.bytes_copied = result.verifier_stats.bytes_copied;
+    t->verifier.bytes_hashed = result.verifier_stats.bytes_hashed;
+    t->verifier.pagetable_bytes = result.verifier_stats.pagetable_bytes;
+    claim_.built = std::move(t);
+}
+
+Result<LaunchResult>
+BootStrategy::launchFromTemplate(Platform &platform,
+                                 const LaunchRequest &request,
+                                 const cache::LaunchTemplate &t)
+{
+    SEVF_SPAN("launch_from_template", "strategy", strategyName(kind()));
+    LaunchResult result;
+    result.strategy = kind();
+    result.cache_hit = true;
+    TraceBuilder tb(result.timeline);
+
+    const bool sev = kind() != StrategyKind::kStockFirecracker;
+    auto vm_ptr =
+        sev ? std::make_shared<vmm::MicroVm>(
+                  request.vm,
+                  platform.allocateSpaWindow(request.vm.memory_size),
+                  platform.psp().allocateAsid(), request.sev_mode)
+            : std::make_shared<vmm::MicroVm>(
+                  request.vm,
+                  platform.allocateSpaWindow(request.vm.memory_size),
+                  /*asid=*/0);
+    vmm::MicroVm &vm = *vm_ptr;
+    if (vm.memory().size() != t.snapshot.memory_size) {
+        return errInvalidState(
+            "cached template does not match the VM memory size");
+    }
+
+    psp::GuestHandle handle = 0;
+    if (sev) {
+        // The real PSP launch flow, but with the measurement chain
+        // extended from the cached per-page digests instead of
+        // re-hashing the plan: the plaintext is re-encrypted under THIS
+        // VM's key (ciphertexts are per-VM; digests are not).
+        Result<psp::GuestHandle> started =
+            request.share_platform_key
+                ? platform.psp().launchStartShared(vm.memory(),
+                                                   request.vm.sev_policy)
+                : platform.psp().launchStart(vm.memory(),
+                                             request.vm.sev_policy);
+        if (!started.isOk()) {
+            return started.status();
+        }
+        handle = *started;
+        for (const cache::TemplateRegion &r : t.plan) {
+            SEVF_RETURN_IF_ERROR(
+                vm.memory().hostWrite(r.gpa, *r.plaintext));
+            SEVF_RETURN_IF_ERROR(
+                platform.psp().launchUpdateDataPremeasured(
+                    handle, vm.memory(), r.gpa, r.plaintext->size(),
+                    r.page_digests));
+        }
+        if (memory::hasEncryptedState(vm.memory().sevMode())) {
+            for (u32 cpu = 0; cpu < request.vm.vcpus; ++cpu) {
+                SEVF_RETURN_IF_ERROR(platform.psp().launchUpdateVmsa(
+                    handle, vm.memory(), cpu,
+                    layout::kVmsaGpa + cpu * kPageSize));
+            }
+        }
+        SEVF_RETURN_IF_ERROR(platform.psp().launchFinish(handle));
+        Result<crypto::Sha256Digest> measured =
+            platform.psp().launchMeasure(handle);
+        if (!measured.isOk()) {
+            return measured.status();
+        }
+        result.measurement = *measured;
+        // End-to-end integrity gate for the whole cache (template_io.h):
+        // any corruption of plaintext or digests lands here.
+        if (result.measurement != t.measurement) {
+            return errInvalidState(
+                "cached template replays to a different launch "
+                "measurement");
+        }
+    }
+
+    // Guest-produced state (verifier outputs, private component copies,
+    // page tables) arrives as copy-on-write views of the template;
+    // pages are re-encrypted under this VM's key only when touched.
+    SEVF_RETURN_IF_ERROR(vm.memory().instantiateSnapshot(t.snapshot));
+
+    // Re-charge the cold boot's virtual-time step prefix verbatim: the
+    // cache saves host wall-clock, never simulated guest time.
+    for (const sim::Step &s : t.steps) {
+        tb.replay(s);
+    }
+
+    if (!t.tail_in_steps) {
+        Result<GuestBootTail> tail =
+            runGuestTail(platform, request, tb, vm.memory(), handle, {},
+                         t.measurement);
+        if (!tail.isOk()) {
+            return tail.status();
+        }
+        result.attested = tail->attested;
+        result.provisioned_secret_bytes = tail->secret_bytes;
+    }
+
+    result.pre_encrypted_bytes = t.pre_encrypted_bytes;
+    result.verifier_stats.pages_validated = t.verifier.pages_validated;
+    result.verifier_stats.bytes_copied = t.verifier.bytes_copied;
+    result.verifier_stats.bytes_hashed = t.verifier.bytes_hashed;
+    result.verifier_stats.pagetable_bytes = t.verifier.pagetable_bytes;
+    if (obs::metricsEnabled()) {
+        // Sampled here rather than inside GuestMemory: materialization
+        // runs on TCB-reachable read paths, where the obs layer must
+        // not be called (tools/tcb-baseline.json).
+        static obs::Counter &materialized =
+            obs::Registry::instance().counter(
+                "sevf_cow_pages_materialized_total",
+                "Copy-on-write template pages copied into DRAM on "
+                "first touch during a warm launch");
+        materialized.add(vm.memory().cowMaterializedCount());
+    }
+    if (request.keep_vm) {
+        result.vm = vm_ptr;
+    }
+    result.trace = tb.take();
+    return result;
+}
+
 Result<LaunchResult>
 BootStrategy::launch(Platform &platform, const LaunchRequest &request)
 {
@@ -774,13 +1021,41 @@ BootStrategy::launch(Platform &platform, const LaunchRequest &request)
         .counter("sevf_launch_total", "Completed launch attempts",
                  {{"strategy", strategyName(kind())}})
         .add();
+
+    // Template-cache dispatch. KASLR launches draw per-launch entropy
+    // by design and always boot cold.
+    claim_ = TemplateClaim{};
+    std::optional<cache::LaunchKey> key;
+    if (request.use_template_cache && !request.guest_kaslr) {
+        key = buildLaunchKey(platform, request, kind());
+        cache::TemplateCache::Lookup hit =
+            platform.templateCache().beginLookup(*key);
+        if (hit.tmpl != nullptr) {
+            Result<LaunchResult> warm =
+                launchFromTemplate(platform, request, *hit.tmpl);
+            if (warm.isOk()) {
+                observeLaunchSim(*warm);
+                return warm;
+            }
+            // The template failed to replay (stale or tampered disk
+            // entry): drop it and boot cold; a later launch rebuilds.
+            platform.templateCache().invalidate(*key);
+        } else if (hit.claimed) {
+            claim_.armed = true;
+        }
+    }
+
     Result<LaunchResult> result = doLaunch(platform, request);
-    if (result.isOk() && obs::metricsEnabled()) {
-        static obs::Histogram &sim_ns = obs::Registry::instance().histogram(
-            "sevf_launch_sim_ns",
-            "Total simulated launch duration (attestation included)",
-            obs::defaultTimeBoundsNs());
-        sim_ns.observe(static_cast<u64>((*result).trace.total().ns()));
+    if (claim_.armed) {
+        if (result.isOk() && claim_.built != nullptr) {
+            platform.templateCache().publish(*key, claim_.built);
+        } else {
+            platform.templateCache().abandon(*key);
+        }
+        claim_ = TemplateClaim{};
+    }
+    if (result.isOk()) {
+        observeLaunchSim(*result);
     }
     return result;
 }

@@ -49,8 +49,28 @@ class TraceBuilder
         add(sim::StepKind::kNet, d, phase, std::move(label));
     }
 
+    /**
+     * Re-charge a step recorded by a previous launch (the template-cache
+     * warm path). Advances virtual time, mirrors the debug-port
+     * timeline, and reports to obs exactly like a live add(), so a
+     * replayed launch produces a bit-identical BootTrace and timeline:
+     * the cache saves host wall-clock, never simulated time — the PSP
+     * and guest work it models still happens per-VM in reality.
+     */
+    void
+    replay(const sim::Step &s)
+    {
+        sim::TimePoint start = now_;
+        now_ += s.duration;
+        port_.record(now_, s.label);
+        observe(s.kind, s.duration, s.phase.c_str(), s.label, start);
+        trace_.addStep(s);
+    }
+
     sim::TimePoint now() const { return now_; }
     sim::BootTrace take() { return std::move(trace_); }
+    /** Steps charged so far (template capture reads the prefix). */
+    const sim::BootTrace &trace() const { return trace_; }
 
     /** obs launch id for this builder's launch (0 when tracing is off). */
     u64 obsLaunchId() const { return obs_launch_; }

@@ -24,13 +24,20 @@ WarmPool::invoke(u64 seed)
 {
     SEVF_SPAN("warm_pool.invoke");
     Invocation inv;
-    if (idle_ > 0) {
-        // Keep-alive hit: previously attested state reused by the same
-        // guest owner (§7.1) - only the resume cost is paid.
-        --idle_;
+    bool took_warm = false;
+    {
+        base::MutexLock lock(mu_);
+        if (idle_ > 0) {
+            // Keep-alive hit: previously attested state reused by the
+            // same guest owner (§7.1) - only the resume cost is paid.
+            --idle_;
+            ++stats_.warm_hits;
+            took_warm = true;
+        }
+    }
+    if (took_warm) {
         inv.warm = true;
         inv.startup_latency = resume_cost_;
-        ++stats_.warm_hits;
         if (obs::metricsEnabled()) {
             static obs::Counter &hits = obs::Registry::instance().counter(
                 "sevf_warm_pool_hits_total",
@@ -38,6 +45,8 @@ WarmPool::invoke(u64 seed)
             hits.add();
         }
     } else {
+        // Cold boot outside the pool lock, so concurrent cold starts
+        // overlap (and dedup through the template cache).
         LaunchRequest request = base_;
         request.seed = seed;
         Result<LaunchResult> cold =
@@ -47,7 +56,6 @@ WarmPool::invoke(u64 seed)
         }
         inv.warm = false;
         inv.startup_latency = cold->bootTime();
-        ++stats_.cold_starts;
         if (obs::metricsEnabled()) {
             static obs::Counter &cold_starts =
                 obs::Registry::instance().counter(
@@ -55,6 +63,8 @@ WarmPool::invoke(u64 seed)
                     "Warm-pool invocations that required a full launch");
             cold_starts.add();
         }
+        base::MutexLock lock(mu_);
+        ++stats_.cold_starts;
         if (stats_.resident_vms < capacity_) {
             ++stats_.resident_vms;
             stats_.resident_guest_bytes += base_.vm.memory_size;
@@ -62,8 +72,11 @@ WarmPool::invoke(u64 seed)
     }
     // Invocation completes; its VM (old or new) becomes idle if the
     // pool has room.
-    if (idle_ < stats_.resident_vms) {
-        ++idle_;
+    {
+        base::MutexLock lock(mu_);
+        if (idle_ < stats_.resident_vms) {
+            ++idle_;
+        }
     }
     return inv;
 }

@@ -17,6 +17,8 @@
 #include <deque>
 #include <memory>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "core/launch.h"
 
 namespace sevf::core {
@@ -39,6 +41,10 @@ struct WarmPoolStats {
  * A keep-alive pool: invocations take a warm VM when one is idle and
  * cold-boot otherwise; finished VMs re-enter the pool up to the
  * capacity. Timing is virtual like everything else.
+ *
+ * Thread-safe: concurrent invoke() calls race for idle VMs exactly like
+ * concurrent function invocations race for keep-alives (losers boot
+ * cold). Cold boots run outside the pool lock, so they overlap.
  */
 class WarmPool
 {
@@ -63,7 +69,11 @@ class WarmPool
      */
     Result<Invocation> invoke(u64 seed);
 
-    const WarmPoolStats &stats() const { return stats_; }
+    WarmPoolStats stats() const
+    {
+        base::MutexLock lock(mu_);
+        return stats_;
+    }
 
   private:
     Platform &platform_;
@@ -71,8 +81,9 @@ class WarmPool
     LaunchRequest base_;
     std::size_t capacity_;
     sim::Duration resume_cost_;
-    std::size_t idle_ = 0; //!< idle warm VMs
-    WarmPoolStats stats_;
+    mutable base::Mutex mu_;
+    std::size_t idle_ SEVF_GUARDED_BY(mu_) = 0; //!< idle warm VMs
+    WarmPoolStats stats_ SEVF_GUARDED_BY(mu_);
 };
 
 /** Outcome of the cross-VM dedup scan. */

@@ -29,6 +29,27 @@ LaunchDigest::extend(MeasuredPageType type, u64 gpa,
     digest_ = Sha256::digest(ByteSpan(info, sizeof(info)));
 }
 
+std::vector<Sha256Digest>
+pageContentDigests(ByteSpan data)
+{
+    // Per-page content digests are independent, so they fan out across
+    // host threads. The split point is fixed by the data, so the digest
+    // list is bit-identical at every thread count.
+    std::size_t pages = pagesFor(data.size());
+    std::vector<Sha256Digest> content(pages);
+    base::parallelFor(0, pages, 16, [&](u64 lo, u64 hi) {
+        for (u64 i = lo; i < hi; ++i) {
+            std::size_t off = i * kPageSize;
+            u8 page[kPageSize] = {};
+            std::size_t take =
+                std::min<std::size_t>(kPageSize, data.size() - off);
+            std::copy(data.begin() + off, data.begin() + off + take, page);
+            content[i] = Sha256::digest(ByteSpan(page, kPageSize));
+        }
+    });
+    return content;
+}
+
 std::size_t
 LaunchDigest::extendRegion(MeasuredPageType type, u64 gpa, ByteSpan data)
 {
@@ -43,27 +64,14 @@ LaunchDigest::extendRegion(MeasuredPageType type, u64 gpa, ByteSpan data)
         taint::noteDeclassified(
             "launch measurement: SHA256 page digests of labelled input");
     }
-    // Per-page content digests are independent, so they fan out across
-    // host threads; the chain fold below must stay serial in page-index
-    // order because each extend() hashes the previous digest. The split
-    // point is fixed by the data, so the final digest is bit-identical
-    // at every thread count.
-    std::size_t pages = pagesFor(data.size());
-    std::vector<Sha256Digest> content(pages);
-    base::parallelFor(0, pages, 16, [&](u64 lo, u64 hi) {
-        for (u64 i = lo; i < hi; ++i) {
-            std::size_t off = i * kPageSize;
-            u8 page[kPageSize] = {};
-            std::size_t take =
-                std::min<std::size_t>(kPageSize, data.size() - off);
-            std::copy(data.begin() + off, data.begin() + off + take, page);
-            content[i] = Sha256::digest(ByteSpan(page, kPageSize));
-        }
-    });
-    for (std::size_t i = 0; i < pages; ++i) {
+    // The chain fold must stay serial in page-index order because each
+    // extend() hashes the previous digest; only the per-page content
+    // digests fan out (pageContentDigests).
+    std::vector<Sha256Digest> content = pageContentDigests(data);
+    for (std::size_t i = 0; i < content.size(); ++i) {
         extend(type, gpa + i * kPageSize, content[i]);
     }
-    return pages;
+    return content.size();
 }
 
 } // namespace sevf::crypto

@@ -13,6 +13,7 @@
 #define SEVF_CRYPTO_MEASUREMENT_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "crypto/sha256.h"
 
@@ -26,6 +27,17 @@ enum class MeasuredPageType : u8 {
     kCpuid = 4,    //!< CPUID page
     kVmsa = 5,     //!< encrypted VMSA (SEV-ES register state)
 };
+
+/**
+ * Per-page content digests of @p data as a run of 4K pages (the tail
+ * page zero-padded): exactly the digests extendRegion folds into the
+ * launch chain, in page order. Exposed so the template cache can store
+ * them next to the plaintext and replay the measurement chain on a
+ * cache hit without re-hashing the payload. Page digests depend only
+ * on the plaintext, never on the per-launch VEK or the SPA window,
+ * which is what makes them cacheable at all.
+ */
+std::vector<Sha256Digest> pageContentDigests(ByteSpan data);
 
 /**
  * Running launch digest. Value-type; copyable so the expected-measurement

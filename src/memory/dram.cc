@@ -1,0 +1,36 @@
+#include "memory/dram.h"
+
+#ifdef __linux__
+#include <sys/mman.h>
+#endif
+
+namespace sevf::memory {
+
+DramBuffer::DramBuffer(u64 size) : size_(size)
+{
+    if (size_ == 0) {
+        return;
+    }
+#ifdef __linux__
+    void *p = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+        data_ = static_cast<u8 *>(p);
+        mapped_ = true;
+        return;
+    }
+#endif
+    fallback_.resize(size_, 0);
+    data_ = fallback_.data();
+}
+
+DramBuffer::~DramBuffer()
+{
+#ifdef __linux__
+    if (mapped_) {
+        ::munmap(data_, size_);
+    }
+#endif
+}
+
+} // namespace sevf::memory

@@ -15,10 +15,35 @@ namespace {
 /** AES/XEX line size: the encryption engine's granularity. */
 constexpr u64 kLine = 16;
 
+bool
+pageInRanges(Gpa page, const std::vector<GpaRange> &ranges)
+{
+    for (const GpaRange &r : ranges) {
+        if (page >= alignDown(r.begin, kPageSize) &&
+            page < alignUp(r.end, kPageSize)) {
+            return true;
+        }
+    }
+    return false;
+}
+
 } // namespace
 
+u64
+MemorySnapshot::byteSize() const
+{
+    u64 total = sizeof(MemorySnapshot);
+    for (const SnapshotSegment &seg : segments) {
+        total += sizeof(SnapshotSegment);
+        total += seg.bytes ? seg.bytes->size() : 0;
+    }
+    total += validated.size() * sizeof(GpaRange);
+    return total;
+}
+
 GuestMemory::GuestMemory(u64 size, Spa spa_base, u32 asid, SevMode mode)
-    : bytes_(size, 0),
+    : dram_(size),
+      bytes_(dram_.begin(), dram_.end()),
       spa_base_(spa_base),
       asid_(asid),
       mode_(asid == 0 ? SevMode::kNone : mode),
@@ -55,6 +80,196 @@ GuestMemory::attachEncryption(std::unique_ptr<crypto::XexCipher> engine)
 {
     SEVF_CHECK(engine_ == nullptr);
     engine_ = std::move(engine);
+}
+
+void
+GuestMemory::materializePage(u64 page) const
+{
+    auto it = cow_.find(page);
+    if (it == cow_.end()) {
+        return;
+    }
+    CowSource src = std::move(it->second);
+    cow_.erase(it);
+    u8 *dst = bytes_.data() + page * kPageSize;
+    std::memcpy(dst, src.data->data() + src.offset, src.len);
+    if (src.len < kPageSize) {
+        std::memset(dst + src.len, 0, kPageSize - src.len);
+    }
+    if (src.encrypted) {
+        // Per-VM ciphertext: the cached plaintext meets this VM's key
+        // and SPA tweak only here, at first touch.
+        SEVF_CHECK(engine_ != nullptr);
+        engine_->encrypt(MutByteSpan(dst, kPageSize),
+                         spa_base_ + page * kPageSize);
+    }
+    // Plain counter, not an obs metric: this runs on TCB-reachable read
+    // paths (see cowMaterializedCount()).
+    ++cow_materialized_;
+}
+
+void
+GuestMemory::materializeRange(Gpa gpa, u64 len) const
+{
+    if (cow_.empty() || len == 0) {
+        return;
+    }
+    u64 first = gpa / kPageSize;
+    u64 last = (gpa + len - 1) / kPageSize;
+    for (u64 page = first; page <= last; ++page) {
+        materializePage(page);
+    }
+}
+
+void
+GuestMemory::materializeAll() const
+{
+    while (!cow_.empty()) {
+        materializePage(cow_.begin()->first);
+    }
+}
+
+Status
+GuestMemory::mapCowPages(Gpa gpa, std::shared_ptr<const ByteVec> data,
+                         bool encrypted)
+{
+    if (!data || data->empty()) {
+        return Status::ok();
+    }
+    SEVF_RETURN_IF_ERROR(checkRange(gpa, data->size()));
+    if (gpa % kPageSize != 0) {
+        return errInvalidArgument("CoW mapping not page aligned");
+    }
+    u64 pages = pagesFor(data->size());
+    for (u64 i = 0; i < pages; ++i) {
+        u64 off = i * kPageSize;
+        u32 take =
+            static_cast<u32>(std::min<u64>(kPageSize, data->size() - off));
+        cow_[gpa / kPageSize + i] = CowSource{data, off, take, encrypted};
+    }
+    if (obs::metricsEnabled()) {
+        static obs::Counter &mapped = obs::Registry::instance().counter(
+            "sevf_cow_pages_mapped_total",
+            "Pages mapped as copy-on-write views of a cached template");
+        mapped.add(pages);
+    }
+    return Status::ok();
+}
+
+Result<MemorySnapshot>
+GuestMemory::captureSnapshot(const std::vector<GpaRange> &exclude) const
+{
+    SEVF_SPAN("guest_memory.capture_snapshot", "bytes",
+              static_cast<u64>(bytes_.size()));
+    materializeAll();
+    MemorySnapshot snap;
+    snap.memory_size = bytes_.size();
+    u64 pages = pagesFor(bytes_.size());
+
+    // Classify every page before copying anything so a refusal is
+    // all-or-nothing.
+    enum class PageClass : u8 { kSkip, kShared, kEncrypted };
+    std::vector<PageClass> cls(pages, PageClass::kSkip);
+    for (u64 p = 0; p < pages; ++p) {
+        Gpa gpa = p * kPageSize;
+        if (pageInRanges(gpa, exclude)) {
+            continue;
+        }
+        taint::TaintSet label = page_labels_[p];
+        if ((label & ~taint::kGuestData) != taint::kNone) {
+            // Provisioned secrets (or anything beyond measured guest
+            // content) must never enter a cross-launch cache.
+            return errUnsupported(
+                "snapshot page carries secret labels; refusing to cache");
+        }
+        if ((label & taint::kGuestData) != taint::kNone) {
+            cls[p] = PageClass::kEncrypted;
+            continue;
+        }
+        // Fresh guest memory is zero-filled, so all-zero shared pages
+        // reproduce themselves for free. memcmp against a zero page
+        // vectorizes; a byte loop here dominated capture time.
+        static const u8 kZeroPage[kPageSize] = {};
+        bool zero =
+            std::memcmp(bytes_.data() + gpa, kZeroPage, kPageSize) == 0;
+        cls[p] = zero ? PageClass::kSkip : PageClass::kShared;
+    }
+
+    for (u64 p = 0; p < pages;) {
+        if (cls[p] == PageClass::kSkip) {
+            ++p;
+            continue;
+        }
+        u64 q = p;
+        while (q < pages && cls[q] == cls[p]) {
+            ++q;
+        }
+        bool enc = cls[p] == PageClass::kEncrypted;
+        auto buf = std::make_shared<ByteVec>();
+        if (enc) {
+            // Store plaintext: ciphertext is per-VM (VEK + SPA tweak),
+            // so the template re-encrypts on materialization instead.
+            SEVF_ASSIGN_OR_RETURN(
+                *buf, guestRead(p * kPageSize, (q - p) * kPageSize, true));
+        } else {
+            buf->assign(bytes_.begin() + p * kPageSize,
+                        bytes_.begin() + q * kPageSize);
+        }
+        snap.segments.push_back(
+            SnapshotSegment{p * kPageSize, enc, std::move(buf)});
+        p = q;
+    }
+
+    if (integrityEnforced()) {
+        u64 run_start = 0;
+        bool in_run = false;
+        for (u64 p = 0; p <= pages; ++p) {
+            bool v = false;
+            if (p < pages) {
+                Gpa gpa = p * kPageSize;
+                const RmpEntry &e = rmp_.entryAt(spaOf(gpa));
+                v = e.validated && e.assigned && e.asid == asid_ &&
+                    !pageInRanges(gpa, exclude);
+            }
+            if (v && !in_run) {
+                run_start = p;
+                in_run = true;
+            } else if (!v && in_run) {
+                snap.validated.push_back(
+                    GpaRange{run_start * kPageSize, p * kPageSize});
+                in_run = false;
+            }
+        }
+    }
+    return snap;
+}
+
+Status
+GuestMemory::instantiateSnapshot(const MemorySnapshot &snap)
+{
+    SEVF_SPAN("guest_memory.instantiate_snapshot", "bytes", snap.byteSize());
+    if (snap.memory_size != bytes_.size()) {
+        return errInvalidArgument("snapshot memory size mismatch");
+    }
+    for (const SnapshotSegment &seg : snap.segments) {
+        if (seg.encrypted && !sevEnabled()) {
+            return errInvalidState(
+                "encrypted snapshot segment without an attached VEK");
+        }
+        SEVF_RETURN_IF_ERROR(mapCowPages(seg.gpa, seg.bytes, seg.encrypted));
+        if (seg.encrypted) {
+            joinPageLabels(seg.gpa, seg.bytes->size(), taint::kGuestData);
+        }
+    }
+    if (integrityEnforced()) {
+        for (const GpaRange &r : snap.validated) {
+            for (Gpa page = r.begin; page < r.end; page += kPageSize) {
+                SEVF_RETURN_IF_ERROR(
+                    rmp_.pspAssignValidated(spaOf(page), asid_, page));
+            }
+        }
+    }
+    return Status::ok();
 }
 
 Status
@@ -113,6 +328,7 @@ GuestMemory::hostWrite(Gpa gpa, ByteSpan data)
     // boundaries. Disjoint destination ranges, so the result is the
     // same at any thread count.
     if (!data.empty()) {
+        materializeRange(gpa, data.size());
         const u64 len = data.size();
         base::parallelFor(0, pagesFor(len), 64, [&](u64 lo, u64 hi) {
             u64 off_lo = lo * kPageSize;
@@ -128,6 +344,7 @@ Result<ByteVec>
 GuestMemory::hostRead(Gpa gpa, u64 len) const
 {
     SEVF_RETURN_IF_ERROR(checkRange(gpa, len));
+    materializeRange(gpa, len);
     return ByteVec(bytes_.begin() + gpa, bytes_.begin() + gpa + len);
 }
 
@@ -137,6 +354,7 @@ GuestMemory::hostWriteUnchecked(Gpa gpa, ByteSpan data)
     // Deliberately NOT a taint sink: this models a physical attacker
     // corrupting DRAM, not our software leaking secrets.
     SEVF_CHECK(gpa + data.size() <= bytes_.size());
+    materializeRange(gpa, data.size());
     std::copy(data.begin(), data.end(), bytes_.begin() + gpa);
 }
 
@@ -147,6 +365,7 @@ GuestMemory::guestWrite(Gpa gpa, ByteSpan data, bool c_bit)
     if (data.empty()) {
         return Status::ok();
     }
+    materializeRange(gpa, data.size());
     if (!sevEnabled() || !c_bit) {
         // Shared (plaintext) access path. No RMP validation required for
         // shared pages, but writing a guest-owned page through a shared
@@ -196,6 +415,7 @@ Result<ByteVec>
 GuestMemory::guestRead(Gpa gpa, u64 len, bool c_bit) const
 {
     SEVF_RETURN_IF_ERROR(checkRange(gpa, len));
+    materializeRange(gpa, len);
     if (!sevEnabled() || !c_bit) {
         return ByteVec(bytes_.begin() + gpa, bytes_.begin() + gpa + len);
     }
@@ -241,6 +461,7 @@ GuestMemory::pspEncryptInPlace(Gpa gpa, u64 len)
     if (gpa + whole > bytes_.size()) {
         return errInvalidArgument("LAUNCH_UPDATE_DATA region past end");
     }
+    materializeRange(gpa, whole);
     // Encrypt whole pages (the PSP works at page granularity). The pages
     // become guest-owned: label them, and let the engine clear any
     // byte-range labels (the DRAM now holds public ciphertext).

@@ -14,17 +14,52 @@
 
 #include <memory>
 #include <optional>
+#include <unordered_map>
 
 #include <vector>
 
 #include "base/status.h"
 #include "base/types.h"
 #include "crypto/xex.h"
+#include "memory/dram.h"
 #include "memory/rmp.h"
 #include "memory/sev_mode.h"
 #include "taint/taint.h"
 
 namespace sevf::memory {
+
+/** Half-open guest-physical range [begin, end). */
+struct GpaRange {
+    Gpa begin = 0;
+    Gpa end = 0;
+};
+
+/**
+ * One run of pages captured from a booted guest. @p bytes holds
+ * PLAINTEXT in both cases: ciphertext is per-VM (fresh VEK plus
+ * SPA-dependent XEX tweak), so an encrypted segment is re-encrypted
+ * with the target VM's key when a copy-on-write view materializes.
+ */
+struct SnapshotSegment {
+    Gpa gpa = 0;
+    bool encrypted = false;
+    std::shared_ptr<const ByteVec> bytes;
+};
+
+/**
+ * Post-launch memory image of a guest, suitable for instantiating into
+ * a fresh VM as copy-on-write views (the template cache's payload).
+ * Pages carrying labels beyond taint::kGuestData (provisioned secrets)
+ * are never captured — captureSnapshot refuses instead.
+ */
+struct MemorySnapshot {
+    u64 memory_size = 0;
+    std::vector<SnapshotSegment> segments;
+    /** Pages the RMP showed assigned+validated at capture time. */
+    std::vector<GpaRange> validated;
+
+    u64 byteSize() const;
+};
 
 /**
  * One VM's guest-physical address space. GPA 0 maps to SPA spa_base;
@@ -110,8 +145,63 @@ class GuestMemory
      */
     Status pspEncryptInPlace(Gpa gpa, u64 len);
 
-    /** Raw view for the PSP/tests. */
-    ByteSpan raw() const { return bytes_; }
+    /**
+     * Raw view for the PSP/tests. Materializes every outstanding
+     * copy-on-write view first so scanners (e.g. the cross-VM dedup
+     * measurement) see real DRAM contents, never an unmaterialized
+     * placeholder.
+     */
+    ByteSpan raw() const
+    {
+        materializeAll();
+        return bytes_;
+    }
+
+    // ---- Copy-on-write template instantiation (src/cache) ----
+
+    /**
+     * Map @p data as a copy-on-write view of the pages starting at the
+     * page-aligned @p gpa: no bytes are copied until a page is first
+     * touched by any accessor. With @p encrypted set, materialization
+     * additionally encrypts the page with this VM's key at its SPA
+     * (requires an attached encryption context by first touch), which
+     * is how cached plaintext becomes per-VM ciphertext. Bookkeeping
+     * only — RMP state and taint labels are the caller's job
+     * (instantiateSnapshot does both).
+     */
+    Status mapCowPages(Gpa gpa, std::shared_ptr<const ByteVec> data,
+                       bool encrypted);
+
+    /** Outstanding (not yet materialized) copy-on-write pages. */
+    u64 cowPageCount() const { return cow_.size(); }
+
+    /**
+     * Copy-on-write pages materialized so far. A plain counter, not a
+     * metric: materialization runs on TCB-reachable read paths, and the
+     * obs layer must stay out of the verifier closure — non-TCB callers
+     * (core/strategies.cc) sample this into the
+     * sevf_cow_pages_materialized_total counter instead.
+     */
+    u64 cowMaterializedCount() const { return cow_materialized_; }
+
+    /**
+     * Capture the current memory image for the template cache. Pages
+     * inside @p exclude are skipped (per-launch state: the plan regions
+     * the warm path re-stages, the VMSAs). Fails with kUnsupported if
+     * any capturable page carries labels beyond taint::kGuestData —
+     * provisioned secrets must never enter a cross-launch cache.
+     */
+    Result<MemorySnapshot> captureSnapshot(
+        const std::vector<GpaRange> &exclude) const;
+
+    /**
+     * Instantiate a captured image into this (freshly launched) VM:
+     * maps every segment copy-on-write, labels encrypted segments
+     * kGuestData, and replays the captured validated ranges into the
+     * RMP via pspAssignValidated. Requires an attached encryption
+     * context and matching memory size.
+     */
+    Status instantiateSnapshot(const MemorySnapshot &snap);
 
     // ---- Secret-flow labels (sevf::taint) ----
 
@@ -128,11 +218,36 @@ class GuestMemory
     void joinPageLabels(Gpa gpa, u64 len, taint::TaintSet labels);
 
   private:
+    /** Backing for one copy-on-write page (a window into shared bytes). */
+    struct CowSource {
+        std::shared_ptr<const ByteVec> data;
+        u64 offset = 0;   //!< byte offset of this page inside *data
+        u32 len = 0;      //!< bytes available (tail pages zero-pad)
+        bool encrypted = false;
+    };
+
     Status checkRange(Gpa gpa, u64 len) const;
     /** RMP guest-access check for every page the range touches. */
     Status checkGuestRange(Gpa gpa, u64 len) const;
+    /** Copy (and for encrypted views, encrypt) one CoW page into DRAM. */
+    void materializePage(u64 page) const;
+    /** Materialize every CoW page overlapping [gpa, gpa+len). */
+    void materializeRange(Gpa gpa, u64 len) const;
+    void materializeAll() const;
 
-    ByteVec bytes_;
+    /**
+     * mutable: copy-on-write materialization is a cache fill, not a
+     * semantic mutation — const readers (hostRead, guestRead, raw) see
+     * the same bytes either way. DramBuffer so a fresh VM's zero pages
+     * are lazily faulted instead of eagerly memset (memory/dram.h);
+     * bytes_ caches its span so the TCB-reachable access paths touch
+     * no DramBuffer accessor (keeps memory/dram out of the verifier
+     * closure inventoried in tools/tcb-baseline.json).
+     */
+    mutable DramBuffer dram_;
+    mutable MutByteSpan bytes_;
+    mutable std::unordered_map<u64, CowSource> cow_;
+    mutable u64 cow_materialized_ = 0;
     Spa spa_base_;
     u32 asid_;
     SevMode mode_;

@@ -12,6 +12,40 @@
 
 namespace sevf::psp {
 
+void
+TicketGate::enter()
+{
+    u64 start_ns = obs::metricsEnabled() ? obs::wallNowNs() : 0;
+    u64 depth = 0;
+    {
+        base::MutexLock lock(mu_);
+        u64 ticket = next_ticket_++;
+        depth = ticket - serving_;
+        while (serving_ != ticket) {
+            turn_.wait(lock.native());
+        }
+    }
+    if (start_ns != 0) {
+        static obs::Histogram &wait = obs::Registry::instance().histogram(
+            "sevf_psp_gate_wait_ns",
+            "Wall nanoseconds a command waited for its PSP queue turn",
+            obs::defaultTimeBoundsNs());
+        static obs::Gauge &gate_depth = obs::Registry::instance().gauge(
+            "sevf_psp_gate_depth",
+            "Commands queued ahead at PSP gate entry (peak)");
+        wait.observe(obs::wallNowNs() - start_ns);
+        gate_depth.setMax(static_cast<i64>(depth));
+    }
+}
+
+void
+TicketGate::leave()
+{
+    base::MutexLock lock(mu_);
+    ++serving_;
+    turn_.notify_all();
+}
+
 ByteVec
 synthesizeVmsa(u32 vcpu_index, u32 policy)
 {
@@ -129,9 +163,24 @@ Psp::doLaunchStart(memory::GuestMemory &mem, u32 policy, bool shared)
     return handle;
 }
 
+u32
+Psp::allocateAsid()
+{
+    TicketGate::Turn turn(gate_);
+    return next_asid_++;
+}
+
+void
+Psp::clearCommandLog()
+{
+    TicketGate::Turn turn(gate_);
+    command_log_.clear();
+}
+
 Result<GuestHandle>
 Psp::launchStart(memory::GuestMemory &mem, u32 policy)
 {
+    TicketGate::Turn turn(gate_);
     SEVF_SPAN("psp.launch_start");
     Result<GuestHandle> r = doLaunchStart(mem, policy, /*shared=*/false);
     observe(check::PspCommand::kLaunchStart, r.isOk() ? *r : 0,
@@ -142,6 +191,7 @@ Psp::launchStart(memory::GuestMemory &mem, u32 policy)
 Result<GuestHandle>
 Psp::launchStartShared(memory::GuestMemory &mem, u32 policy)
 {
+    TicketGate::Turn turn(gate_);
     SEVF_SPAN("psp.launch_start");
     Result<GuestHandle> r = doLaunchStart(mem, policy, /*shared=*/true);
     observe(check::PspCommand::kLaunchStart, r.isOk() ? *r : 0,
@@ -172,6 +222,40 @@ Psp::doLaunchUpdateData(GuestHandle handle, memory::GuestMemory &mem, Gpa gpa,
         crypto::MeasuredPageType::kNormal, gpa, plaintext);
 
     // Then convert the pages to encrypted guest-owned state.
+    return mem.pspEncryptInPlace(gpa, len);
+}
+
+Status
+Psp::doLaunchUpdateDataPremeasured(
+    GuestHandle handle, memory::GuestMemory &mem, Gpa gpa, u64 len,
+    const std::vector<crypto::Sha256Digest> &page_digests)
+{
+    SEVF_ASSIGN_OR_RETURN(GuestContext *ctx, contextFor(handle));
+    if (ctx->state != LaunchState::kStarted) {
+        return errInvalidState(
+            "LAUNCH_UPDATE_DATA after LAUNCH_FINISH is rejected");
+    }
+    if (ctx->asid != mem.asid()) {
+        return errInvalidArgument("guest memory ASID mismatch");
+    }
+    if (len == 0) {
+        return errInvalidArgument("empty LAUNCH_UPDATE_DATA region");
+    }
+    if (page_digests.size() != pagesFor(len)) {
+        return errInvalidArgument(
+            "premeasured digest count does not cover the region");
+    }
+
+    // Replay the per-page content digests into the chain instead of
+    // re-hashing the plaintext; the chain fold itself (and therefore
+    // the final measurement) is identical to the cold path's.
+    for (std::size_t i = 0; i < page_digests.size(); ++i) {
+        ctx->digest.extend(crypto::MeasuredPageType::kNormal,
+                           gpa + i * kPageSize, page_digests[i]);
+    }
+    ctx->measured_pages += page_digests.size();
+
+    // The pages still convert to encrypted guest-owned state for real.
     return mem.pspEncryptInPlace(gpa, len);
 }
 
@@ -247,8 +331,24 @@ Status
 Psp::launchUpdateData(GuestHandle handle, memory::GuestMemory &mem, Gpa gpa,
                       u64 len)
 {
+    TicketGate::Turn turn(gate_);
     SEVF_SPAN("psp.launch_update_data", "bytes", len);
     Status s = doLaunchUpdateData(handle, mem, gpa, len);
+    observe(check::PspCommand::kLaunchUpdateData, handle, s);
+    return s;
+}
+
+Status
+Psp::launchUpdateDataPremeasured(
+    GuestHandle handle, memory::GuestMemory &mem, Gpa gpa, u64 len,
+    const std::vector<crypto::Sha256Digest> &page_digests)
+{
+    TicketGate::Turn turn(gate_);
+    SEVF_SPAN("psp.launch_update_data_premeasured", "bytes", len);
+    Status s = doLaunchUpdateDataPremeasured(handle, mem, gpa, len,
+                                             page_digests);
+    // The GCTX automaton sees an ordinary LAUNCH_UPDATE_DATA: where the
+    // content digests came from is not a protocol-level distinction.
     observe(check::PspCommand::kLaunchUpdateData, handle, s);
     return s;
 }
@@ -257,6 +357,7 @@ Status
 Psp::launchUpdateVmsa(GuestHandle handle, memory::GuestMemory &mem,
                       u32 vcpu_index, Gpa vmsa_gpa)
 {
+    TicketGate::Turn turn(gate_);
     SEVF_SPAN("psp.launch_update_vmsa");
     Status s = doLaunchUpdateVmsa(handle, mem, vcpu_index, vmsa_gpa);
     observe(check::PspCommand::kLaunchUpdateVmsa, handle, s);
@@ -266,6 +367,7 @@ Psp::launchUpdateVmsa(GuestHandle handle, memory::GuestMemory &mem,
 Result<crypto::Sha256Digest>
 Psp::launchMeasure(GuestHandle handle) const
 {
+    TicketGate::Turn turn(gate_);
     SEVF_SPAN("psp.launch_measure");
     Result<crypto::Sha256Digest> r = doLaunchMeasure(handle);
     observe(check::PspCommand::kLaunchMeasure, handle,
@@ -276,6 +378,7 @@ Psp::launchMeasure(GuestHandle handle) const
 Status
 Psp::launchFinish(GuestHandle handle)
 {
+    TicketGate::Turn turn(gate_);
     SEVF_SPAN("psp.launch_finish");
     Status s = doLaunchFinish(handle);
     observe(check::PspCommand::kLaunchFinish, handle, s);
@@ -286,6 +389,7 @@ Result<AttestationReport>
 Psp::guestRequestReport(GuestHandle handle,
                         const ReportData &report_data) const SEVF_TCB_EXEMPT
 {
+    TicketGate::Turn turn(gate_);
     SEVF_SPAN("psp.guest_request_report");
     Result<AttestationReport> r = doGuestRequestReport(handle, report_data);
     observe(check::PspCommand::kReportRequest, handle,
@@ -296,6 +400,7 @@ Psp::guestRequestReport(GuestHandle handle,
 Result<u64>
 Psp::measuredPageCount(GuestHandle handle) const
 {
+    TicketGate::Turn turn(gate_);
     SEVF_ASSIGN_OR_RETURN(const GuestContext *ctx, contextFor(handle));
     return ctx->measured_pages;
 }

@@ -13,10 +13,14 @@
 #ifndef SEVF_PSP_PSP_H_
 #define SEVF_PSP_PSP_H_
 
+#include <condition_variable>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "base/mutex.h"
 #include "base/rng.h"
+#include "base/thread_annotations.h"
 #include "check/protocol.h"
 #include "crypto/measurement.h"
 #include "memory/guest_memory.h"
@@ -28,6 +32,42 @@ namespace sevf::psp {
 
 /** Handle to a per-guest PSP context. */
 using GuestHandle = u32;
+
+/**
+ * FIFO admission gate modeling the PSP's single command queue: callers
+ * take a ticket and are served strictly in arrival order, so under
+ * concurrent launches no guest's command stream can starve another's
+ * (the queue-fairness half of the Fig 12 bottleneck; the latency half
+ * is charged as StepKind::kPsp virtual time). Every public Psp method
+ * holds a Turn for its full duration, which also makes the device
+ * model's internal state safe under the concurrent-launch admission
+ * pipeline (core/admission.h).
+ */
+class TicketGate
+{
+  public:
+    /** RAII: blocks in the constructor until this caller's turn. */
+    class Turn
+    {
+      public:
+        explicit Turn(TicketGate &gate) : gate_(gate) { gate_.enter(); }
+        ~Turn() { gate_.leave(); }
+        Turn(const Turn &) = delete;
+        Turn &operator=(const Turn &) = delete;
+
+      private:
+        TicketGate &gate_;
+    };
+
+  private:
+    void enter();
+    void leave();
+
+    base::Mutex mu_;
+    std::condition_variable turn_;
+    u64 next_ticket_ SEVF_GUARDED_BY(mu_) = 0;
+    u64 serving_ SEVF_GUARDED_BY(mu_) = 0;
+};
 
 /**
  * Deterministic initial VMSA page for @p vcpu_index under @p policy:
@@ -58,7 +98,7 @@ class Psp
     const std::string &chipId() const { return chip_id_; }
 
     /** Allocate a fresh ASID for a new guest (KVM does this pre-launch). */
-    u32 allocateAsid() { return next_asid_++; }
+    u32 allocateAsid();
 
     /**
      * SNP_LAUNCH_START: create the guest context, generate its VEK, and
@@ -85,6 +125,24 @@ class Psp
      */
     Status launchUpdateData(GuestHandle handle, memory::GuestMemory &mem,
                             Gpa gpa, u64 len);
+
+    /**
+     * SNP_LAUNCH_UPDATE replaying pre-computed page digests (the
+     * template-cache warm path): extends the launch-digest chain from
+     * @p page_digests — which MUST be crypto::pageContentDigests of the
+     * staged plaintext — instead of re-hashing @p len bytes at @p gpa,
+     * then encrypts the pages in place exactly like launchUpdateData.
+     *
+     * Trust story: the digests come from the untrusted host, like the
+     * staged bytes themselves. Wrong digests produce a wrong launch
+     * measurement, which attestation rejects — the identical failure
+     * mode as staging wrong bytes, so this path widens no trust
+     * boundary. The conformance automaton observes it as an ordinary
+     * LAUNCH_UPDATE_DATA.
+     */
+    Status launchUpdateDataPremeasured(
+        GuestHandle handle, memory::GuestMemory &mem, Gpa gpa, u64 len,
+        const std::vector<crypto::Sha256Digest> &page_digests);
 
     /**
      * LAUNCH_UPDATE_VMSA (SEV-ES/SNP): measure + encrypt the vCPU's
@@ -124,7 +182,7 @@ class Psp
      * through check::checkCommandLog offline.
      */
     const check::CommandLog &commandLog() const { return command_log_; }
-    void clearCommandLog() { command_log_.clear(); }
+    void clearCommandLog();
 
   private:
     struct GuestContext {
@@ -142,6 +200,9 @@ class Psp
                                       bool shared);
     Status doLaunchUpdateData(GuestHandle handle, memory::GuestMemory &mem,
                               Gpa gpa, u64 len);
+    Status doLaunchUpdateDataPremeasured(
+        GuestHandle handle, memory::GuestMemory &mem, Gpa gpa, u64 len,
+        const std::vector<crypto::Sha256Digest> &page_digests);
     Status doLaunchUpdateVmsa(GuestHandle handle, memory::GuestMemory &mem,
                               u32 vcpu_index, Gpa vmsa_gpa);
     Result<crypto::Sha256Digest> doLaunchMeasure(GuestHandle handle) const;
@@ -153,6 +214,14 @@ class Psp
     void observe(check::PspCommand cmd, GuestHandle handle,
                  const Status &verdict) const;
 
+    /**
+     * Single-command-queue gate. Every public method runs under a
+     * Turn, so all state below it (contexts, handle/ASID allocators,
+     * the command log, the protocol monitor) is only ever touched in
+     * FIFO ticket order — the gate IS the lock for this class.
+     * Mutable: const queries (measure, report) queue like any command.
+     */
+    mutable TicketGate gate_;
     std::string chip_id_;
     ChipKey chip_key_;
     /** Secret-flow label over chip_key_ for the Psp's lifetime. */

@@ -11,6 +11,7 @@
 #define SEVF_SIM_TRACE_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/types.h"
@@ -71,6 +72,14 @@ class BootTrace
      */
     void addAnnotated(StepKind kind, Duration d, std::string phase,
                       std::string label, ByteSpan payload);
+
+    /**
+     * Append an already-built step verbatim (the template-cache replay
+     * path). Any annotation it carries was produced by addAnnotated on
+     * the cold boot that built the template, so it already passed the
+     * taint sink guard at record time.
+     */
+    void addStep(Step step) { steps_.push_back(std::move(step)); }
 
     const std::vector<Step> &steps() const { return steps_; }
 

@@ -1,11 +1,42 @@
 #include "stats/json.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
 #include "base/logging.h"
 
 namespace sevf::stats {
+
+namespace {
+
+/** RFC 8259 string escaping, shared by JsonWriter and dumpJson. */
+std::string
+escapeJsonString(std::string_view s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
 
 void
 JsonWriter::comma()
@@ -28,26 +59,7 @@ JsonWriter::raw(std::string_view text)
 std::string
 JsonWriter::escape(std::string_view s)
 {
-    std::string out = "\"";
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          case '\r': out += "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    out += '"';
-    return out;
+    return escapeJsonString(s);
 }
 
 JsonWriter &
@@ -627,6 +639,76 @@ parseJson(std::string_view text)
                           parser.error());
     }
     return v;
+}
+
+namespace {
+
+void
+appendJson(const JsonValue &v, std::string &out)
+{
+    switch (v.kind()) {
+      case JsonValue::Kind::kNull:
+        out += "null";
+        return;
+      case JsonValue::Kind::kBool:
+        out += v.asBool() ? "true" : "false";
+        return;
+      case JsonValue::Kind::kNumber: {
+        double d = v.asNumber();
+        // Exact integers print as integers so u64 counters round-trip;
+        // everything else gets full double round-trip precision.
+        constexpr double kExact = 9007199254740992.0; // 2^53
+        if (d == std::floor(d) && d > -kExact && d < kExact) {
+            out += std::to_string(static_cast<i64>(d));
+        } else {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.17g", d);
+            out += buf;
+        }
+        return;
+      }
+      case JsonValue::Kind::kString:
+        out += escapeJsonString(v.asString());
+        return;
+      case JsonValue::Kind::kArray: {
+        out += '[';
+        bool first = true;
+        for (const JsonValue &element : v.asArray()) {
+            if (!first) {
+                out += ',';
+            }
+            first = false;
+            appendJson(element, out);
+        }
+        out += ']';
+        return;
+      }
+      case JsonValue::Kind::kObject: {
+        out += '{';
+        bool first = true;
+        for (const auto &[name, member] : v.asObject()) {
+            if (!first) {
+                out += ',';
+            }
+            first = false;
+            out += escapeJsonString(name);
+            out += ':';
+            appendJson(member, out);
+        }
+        out += '}';
+        return;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+dumpJson(const JsonValue &v)
+{
+    std::string out;
+    appendJson(v, out);
+    return out;
 }
 
 } // namespace sevf::stats

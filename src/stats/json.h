@@ -122,6 +122,16 @@ class JsonValue
  */
 Result<JsonValue> parseJson(std::string_view text);
 
+/**
+ * Serialize a parsed document back to compact JSON. Numbers holding an
+ * exact integer below 2^53 print in integer form (u64 counters
+ * round-trip); other numbers use full %.17g precision. Object members
+ * are emitted in key order (std::map), so dump(parse(x)) is canonical
+ * rather than byte-identical. Used by the bench tools to patch result
+ * sections into BENCH_wallclock.json.
+ */
+std::string dumpJson(const JsonValue &v);
+
 } // namespace sevf::stats
 
 #endif // SEVF_STATS_JSON_H_

@@ -38,6 +38,8 @@ TEST(BootCli, EveryFlagIsParseable)
                 value = "1";
             } else if (value == "FILE") {
                 value = "/dev/null";
+            } else if (value == "DIR") {
+                value = "/tmp";
             }
             args.push_back(value);
         }
@@ -60,6 +62,10 @@ TEST(BootCli, DefaultsMatchLaunchRequestDefaults)
     EXPECT_FALSE(parsed->help);
     EXPECT_TRUE(parsed->trace_out.empty());
     EXPECT_TRUE(parsed->metrics_out.empty());
+    EXPECT_TRUE(parsed->request.use_template_cache);
+    EXPECT_TRUE(parsed->cache_dir.empty());
+    EXPECT_EQ(parsed->cache_bytes, 0u);
+    EXPECT_FALSE(parsed->cache_stats);
 }
 
 TEST(BootCli, SpaceAndEqualsFormsAgree)
@@ -82,8 +88,10 @@ TEST(BootCli, FullFlagSetRoundTrips)
          "sev-es", "--vcpus", "2", "--scale", "0.5", "--seed", "7",
          "--threads", "3", "--no-hugepages", "--no-attest", "--no-oob-hash",
          "--kernel-codec", "lzss", "--initrd-codec", "gzip",
-         "--verifier-size", "8192", "--kaslr", "--share-key", "--json",
-         "--trace-out", "t.json", "--metrics-out", "m.prom"});
+         "--verifier-size", "8192", "--kaslr", "--share-key", "--no-cache",
+         "--cache-dir", "/tmp/tmpl", "--cache-bytes", "4096",
+         "--cache-stats", "--json", "--trace-out", "t.json",
+         "--metrics-out", "m.prom"});
     ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
     const BootOptions &o = *parsed;
     EXPECT_EQ(o.strategy, core::StrategyKind::kSeveriFastVmlinux);
@@ -101,6 +109,10 @@ TEST(BootCli, FullFlagSetRoundTrips)
     EXPECT_EQ(o.request.verifier_size, 8192u);
     EXPECT_TRUE(o.request.guest_kaslr);
     EXPECT_TRUE(o.request.share_platform_key);
+    EXPECT_FALSE(o.request.use_template_cache);
+    EXPECT_EQ(o.cache_dir, "/tmp/tmpl");
+    EXPECT_EQ(o.cache_bytes, 4096u);
+    EXPECT_TRUE(o.cache_stats);
     EXPECT_TRUE(o.json);
     EXPECT_EQ(o.trace_out, "t.json");
     EXPECT_EQ(o.metrics_out, "m.prom");

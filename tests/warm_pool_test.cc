@@ -5,6 +5,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
+#include "cache/template_cache.h"
 #include "core/warm_pool.h"
 #include "vmm/microvm.h"
 #include "workload/synthetic.h"
@@ -106,6 +110,86 @@ TEST_F(WarmPoolTest, DedupCollapsesUnderSev)
               stock.nonzeroDedupFraction() * 0.6);
     EXPECT_GT(sev.nonzero_pages, stock.nonzero_pages)
         << "encrypted copies inflate the non-zero footprint";
+}
+
+TEST_F(WarmPoolTest, ZeroCapacityPoolAlwaysFallsBackCold)
+{
+    WarmPool pool(platform_, StrategyKind::kSeveriFastBz, base_, 0);
+    for (u64 i = 0; i < 3; ++i) {
+        Result<Invocation> inv = pool.invoke(i);
+        ASSERT_TRUE(inv.isOk()) << inv.status().toString();
+        EXPECT_FALSE(inv->warm);
+    }
+    EXPECT_EQ(pool.stats().cold_starts, 3u);
+    EXPECT_EQ(pool.stats().warm_hits, 0u);
+    EXPECT_EQ(pool.stats().resident_vms, 0u);
+    EXPECT_EQ(pool.stats().resident_guest_bytes, 0u);
+}
+
+TEST_F(WarmPoolTest, ConcurrentCheckoutExhaustionFallsBackCold)
+{
+    constexpr std::size_t kThreads = 4;
+    WarmPool pool(platform_, StrategyKind::kSeveriFastBz, base_, 1);
+
+    // An empty pool hit by a burst: losers of the checkout race must
+    // cold-boot, never block or fail. Outcomes depend on scheduling,
+    // so assert the invariants rather than an exact split.
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&, i] {
+            Result<Invocation> inv = pool.invoke(i);
+            EXPECT_TRUE(inv.isOk()) << inv.status().toString();
+        });
+    }
+    for (std::thread &t : threads) {
+        t.join();
+    }
+
+    WarmPoolStats stats = pool.stats();
+    EXPECT_EQ(stats.cold_starts + stats.warm_hits, kThreads);
+    EXPECT_GE(stats.cold_starts, 1u) << "the empty pool forces a cold";
+    EXPECT_LE(stats.resident_vms, 1u) << "capacity bounds keep-alives";
+    EXPECT_EQ(stats.resident_guest_bytes,
+              stats.resident_vms * base_.vm.memory_size);
+
+    // After the burst a keep-alive is idle again.
+    Result<Invocation> after = pool.invoke(99);
+    ASSERT_TRUE(after.isOk());
+    EXPECT_TRUE(after->warm);
+}
+
+TEST_F(WarmPoolTest, ColdFallbackRidesTheTemplateCacheTier)
+{
+    // Reference cold boot; it also publishes the launch template into
+    // the shared platform's cache.
+    Result<LaunchResult> cold =
+        makeStrategy(StrategyKind::kSeveriFastBz)->launch(platform_, base_);
+    ASSERT_TRUE(cold.isOk()) << cold.status().toString();
+    ASSERT_FALSE(cold->cache_hit);
+
+    // The pool's cold fallback (pool tier miss) now boots from the
+    // template (cache tier hit) - and because a hit is bit-identical in
+    // virtual time, the invocation's startup latency equals the true
+    // cold boot's exactly.
+    u64 hits_before = platform_.templateCache().stats().hits;
+    WarmPool pool(platform_, StrategyKind::kSeveriFastBz, base_, 1);
+    Result<Invocation> inv = pool.invoke(7);
+    ASSERT_TRUE(inv.isOk()) << inv.status().toString();
+    EXPECT_FALSE(inv->warm);
+    EXPECT_EQ(pool.stats().cold_starts, 1u);
+    EXPECT_EQ(platform_.templateCache().stats().hits, hits_before + 1);
+    EXPECT_EQ(inv->startup_latency.ns(), cold->bootTime().ns());
+
+    // Both warm tiers reproduce the cold measurement: the kept VM
+    // (keep_vm) and the template replay.
+    LaunchRequest kept = base_;
+    kept.keep_vm = true;
+    Result<LaunchResult> tiered =
+        makeStrategy(StrategyKind::kSeveriFastBz)->launch(platform_, kept);
+    ASSERT_TRUE(tiered.isOk());
+    EXPECT_TRUE(tiered->cache_hit);
+    ASSERT_NE(tiered->vm, nullptr);
+    EXPECT_EQ(tiered->measurement, cold->measurement);
 }
 
 TEST_F(WarmPoolTest, DedupScannerCountsExactlyOnSyntheticImages)

@@ -133,10 +133,20 @@ echo "==> [model] seeded mutants must be caught"
 # 7. Wall-clock perf harness: real kernel throughput, the parallel
 #    pre-encrypt pipeline's 1..N scaling with its built-in bit-identity
 #    check, and per-strategy launch latency. Writes BENCH_wallclock.json
-#    at the repo root so runs are archived next to the sources.
+#    at the repo root so runs are archived next to the sources; the two
+#    cache benches then merge their sections into the same file —
+#    bench_cache_hit asserts hit-vs-cold bit-identity for all five
+#    strategies, bench_fig12_concurrent asserts the admission pipeline's
+#    aggregate-throughput gain over sequential cold boots.
 bench="$root/build-ci-werror/bench/bench_wallclock"
 echo "==> [bench] $bench BENCH_wallclock.json"
 (cd "$root" && "$bench" "$root/BENCH_wallclock.json")
+echo "==> [bench] cache hit/miss (bit-identity gate)"
+(cd "$root" && "$root/build-ci-werror/bench/bench_cache_hit" \
+    "$root/BENCH_wallclock.json")
+echo "==> [bench] concurrent admission pipeline"
+(cd "$root" && "$root/build-ci-werror/bench/bench_fig12_concurrent" \
+    "$root/BENCH_wallclock.json")
 
 # 8. Observability: boot one SEV-SNP launch with tracing + metrics on,
 #    then validate both exports with sevf_obscheck — Chrome-trace
@@ -157,5 +167,42 @@ echo "==> [obs] validate exports + doc-drift gate"
     --metrics "$obs_dir/metrics.prom" \
     --docs "$root/docs/OBSERVABILITY.md"
 
+# 9. Launch-template cache, end to end through the CLI: two boots
+#    sharing a disk cache dir must produce a cold miss then a disk hit
+#    with an IDENTICAL launch measurement, and the TCB inventory from
+#    stage 5a must contain no cache/ module — the cache stays outside
+#    the root of trust.
+cache_dir="$root/build-ci-werror/cache-ci"
+rm -rf "$cache_dir"
+mkdir -p "$cache_dir"
+json_field() { sed -n "s/.*\"$2\":\"\{0,1\}\([^,\"]*\)\"\{0,1\}[,}].*/\1/p" "$1"; }
+echo "==> [cache] cold boot (miss) into $cache_dir"
+"$boot" --strategy=severifast --mode=sev-snp --no-attest --json \
+    --cache-dir "$cache_dir/templates" >"$cache_dir/cold.json"
+echo "==> [cache] second boot must hit from disk"
+"$boot" --strategy=severifast --mode=sev-snp --no-attest --json \
+    --cache-dir "$cache_dir/templates" >"$cache_dir/warm.json"
+cold_hit="$(json_field "$cache_dir/cold.json" cache_hit)"
+warm_hit="$(json_field "$cache_dir/warm.json" cache_hit)"
+cold_meas="$(json_field "$cache_dir/cold.json" measurement)"
+warm_meas="$(json_field "$cache_dir/warm.json" measurement)"
+if [ "$cold_hit" != "false" ] || [ "$warm_hit" != "true" ]; then
+    echo "error: expected cold miss then disk hit," \
+         "got cache_hit=$cold_hit then cache_hit=$warm_hit" >&2
+    exit 1
+fi
+if [ -z "$cold_meas" ] || [ "$cold_meas" != "$warm_meas" ]; then
+    echo "error: cache hit changed the launch measurement:" >&2
+    echo "  cold: $cold_meas" >&2
+    echo "  warm: $warm_meas" >&2
+    exit 1
+fi
+echo "==> [cache] hit replays the cold measurement: $cold_meas"
+echo "==> [cache] no cache/ code in the TCB inventory"
+if grep -q '"cache/' "$tcb_dir/tcb-inventory.json"; then
+    echo "error: cache module entered the TCB closure" >&2
+    exit 1
+fi
+
 echo "==> CI green: hygiene + werror + asan,ubsan + taint-enforce + tsan" \
-     "+ lint + tcb + thread-safety + model + bench + obs"
+     "+ lint + tcb + thread-safety + model + bench + obs + cache"

@@ -10,9 +10,11 @@
  * the parser uses, see sevf_boot_cli.h).
  */
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "cache/template_cache.h"
 #include "core/launch.h"
 #include "core/report.h"
 #include "obs/export.h"
@@ -49,6 +51,19 @@ main(int argc, char **argv)
     }
 
     core::Platform platform;
+    if (opts.cache_bytes != 0) {
+        platform.templateCache().setCapacityBytes(opts.cache_bytes);
+    }
+    if (!opts.cache_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts.cache_dir, ec);
+        if (ec) {
+            std::fprintf(stderr, "cannot create --cache-dir %s: %s\n",
+                         opts.cache_dir.c_str(), ec.message().c_str());
+            return 1;
+        }
+        platform.templateCache().setDiskDir(opts.cache_dir);
+    }
     Result<core::LaunchResult> result =
         core::makeStrategy(opts.strategy)->launch(platform, opts.request);
     if (!result.isOk()) {
@@ -78,6 +93,20 @@ main(int argc, char **argv)
                          st.toString().c_str());
             return 1;
         }
+    }
+
+    if (opts.cache_stats) {
+        // stderr so --json keeps a clean machine-readable stdout.
+        cache::TemplateCache::Stats cs = platform.templateCache().stats();
+        std::fprintf(stderr,
+                     "cache: hits=%llu misses=%llu inserts=%llu "
+                     "evictions=%llu entries=%llu bytes=%llu\n",
+                     static_cast<unsigned long long>(cs.hits),
+                     static_cast<unsigned long long>(cs.misses),
+                     static_cast<unsigned long long>(cs.inserts),
+                     static_cast<unsigned long long>(cs.evictions),
+                     static_cast<unsigned long long>(cs.entries),
+                     static_cast<unsigned long long>(cs.bytes));
     }
 
     if (opts.json) {

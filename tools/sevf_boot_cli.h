@@ -61,6 +61,15 @@ bootFlags()
         {"--kaslr", nullptr, "guest-side KASLR in the bootstrap loader"},
         {"--share-key", nullptr,
          "launch with the shared platform key (weakens trust model)"},
+        {"--no-cache", nullptr,
+         "bypass the launch-template cache (always boot cold)"},
+        {"--cache-dir", "DIR",
+         "persist launch templates under DIR (created if missing) so "
+         "cache hits survive across runs"},
+        {"--cache-bytes", "BYTES",
+         "in-memory template cache budget (0 = default 1 GiB)"},
+        {"--cache-stats", nullptr,
+         "print template-cache hit/miss/eviction counters after boot"},
         {"--json", nullptr, "emit a machine-readable launch report"},
         {"--trace-out", "FILE",
          "record spans/steps and write a Chrome trace-event JSON file "
@@ -108,6 +117,9 @@ struct BootOptions {
     bool help = false;
     std::string trace_out;
     std::string metrics_out;
+    std::string cache_dir;   ///< empty = in-memory cache only
+    u64 cache_bytes = 0;     ///< 0 = keep the cache's default budget
+    bool cache_stats = false;
 };
 
 namespace detail {
@@ -238,6 +250,15 @@ parseBootArgs(const std::vector<std::string> &args)
             opts.request.guest_kaslr = true;
         } else if (arg == "--share-key") {
             opts.request.share_platform_key = true;
+        } else if (arg == "--no-cache") {
+            opts.request.use_template_cache = false;
+        } else if (arg == "--cache-dir") {
+            opts.cache_dir = value;
+        } else if (arg == "--cache-bytes") {
+            opts.cache_bytes =
+                static_cast<u64>(std::atoll(value.c_str()));
+        } else if (arg == "--cache-stats") {
+            opts.cache_stats = true;
         } else if (arg == "--json") {
             opts.json = true;
         } else if (arg == "--trace-out") {

@@ -268,7 +268,9 @@ checkMetrics(const std::string &path)
     // The figures this repo exists to reproduce need these families.
     for (const char *required :
          {"sevf_psp_queue_depth", "sevf_kernel_bytes_total",
-          "sevf_kernel_wall_ns_total"}) {
+          "sevf_kernel_wall_ns_total", "sevf_cache_hits_total",
+          "sevf_cache_misses_total", "sevf_cache_inserts_total",
+          "sevf_cache_evictions_total", "sevf_cache_bytes"}) {
         if (!families.contains(required)) {
             fail(std::string("metrics: required family missing: ") +
                  required);
