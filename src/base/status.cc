@@ -15,6 +15,8 @@ errorCodeName(ErrorCode code)
       case ErrorCode::kCorrupted: return "corrupted";
       case ErrorCode::kUnsupported: return "unsupported";
       case ErrorCode::kResourceExhausted: return "resource-exhausted";
+      case ErrorCode::kUnavailable: return "unavailable";
+      case ErrorCode::kBackpressure: return "backpressure";
     }
     return "unknown";
 }

@@ -29,6 +29,8 @@ enum class ErrorCode {
     kCorrupted,         //!< malformed image/archive/stream
     kUnsupported,       //!< feature deliberately not implemented
     kResourceExhausted, //!< out of guest memory, ASIDs, ...
+    kUnavailable,       //!< transient failure; retrying may succeed
+    kBackpressure,      //!< load shed: admission queue full, retry later
 };
 
 /** Human-readable name for an ErrorCode. */
@@ -218,6 +220,18 @@ inline Status
 errResourceExhausted(std::string msg)
 {
     return {ErrorCode::kResourceExhausted, std::move(msg)};
+}
+
+inline Status
+errUnavailable(std::string msg)
+{
+    return {ErrorCode::kUnavailable, std::move(msg)};
+}
+
+inline Status
+errBackpressure(std::string msg)
+{
+    return {ErrorCode::kBackpressure, std::move(msg)};
 }
 
 /** Propagate a non-OK Status from the current function. */

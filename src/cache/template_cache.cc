@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <utility>
 
+#include "base/logging.h"
 #include "cache/template_io.h"
+#include "fault/fault.h"
 #include "obs/span.h"
 
 namespace sevf::cache {
@@ -48,7 +50,16 @@ TemplateCache::TemplateCache()
       inserts_metric_(obs::Registry::instance().counter(
           "sevf_cache_inserts_total", "Launch templates published")),
       bytes_metric_(obs::Registry::instance().gauge(
-          "sevf_cache_bytes", "Resident bytes of cached launch templates"))
+          "sevf_cache_bytes", "Resident bytes of cached launch templates")),
+      disk_errors_metric_(obs::Registry::instance().counter(
+          "sevf_cache_disk_errors_total",
+          "Disk-tier I/O failures (reads and writes, not misses)")),
+      quarantined_metric_(obs::Registry::instance().gauge(
+          "sevf_cache_disk_quarantined",
+          "1 while the disk tier is quarantined (memory-only mode)")),
+      poisoned_metric_(obs::Registry::instance().counter(
+          "sevf_cache_poisoned_total",
+          "Warm templates invalidated after failing to replay"))
 {
 }
 
@@ -72,6 +83,35 @@ TemplateCache::setDiskDir(std::string dir)
 {
     base::MutexLock lock(mu_);
     disk_dir_ = std::move(dir);
+    // Re-pointing (or re-blessing) the disk tier lifts the quarantine:
+    // the operator decided the storage is healthy again.
+    disk_error_streak_ = 0;
+    disk_quarantined_ = false;
+    quarantined_metric_.set(0);
+}
+
+bool
+TemplateCache::diskQuarantined() const
+{
+    base::MutexLock lock(mu_);
+    return disk_quarantined_;
+}
+
+void
+TemplateCache::noteDiskErrorLocked(const Status &error) SEVF_REQUIRES(mu_)
+{
+    stats_.disk_errors++;
+    disk_errors_metric_.add();
+    disk_error_streak_++;
+    if (!disk_quarantined_ && disk_error_streak_ >= kQuarantineStreak) {
+        disk_quarantined_ = true;
+        stats_.quarantined++;
+        quarantined_metric_.set(1);
+        warn("template cache: disk tier quarantined after ",
+             disk_error_streak_,
+             " consecutive I/O failures (last: ", error.toString(),
+             "); degrading to memory-only");
+    }
 }
 
 void
@@ -122,15 +162,32 @@ std::shared_ptr<const LaunchTemplate>
 TemplateCache::loadFromDiskLocked(const std::string &key_hex)
     SEVF_REQUIRES(mu_)
 {
-    if (disk_dir_.empty()) {
+    if (disk_dir_.empty() || disk_quarantined_) {
+        return nullptr;
+    }
+    std::string path = disk_dir_ + "/" + key_hex + ".tmpl";
+    Status injected = fault::FaultInjector::instance().check(
+        fault::FaultSite::kCacheDiskRead, path);
+    if (!injected.isOk()) {
+        noteDiskErrorLocked(injected);
         return nullptr;
     }
     Result<std::shared_ptr<const LaunchTemplate>> loaded =
-        loadTemplateFile(disk_dir_ + "/" + key_hex + ".tmpl");
-    // Soft failure: a missing or corrupt file is simply a miss. A
-    // tampered file that does decode replays to a wrong measurement and
-    // is rejected at launch time (see template_io.h).
-    return loaded.isOk() ? loaded.take() : nullptr;
+        loadTemplateFile(path);
+    if (loaded.isOk()) {
+        disk_error_streak_ = 0;
+        return loaded.take();
+    }
+    // Soft failure either way — the launch proceeds as a miss. But a
+    // missing file is a plain miss, while an unreadable/corrupt one is
+    // a disk ERROR: counted separately so operators can tell a cold
+    // cache from a dying disk, and quarantined on a streak. A tampered
+    // file that does decode replays to a wrong measurement and is
+    // rejected at launch time (see template_io.h).
+    if (loaded.status().code() != ErrorCode::kNotFound) {
+        noteDiskErrorLocked(loaded.status());
+    }
+    return nullptr;
 }
 
 void
@@ -138,13 +195,24 @@ TemplateCache::persistToDiskLocked(const std::string &key_hex,
                                    const LaunchTemplate &tmpl)
     SEVF_REQUIRES(mu_)
 {
-    if (disk_dir_.empty()) {
+    if (disk_dir_.empty() || disk_quarantined_) {
         return;
     }
-    // Best effort: an unwritable disk tier degrades to memory-only.
-    Status persisted = saveTemplateFile(disk_dir_ + "/" + key_hex + ".tmpl",
-                                        tmpl);
-    (void)persisted;
+    // Best effort: an unwritable disk tier degrades to memory-only,
+    // with the failures counted toward the quarantine streak.
+    std::string path = disk_dir_ + "/" + key_hex + ".tmpl";
+    Status injected = fault::FaultInjector::instance().check(
+        fault::FaultSite::kCacheDiskWrite, path);
+    if (!injected.isOk()) {
+        noteDiskErrorLocked(injected);
+        return;
+    }
+    Status persisted = saveTemplateFile(path, tmpl);
+    if (persisted.isOk()) {
+        disk_error_streak_ = 0;
+    } else {
+        noteDiskErrorLocked(persisted);
+    }
 }
 
 TemplateCache::Lookup
@@ -222,6 +290,11 @@ TemplateCache::invalidate(const LaunchKey &key)
 {
     std::string key_hex = key.hex();
     base::MutexLock lock(mu_);
+    // Poisoning: a template only gets invalidated after it failed to
+    // replay (BootStrategy falls back to a cold boot). Counted so
+    // operators can tell a one-off torn file from a poisoning storm.
+    stats_.poisoned++;
+    poisoned_metric_.add();
     auto it = entries_.find(key_hex);
     if (it != entries_.end()) {
         bytes_ -= it->second.bytes;

@@ -98,6 +98,14 @@ class TemplateCache
         u64 single_flight_waits = 0;
         u64 bytes = 0;
         u64 entries = 0;
+        /** Disk-tier I/O failures (distinct from misses: a missing file
+         *  is a miss, an unreadable/unwritable one is an error). */
+        u64 disk_errors = 0;
+        /** Times the disk tier was quarantined (degraded to
+         *  memory-only) after repeated I/O failures. */
+        u64 quarantined = 0;
+        /** Warm templates invalidated after failing to replay. */
+        u64 poisoned = 0;
     };
 
     struct Lookup {
@@ -117,9 +125,19 @@ class TemplateCache
     /**
      * Enable disk persistence under @p dir (created by the caller).
      * Misses fall back to loading <dir>/<key-hex>.tmpl; publishes write
-     * it. Errors are soft: a corrupt or unreadable file is a miss.
+     * it. Errors are soft: a corrupt or unreadable file is a miss —
+     * but counted separately (Stats::disk_errors), and after
+     * kQuarantineStreak consecutive I/O failures the disk tier is
+     * quarantined: the cache degrades to memory-only until setDiskDir
+     * re-enables it (which also resets the quarantine).
      */
     void setDiskDir(std::string dir);
+
+    /** Consecutive disk I/O failures that trigger quarantine. */
+    static constexpr u64 kQuarantineStreak = 3;
+
+    /** True while the disk tier is quarantined (memory-only mode). */
+    bool diskQuarantined() const;
 
     /** Hit, or claim the single-flight build slot (see Lookup). */
     Lookup beginLookup(const LaunchKey &key);
@@ -155,6 +173,8 @@ class TemplateCache
 
     /** Evict least-recently-used entries until bytes_ <= capacity. */
     void evictToFitLocked() SEVF_REQUIRES(mu_);
+    /** Count one disk-tier I/O failure; quarantines on a streak. */
+    void noteDiskErrorLocked(const Status &error) SEVF_REQUIRES(mu_);
     void insertLocked(const std::string &key_hex,
                       std::shared_ptr<const LaunchTemplate> tmpl)
         SEVF_REQUIRES(mu_);
@@ -171,6 +191,8 @@ class TemplateCache
     u64 capacity_bytes_ SEVF_GUARDED_BY(mu_);
     u64 bytes_ SEVF_GUARDED_BY(mu_) = 0;
     std::string disk_dir_ SEVF_GUARDED_BY(mu_);
+    u64 disk_error_streak_ SEVF_GUARDED_BY(mu_) = 0;
+    bool disk_quarantined_ SEVF_GUARDED_BY(mu_) = false;
     Stats stats_ SEVF_GUARDED_BY(mu_);
 
     // Registered at construction so the cache_* families appear in
@@ -181,6 +203,9 @@ class TemplateCache
     obs::Counter &evictions_metric_;
     obs::Counter &inserts_metric_;
     obs::Gauge &bytes_metric_;
+    obs::Counter &disk_errors_metric_;
+    obs::Gauge &quarantined_metric_;
+    obs::Counter &poisoned_metric_;
 };
 
 } // namespace sevf::cache

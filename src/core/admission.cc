@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/parallel.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 
 namespace sevf::core {
@@ -42,8 +43,14 @@ LaunchTicket::complete(Result<LaunchResult> result)
 AdmissionPipeline::AdmissionPipeline(Platform &platform,
                                      AdmissionConfig config)
     : platform_(platform),
-      queue_limit_(config.queue_depth == 0 ? 1 : config.queue_depth)
+      queue_limit_(config.queue_depth == 0 ? 1 : config.queue_depth),
+      shed_on_full_(config.shed_on_full)
 {
+    // Eager registration: the shed counter must appear (zero-valued) in
+    // every export so the obscheck doc gates cover it on fault-free runs.
+    (void)obs::Registry::instance().counter(
+        "sevf_admission_shed_total",
+        "Launches rejected with kBackpressure instead of queueing");
     unsigned n = config.workers != 0
                      ? config.workers
                      : std::clamp(base::hardwareThreads(), 2u, 8u);
@@ -78,17 +85,44 @@ AdmissionPipeline::submit(StrategyKind kind, LaunchRequest request)
     job.ticket = ticket;
     job.enqueue_ns = obs::metricsEnabled() ? obs::wallNowNs() : 0;
 
+    // Load shedding: an injected enqueue fault (deterministic tests) or
+    // a full queue under shed_on_full resolves the ticket right here
+    // with a typed, retryable-by-the-caller backpressure error. The
+    // ticket API is unchanged — callers always get a ticket and take()
+    // its result.
+    Status admitted = fault::FaultInjector::instance().check(
+        fault::FaultSite::kAdmissionEnqueue, "launch admission");
+    bool shed = !admitted.isOk();
     u64 depth = 0;
     {
         base::MutexLock lock(mu_);
-        while (queue_.size() >= queue_limit_) {
-            space_.wait(lock.native());
+        if (!shed && shed_on_full_ && queue_.size() >= queue_limit_) {
+            shed = true;
         }
-        queue_.push_back(std::move(job));
-        depth = queue_.size();
-        stats_.submitted++;
-        stats_.peak_queue_depth =
-            std::max<u64>(stats_.peak_queue_depth, depth);
+        if (shed) {
+            stats_.shed++;
+        } else {
+            while (queue_.size() >= queue_limit_) {
+                space_.wait(lock.native());
+            }
+            queue_.push_back(std::move(job));
+            depth = queue_.size();
+            stats_.submitted++;
+            stats_.peak_queue_depth =
+                std::max<u64>(stats_.peak_queue_depth, depth);
+        }
+    }
+    if (shed) {
+        if (obs::metricsEnabled()) {
+            obs::Registry::instance()
+                .counter("sevf_admission_shed_total",
+                         "Launches rejected with kBackpressure instead of "
+                         "queueing")
+                .add();
+        }
+        ticket->complete(errBackpressure(
+            "admission queue full: launch shed, retry later"));
+        return ticket;
     }
     work_.notify_one();
     if (obs::metricsEnabled()) {

@@ -63,6 +63,13 @@ struct AdmissionConfig {
     unsigned workers = 0;
     /** Queue slots; submit() blocks while this many launches wait. */
     std::size_t queue_depth = 32;
+    /**
+     * Load shedding: when true, a submit() that finds the queue full
+     * resolves its ticket immediately with a typed kBackpressure error
+     * instead of blocking — the caller is told to retry later rather
+     * than silently queueing into an overload.
+     */
+    bool shed_on_full = false;
 };
 
 /**
@@ -77,6 +84,8 @@ class AdmissionPipeline
         u64 completed = 0;
         u64 failed = 0;
         u64 peak_queue_depth = 0;
+        /** Launches rejected with kBackpressure instead of queueing. */
+        u64 shed = 0;
     };
 
     explicit AdmissionPipeline(Platform &platform,
@@ -87,8 +96,11 @@ class AdmissionPipeline
     AdmissionPipeline &operator=(const AdmissionPipeline &) = delete;
 
     /**
-     * Admit one launch; blocks while the queue is full. The returned
-     * ticket resolves when a worker finishes the boot. @p request's
+     * Admit one launch; blocks while the queue is full (or, with
+     * shed_on_full, resolves the ticket immediately with a typed
+     * kBackpressure error — the injected kAdmissionEnqueue fault takes
+     * the same path regardless of config). The returned ticket
+     * resolves when a worker finishes the boot. @p request's
      * host_threads is overridden to 1 (see file comment).
      */
     std::shared_ptr<LaunchTicket> submit(StrategyKind kind,
@@ -115,6 +127,7 @@ class AdmissionPipeline
 
     Platform &platform_;
     std::size_t queue_limit_;
+    bool shed_on_full_;
 
     mutable base::Mutex mu_;
     std::condition_variable space_; //!< queue has a free slot

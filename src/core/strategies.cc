@@ -1037,8 +1037,16 @@ BootStrategy::launch(Platform &platform, const LaunchRequest &request)
                 observeLaunchSim(*warm);
                 return warm;
             }
-            // The template failed to replay (stale or tampered disk
-            // entry): drop it and boot cold; a later launch rebuilds.
+            // The template failed to replay (stale or tampered entry,
+            // or a transient fault that outlived the PSP retry
+            // budget): treat it as poisoned — drop it and boot cold; a
+            // later launch rebuilds. Never abort: the cold path
+            // produces the authoritative measurement regardless.
+            SEVF_SPAN("cache.poison_fallback", "strategy",
+                      strategyName(kind()));
+            warn("warm template replay failed (",
+                 warm.status().toString(),
+                 "); invalidating template and falling back to cold boot");
             platform.templateCache().invalidate(*key);
         } else if (hit.claimed) {
             claim_.armed = true;

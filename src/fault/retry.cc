@@ -1,0 +1,81 @@
+#include "fault/retry.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace sevf::fault {
+
+namespace {
+
+inline constexpr const char *kAttemptsHelp =
+    "Attempts spent inside retry loops (first try included)";
+inline constexpr const char *kBackoffHelp =
+    "Virtual backoff nanoseconds charged between retries";
+inline constexpr const char *kExhaustedHelp =
+    "Retry loops that ran out of budget on a transient error";
+
+} // namespace
+
+u64
+backoffDelayNs(const RetryPolicy &policy, u32 next_attempt, Rng &rng)
+{
+    // Exponential: base * 2^(k) for the k-th backoff, saturating at the
+    // cap before jitter so the cap is the mean of the jittered delay.
+    u32 k = next_attempt >= 2 ? next_attempt - 2 : 0;
+    u64 delay = policy.base_delay_ns;
+    for (u32 i = 0; i < k; ++i) {
+        if (delay >= policy.max_delay_ns / 2) {
+            delay = policy.max_delay_ns;
+            break;
+        }
+        delay *= 2;
+    }
+    delay = std::min(delay, policy.max_delay_ns);
+    double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+    if (jitter > 0.0 && delay > 0) {
+        // Uniform in [1-jitter, 1+jitter).
+        double factor = 1.0 - jitter + 2.0 * jitter * rng.nextDouble();
+        delay = static_cast<u64>(static_cast<double>(delay) * factor);
+    }
+    return delay;
+}
+
+void
+registerRetryMetrics(const char *op)
+{
+    obs::Registry &reg = obs::Registry::instance();
+    obs::Labels labels{{"op", op}};
+    (void)reg.counter("sevf_retry_attempts_total", kAttemptsHelp, labels);
+    (void)reg.counter("sevf_retry_backoff_ns_total", kBackoffHelp, labels);
+    (void)reg.counter("sevf_retry_exhausted_total", kExhaustedHelp, labels);
+}
+
+void
+noteRetryOutcome(const char *op, u32 attempts, u64 backoff_ns,
+                 bool exhausted)
+{
+    if (attempts > 1) {
+        // Only loops that actually retried get a trace span; the happy
+        // path must not grow a span per PSP command.
+        SEVF_SPAN("retry.backoff", "op", op);
+    }
+    if (!obs::metricsEnabled()) {
+        return;
+    }
+    obs::Registry &reg = obs::Registry::instance();
+    obs::Labels labels{{"op", op}};
+    reg.counter("sevf_retry_attempts_total", kAttemptsHelp, labels)
+        .add(attempts);
+    if (backoff_ns != 0) {
+        reg.counter("sevf_retry_backoff_ns_total", kBackoffHelp, labels)
+            .add(backoff_ns);
+    }
+    if (exhausted) {
+        reg.counter("sevf_retry_exhausted_total", kExhaustedHelp, labels)
+            .add();
+    }
+}
+
+} // namespace sevf::fault

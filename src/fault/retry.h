@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Bounded exponential-backoff retry for transient errors.
+ *
+ * RetryPolicy is the per-caller budget: a maximum attempt count and an
+ * exponential backoff curve (base doubling up to a cap, with seeded
+ * jitter so synchronized retry storms decorrelate deterministically).
+ * Only kUnavailable is retryable — it is the code every injected
+ * transient fault (fault/fault.h) and a real transient PSP mailbox
+ * error would carry; every other code is a permanent, typed outcome
+ * and is returned unchanged on the first attempt.
+ *
+ * Backoff delays are charged to the sevf_retry_backoff_ns_total metric
+ * instead of sleeping: the repo's clocks are simulated (sim/time.h) and
+ * a real nanosleep would neither advance the simulated clock nor make
+ * a deterministic test faster to rerun. Operators read the would-have-
+ * slept time straight from the metric family.
+ */
+#ifndef SEVF_FAULT_RETRY_H_
+#define SEVF_FAULT_RETRY_H_
+
+#include <optional>
+#include <utility>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/types.h"
+
+namespace sevf::fault {
+
+/** Retry budget and backoff curve for one class of operations. */
+struct RetryPolicy {
+    /** Total attempts including the first (1 = no retry). */
+    u32 max_attempts = 3;
+    /** Backoff before the 2nd attempt; doubles per further attempt. */
+    u64 base_delay_ns = 100'000;
+    /** Upper bound on a single backoff delay. */
+    u64 max_delay_ns = 10'000'000;
+    /** Jitter fraction in [0,1]: each delay varies by +/- this share. */
+    double jitter = 0.1;
+    /** Seed for the jitter stream (deterministic per retry loop). */
+    u64 seed = 1;
+};
+
+/** The retryable-error table: only kUnavailable is transient. */
+inline bool
+isRetryable(const Status &status)
+{
+    return status.code() == ErrorCode::kUnavailable;
+}
+
+/**
+ * Backoff before attempt @p next_attempt (2-based: the delay between
+ * attempt N and N+1 is backoffDelayNs(policy, N+1, rng)). Exponential
+ * from base_delay_ns, capped at max_delay_ns, then jittered.
+ */
+u64 backoffDelayNs(const RetryPolicy &policy, u32 next_attempt, Rng &rng);
+
+/**
+ * Register the sevf_retry_* families for @p op so they appear
+ * (zero-valued) in every metrics export — call once per op label at
+ * setup time, like the cache's eager registration.
+ */
+void registerRetryMetrics(const char *op);
+
+/**
+ * Metric/span emission for one finished retry loop; implementation
+ * detail of retryStatus, out-of-line so the template stays thin.
+ */
+void noteRetryOutcome(const char *op, u32 attempts, u64 backoff_ns,
+                      bool exhausted);
+
+/**
+ * Run @p fn (returning Status) under @p policy: retry while the result
+ * is retryable and budget remains, charging backoff to the retry
+ * metrics. Returns the final Status — OK, the first permanent error,
+ * or the last transient error once the budget is exhausted (counted in
+ * sevf_retry_exhausted_total). @p op labels the metric families.
+ */
+template <typename Fn>
+Status
+retryStatus(const RetryPolicy &policy, const char *op, Fn &&fn)
+{
+    u32 budget = policy.max_attempts == 0 ? 1 : policy.max_attempts;
+    Rng jitter_rng(policy.seed);
+    u64 backoff_ns = 0;
+    u32 attempt = 1;
+    for (;;) {
+        Status status = fn();
+        if (status.isOk() || !isRetryable(status) || attempt >= budget) {
+            bool exhausted = !status.isOk() && isRetryable(status);
+            noteRetryOutcome(op, attempt, backoff_ns, exhausted);
+            return status;
+        }
+        ++attempt;
+        backoff_ns += backoffDelayNs(policy, attempt, jitter_rng);
+    }
+}
+
+/**
+ * retryStatus for Result<T>-returning callables: retries under the same
+ * policy/table and returns the last attempt's Result (value on success,
+ * the permanent or budget-exhausting error otherwise).
+ */
+template <typename Fn>
+auto
+retryResult(const RetryPolicy &policy, const char *op, Fn &&fn)
+    -> decltype(fn())
+{
+    std::optional<decltype(fn())> out;
+    Status last = retryStatus(policy, op, [&] {
+        out.emplace(fn());
+        return out->errorOr(Status::ok());
+    });
+    (void)last; // the same error already lives inside *out
+    return std::move(*out);
+}
+
+} // namespace sevf::fault
+
+#endif // SEVF_FAULT_RETRY_H_

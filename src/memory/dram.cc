@@ -4,6 +4,9 @@
 #include <sys/mman.h>
 #endif
 
+#include "fault/fault.h"
+#include "obs/metrics.h"
+
 namespace sevf::memory {
 
 DramBuffer::DramBuffer(u64 size) : size_(size)
@@ -11,15 +14,32 @@ DramBuffer::DramBuffer(u64 size) : size_(size)
     if (size_ == 0) {
         return;
     }
+    // Allocation-failure fault domain: an injected kDramMmap fault (or
+    // a real mmap failure) degrades to the eager-zeroed heap fallback —
+    // slower first touch, identical guest-visible contents, so launch
+    // measurements are unaffected.
+    Status injected = fault::FaultInjector::instance().check(
+        fault::FaultSite::kDramMmap, "anonymous guest DRAM mapping");
 #ifdef __linux__
-    void *p = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE,
-                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-    if (p != MAP_FAILED) {
-        data_ = static_cast<u8 *>(p);
-        mapped_ = true;
-        return;
+    if (injected.isOk()) {
+        void *p = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        if (p != MAP_FAILED) {
+            data_ = static_cast<u8 *>(p);
+            mapped_ = true;
+            return;
+        }
     }
+#else
+    (void)injected;
 #endif
+    if (obs::metricsEnabled()) {
+        obs::Registry::instance()
+            .counter("sevf_dram_mmap_fallback_total",
+                     "Guest DRAM allocations that fell back from mmap to "
+                     "an eager-zeroed heap buffer")
+            .add();
+    }
     fallback_.resize(size_, 0);
     data_ = fallback_.data();
 }

@@ -7,10 +7,28 @@
 #include "base/trust_zones.h"
 #include "crypto/sha256.h"
 #include "crypto/xex.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
 namespace sevf::psp {
+
+namespace {
+
+/**
+ * Consult the fault injector for one PSP command submission. Runs
+ * before the device model touches any guest state, so an injected
+ * transient means "the mailbox never accepted the command": the retry
+ * loop can resubmit without double-extending the measurement chain.
+ */
+Status
+submitFault(const char *cmd)
+{
+    return fault::FaultInjector::instance().check(
+        fault::FaultSite::kPspCommand, cmd);
+}
+
+} // namespace
 
 void
 TicketGate::enter()
@@ -66,6 +84,29 @@ Psp::Psp(std::string chip_id, KeyServer &key_server, u64 seed)
     if (!provisioned.isOk()) {
         fatal("PSP chip provisioning failed: ", provisioned.toString());
     }
+    // Eagerly register the per-command retry families so they appear
+    // zero-valued in every export (the obscheck doc-drift gates run on
+    // fault-free boots).
+    for (const char *op :
+         {"launch_start", "launch_update_data",
+          "launch_update_data_premeasured", "launch_update_vmsa",
+          "launch_measure", "launch_finish"}) {
+        fault::registerRetryMetrics(op);
+    }
+}
+
+void
+Psp::setRetryPolicy(const fault::RetryPolicy &policy)
+{
+    TicketGate::Turn turn(gate_);
+    retry_policy_ = policy;
+}
+
+fault::RetryPolicy
+Psp::retryPolicy() const
+{
+    TicketGate::Turn turn(gate_);
+    return retry_policy_;
 }
 
 Result<Psp::GuestContext *>
@@ -182,7 +223,11 @@ Psp::launchStart(memory::GuestMemory &mem, u32 policy)
 {
     TicketGate::Turn turn(gate_);
     SEVF_SPAN("psp.launch_start");
-    Result<GuestHandle> r = doLaunchStart(mem, policy, /*shared=*/false);
+    Result<GuestHandle> r = fault::retryResult(
+        retry_policy_, "launch_start", [&]() -> Result<GuestHandle> {
+            SEVF_RETURN_IF_ERROR(submitFault("LAUNCH_START"));
+            return doLaunchStart(mem, policy, /*shared=*/false);
+        });
     observe(check::PspCommand::kLaunchStart, r.isOk() ? *r : 0,
             r.errorOr(Status::ok()));
     return r;
@@ -193,7 +238,11 @@ Psp::launchStartShared(memory::GuestMemory &mem, u32 policy)
 {
     TicketGate::Turn turn(gate_);
     SEVF_SPAN("psp.launch_start");
-    Result<GuestHandle> r = doLaunchStart(mem, policy, /*shared=*/true);
+    Result<GuestHandle> r = fault::retryResult(
+        retry_policy_, "launch_start", [&]() -> Result<GuestHandle> {
+            SEVF_RETURN_IF_ERROR(submitFault("LAUNCH_START"));
+            return doLaunchStart(mem, policy, /*shared=*/true);
+        });
     observe(check::PspCommand::kLaunchStart, r.isOk() ? *r : 0,
             r.errorOr(Status::ok()));
     return r;
@@ -333,7 +382,10 @@ Psp::launchUpdateData(GuestHandle handle, memory::GuestMemory &mem, Gpa gpa,
 {
     TicketGate::Turn turn(gate_);
     SEVF_SPAN("psp.launch_update_data", "bytes", len);
-    Status s = doLaunchUpdateData(handle, mem, gpa, len);
+    Status s = fault::retryStatus(retry_policy_, "launch_update_data", [&] {
+        SEVF_RETURN_IF_ERROR(submitFault("LAUNCH_UPDATE_DATA"));
+        return doLaunchUpdateData(handle, mem, gpa, len);
+    });
     observe(check::PspCommand::kLaunchUpdateData, handle, s);
     return s;
 }
@@ -345,8 +397,12 @@ Psp::launchUpdateDataPremeasured(
 {
     TicketGate::Turn turn(gate_);
     SEVF_SPAN("psp.launch_update_data_premeasured", "bytes", len);
-    Status s = doLaunchUpdateDataPremeasured(handle, mem, gpa, len,
-                                             page_digests);
+    Status s = fault::retryStatus(
+        retry_policy_, "launch_update_data_premeasured", [&] {
+            SEVF_RETURN_IF_ERROR(submitFault("LAUNCH_UPDATE_DATA"));
+            return doLaunchUpdateDataPremeasured(handle, mem, gpa, len,
+                                                 page_digests);
+        });
     // The GCTX automaton sees an ordinary LAUNCH_UPDATE_DATA: where the
     // content digests came from is not a protocol-level distinction.
     observe(check::PspCommand::kLaunchUpdateData, handle, s);
@@ -359,7 +415,10 @@ Psp::launchUpdateVmsa(GuestHandle handle, memory::GuestMemory &mem,
 {
     TicketGate::Turn turn(gate_);
     SEVF_SPAN("psp.launch_update_vmsa");
-    Status s = doLaunchUpdateVmsa(handle, mem, vcpu_index, vmsa_gpa);
+    Status s = fault::retryStatus(retry_policy_, "launch_update_vmsa", [&] {
+        SEVF_RETURN_IF_ERROR(submitFault("LAUNCH_UPDATE_VMSA"));
+        return doLaunchUpdateVmsa(handle, mem, vcpu_index, vmsa_gpa);
+    });
     observe(check::PspCommand::kLaunchUpdateVmsa, handle, s);
     return s;
 }
@@ -369,7 +428,12 @@ Psp::launchMeasure(GuestHandle handle) const
 {
     TicketGate::Turn turn(gate_);
     SEVF_SPAN("psp.launch_measure");
-    Result<crypto::Sha256Digest> r = doLaunchMeasure(handle);
+    Result<crypto::Sha256Digest> r = fault::retryResult(
+        retry_policy_, "launch_measure",
+        [&]() -> Result<crypto::Sha256Digest> {
+            SEVF_RETURN_IF_ERROR(submitFault("LAUNCH_MEASURE"));
+            return doLaunchMeasure(handle);
+        });
     observe(check::PspCommand::kLaunchMeasure, handle,
             r.errorOr(Status::ok()));
     return r;
@@ -380,7 +444,10 @@ Psp::launchFinish(GuestHandle handle)
 {
     TicketGate::Turn turn(gate_);
     SEVF_SPAN("psp.launch_finish");
-    Status s = doLaunchFinish(handle);
+    Status s = fault::retryStatus(retry_policy_, "launch_finish", [&] {
+        SEVF_RETURN_IF_ERROR(submitFault("LAUNCH_FINISH"));
+        return doLaunchFinish(handle);
+    });
     observe(check::PspCommand::kLaunchFinish, handle, s);
     return s;
 }

@@ -23,6 +23,7 @@
 #include "base/thread_annotations.h"
 #include "check/protocol.h"
 #include "crypto/measurement.h"
+#include "fault/retry.h"
 #include "memory/guest_memory.h"
 #include "psp/attestation_report.h"
 #include "psp/key_server.h"
@@ -96,6 +97,17 @@ class Psp
     Psp &operator=(const Psp &) = delete;
 
     const std::string &chipId() const { return chip_id_; }
+
+    /**
+     * Retry budget for transient (kUnavailable) command failures — the
+     * injected-fault model of a busy PSP mailbox. Each launch command
+     * retries under this policy with exponential backoff charged to the
+     * sevf_retry_* metrics; the default allows 3 attempts. Faults are
+     * injected before the device model touches guest state, so a retry
+     * never re-extends the launch-digest chain.
+     */
+    void setRetryPolicy(const fault::RetryPolicy &policy);
+    fault::RetryPolicy retryPolicy() const;
 
     /** Allocate a fresh ASID for a new guest (KVM does this pre-launch). */
     u32 allocateAsid();
@@ -222,6 +234,8 @@ class Psp
      * Mutable: const queries (measure, report) queue like any command.
      */
     mutable TicketGate gate_;
+    /** Transient-error budget for launch commands (gate-serialized). */
+    fault::RetryPolicy retry_policy_;
     std::string chip_id_;
     ChipKey chip_key_;
     /** Secret-flow label over chip_key_ for the Psp's lifetime. */

@@ -433,6 +433,59 @@ TEST_F(DiskCacheTest, CorruptEntryFallsBackToColdBoot)
     EXPECT_EQ(run->measurement, cold_measurement);
 }
 
+TEST_F(DiskCacheTest, TornEntryIsCountedRepairedAndRecovered)
+{
+    // A partial write (host crash mid-persist) leaves a truncated file:
+    // the SHA-256 trailer no longer matches, so the load must fail as a
+    // counted disk ERROR (not a silent miss), the launch must fall back
+    // cold with the identical measurement, and the re-publish must
+    // repair the entry so the next platform warm-hits again.
+    core::LaunchRequest req = smallRequest();
+    crypto::Sha256Digest cold_measurement;
+    {
+        core::Platform platform(sim::CostParams::deterministic());
+        platform.templateCache().setDiskDir(dir_.string());
+        Result<core::LaunchResult> cold =
+            core::makeStrategy(core::StrategyKind::kSeveriFastBz)
+                ->launch(platform, req);
+        ASSERT_TRUE(cold.isOk());
+        cold_measurement = cold->measurement;
+    }
+
+    for (const auto &entry : std::filesystem::directory_iterator(dir_)) {
+        std::filesystem::resize_file(
+            entry.path(), std::filesystem::file_size(entry.path()) / 2);
+    }
+
+    {
+        core::Platform platform(sim::CostParams::deterministic());
+        platform.templateCache().setDiskDir(dir_.string());
+        Result<core::LaunchResult> run =
+            core::makeStrategy(core::StrategyKind::kSeveriFastBz)
+                ->launch(platform, req);
+        ASSERT_TRUE(run.isOk()) << run.status().toString();
+        EXPECT_FALSE(run->cache_hit);
+        EXPECT_EQ(run->measurement, cold_measurement);
+        cache::TemplateCache::Stats stats =
+            platform.templateCache().stats();
+        EXPECT_GE(stats.disk_errors, 1u)
+            << "a torn file is an I/O error, not a plain miss";
+        EXPECT_EQ(stats.quarantined, 0u)
+            << "one bad file must not quarantine the tier";
+    }
+
+    // The cold fallback re-published over the torn file: recovered.
+    core::Platform platform(sim::CostParams::deterministic());
+    platform.templateCache().setDiskDir(dir_.string());
+    Result<core::LaunchResult> warm =
+        core::makeStrategy(core::StrategyKind::kSeveriFastBz)
+            ->launch(platform, req);
+    ASSERT_TRUE(warm.isOk());
+    EXPECT_TRUE(warm->cache_hit);
+    EXPECT_EQ(warm->measurement, cold_measurement);
+    EXPECT_EQ(platform.templateCache().stats().disk_errors, 0u);
+}
+
 // ===================================================================
 // Copy-on-write instantiation (memory tier of a hit)
 // ===================================================================

@@ -118,6 +118,51 @@ TEST(BootCli, FullFlagSetRoundTrips)
     EXPECT_EQ(o.metrics_out, "m.prom");
 }
 
+TEST(BootCli, FaultAndRetryFlagsParse)
+{
+    Result<BootOptions> parsed = parseBootArgs(
+        {"--fault-plan", "seed=7;psp:p=0.25;disk-read:nth=2",
+         "--retry-max", "5", "--retry-base-us", "250",
+         "--retry-jitter", "0.2"});
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+    EXPECT_EQ(parsed->fault_plan, "seed=7;psp:p=0.25;disk-read:nth=2");
+    EXPECT_EQ(parsed->retry.max_attempts, 5u);
+    EXPECT_EQ(parsed->retry.base_delay_ns, 250'000u);
+    EXPECT_DOUBLE_EQ(parsed->retry.jitter, 0.2);
+
+    // Defaults when the flags are absent: the documented policy table
+    // (docs/RELIABILITY.md) — 3 attempts, 100 us base, 0.1 jitter.
+    Result<BootOptions> defaults = parseBootArgs({});
+    ASSERT_TRUE(defaults.isOk());
+    EXPECT_TRUE(defaults->fault_plan.empty());
+    EXPECT_EQ(defaults->retry.max_attempts, 3u);
+    EXPECT_EQ(defaults->retry.base_delay_ns, 100'000u);
+    EXPECT_DOUBLE_EQ(defaults->retry.jitter, 0.1);
+}
+
+TEST(BootCli, CacheStatsLineCarriesDiskHealthCounters)
+{
+    // The --cache-stats line is how an operator tells a dying disk tier
+    // (disk_errors/quarantined climbing) from a merely cold cache
+    // (misses climbing). Freeze the exact rendering.
+    cache::TemplateCache::Stats s;
+    s.hits = 3;
+    s.misses = 2;
+    s.inserts = 2;
+    s.evictions = 1;
+    s.entries = 1;
+    s.bytes = 4096;
+    s.disk_errors = 5;
+    s.quarantined = 1;
+    s.poisoned = 2;
+    EXPECT_EQ(renderCacheStats(s),
+              "cache: hits=3 misses=2 inserts=2 evictions=1 entries=1 "
+              "bytes=4096 disk_errors=5 quarantined=1 poisoned=2");
+    EXPECT_EQ(renderCacheStats(cache::TemplateCache::Stats{}),
+              "cache: hits=0 misses=0 inserts=0 evictions=0 entries=0 "
+              "bytes=0 disk_errors=0 quarantined=0 poisoned=0");
+}
+
 TEST(BootCli, RejectsBadInput)
 {
     EXPECT_FALSE(parseBootArgs({"--no-such-flag"}).isOk());

@@ -151,9 +151,10 @@ echo "==> [bench] concurrent admission pipeline"
 # 8. Observability: boot one SEV-SNP launch with tracing + metrics on,
 #    then validate both exports with sevf_obscheck — Chrome-trace
 #    structure, >= 95% sim-time span coverage, Prometheus syntax, the
-#    PSP queue-depth / kernel-throughput families the figures need, and
-#    the doc-drift gate (every exported metric/span name must appear in
-#    docs/OBSERVABILITY.md).
+#    PSP queue-depth / kernel-throughput / fault / retry families the
+#    figures and the runbook need, and the doc-drift gates (every
+#    exported metric/span name must appear in docs/OBSERVABILITY.md;
+#    every reliability signal in docs/RELIABILITY.md).
 obs_dir="$root/build-ci-werror/obs-ci"
 mkdir -p "$obs_dir"
 boot="$root/build-ci-werror/tools/sevf_boot"
@@ -161,11 +162,12 @@ echo "==> [obs] traced SEV-SNP launch"
 "$boot" --strategy=severifast --mode=sev-snp \
     --trace-out="$obs_dir/trace.json" \
     --metrics-out="$obs_dir/metrics.prom" >/dev/null
-echo "==> [obs] validate exports + doc-drift gate"
+echo "==> [obs] validate exports + doc-drift gates"
 "$root/build-ci-werror/tools/sevf_obscheck" \
     --trace "$obs_dir/trace.json" \
     --metrics "$obs_dir/metrics.prom" \
-    --docs "$root/docs/OBSERVABILITY.md"
+    --docs "$root/docs/OBSERVABILITY.md" \
+    --reliability "$root/docs/RELIABILITY.md"
 
 # 9. Launch-template cache, end to end through the CLI: two boots
 #    sharing a disk cache dir must produce a cold miss then a disk hit
@@ -204,5 +206,57 @@ if grep -q '"cache/' "$tcb_dir/tcb-inventory.json"; then
     exit 1
 fi
 
+# 10. Chaos: the seeded fault sweep (65 fixed seeds x 5 strategies —
+#     every run must end bit-identical to the fault-free boot or in a
+#     typed error; chaos_test already ran under every matrix entry
+#     above, this reruns it standalone so a chaos regression is named
+#     in the CI log) plus an end-to-end injection smoke through the
+#     CLI: a boot absorbing two transient PSP faults must report the
+#     same measurement as the fault-free boot, and a malformed plan
+#     must be rejected as a usage error.
+echo "==> [chaos] seeded fault sweep (deterministic)"
+(cd "$root/build-ci-werror" && ctest -R chaos_test --output-on-failure)
+chaos_dir="$root/build-ci-werror/chaos-ci"
+rm -rf "$chaos_dir"
+mkdir -p "$chaos_dir"
+echo "==> [chaos] CLI injection smoke: faulted boot replays the clean measurement"
+"$boot" --strategy=severifast --mode=sev-snp --no-attest --json \
+    >"$chaos_dir/clean.json"
+for seed in 3 7 11; do
+    "$boot" --strategy=severifast --mode=sev-snp --no-attest --json \
+        --fault-plan "seed=$seed;psp:nth=2,count=2" \
+        >"$chaos_dir/faulted-$seed.json"
+    clean_meas="$(json_field "$chaos_dir/clean.json" measurement)"
+    fault_meas="$(json_field "$chaos_dir/faulted-$seed.json" measurement)"
+    if [ -z "$clean_meas" ] || [ "$clean_meas" != "$fault_meas" ]; then
+        echo "error: injected PSP faults changed the measurement (seed $seed):" >&2
+        echo "  clean:   $clean_meas" >&2
+        echo "  faulted: $fault_meas" >&2
+        exit 1
+    fi
+done
+echo "==> [chaos] retried boots replay the clean measurement: $clean_meas"
+echo "==> [chaos] malformed --fault-plan is a usage error"
+if "$boot" --fault-plan "warp-core:p=0.5" >/dev/null 2>&1; then
+    echo "error: malformed fault plan was accepted" >&2
+    exit 1
+fi
+
+# 11. Docs presence: the operator documentation set must exist and be
+#     reachable from the README (the obscheck gates above already
+#     checked their content against the live exports).
+echo "==> [docs] RELIABILITY.md + ARCHITECTURE.md exist and are linked"
+for doc in RELIABILITY.md ARCHITECTURE.md; do
+    if [ ! -f "$root/docs/$doc" ]; then
+        echo "error: docs/$doc is missing" >&2
+        exit 1
+    fi
+    if ! grep -q "$doc" "$root/README.md"; then
+        echo "error: docs/$doc is not referenced from README.md" >&2
+        exit 1
+    fi
+done
+
 echo "==> CI green: hygiene + werror + asan,ubsan + taint-enforce + tsan" \
-     "+ lint + tcb + thread-safety + model + bench + obs + cache"
+     "+ lint + tcb + thread-safety + model + bench + obs + cache" \
+     "+ chaos + docs"

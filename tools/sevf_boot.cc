@@ -17,6 +17,7 @@
 #include "cache/template_cache.h"
 #include "core/launch.h"
 #include "core/report.h"
+#include "fault/fault.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -50,7 +51,19 @@ main(int argc, char **argv)
         obs::setTracingEnabled(true);
     }
 
+    if (!opts.fault_plan.empty()) {
+        Result<fault::FaultPlan> plan =
+            fault::FaultPlan::parse(opts.fault_plan);
+        if (!plan.isOk()) {
+            std::fprintf(stderr, "--fault-plan: %s\n",
+                         plan.status().message().c_str());
+            return 2;
+        }
+        fault::FaultInjector::instance().arm(plan.take());
+    }
+
     core::Platform platform;
+    platform.psp().setRetryPolicy(opts.retry);
     if (opts.cache_bytes != 0) {
         platform.templateCache().setCapacityBytes(opts.cache_bytes);
     }
@@ -98,15 +111,7 @@ main(int argc, char **argv)
     if (opts.cache_stats) {
         // stderr so --json keeps a clean machine-readable stdout.
         cache::TemplateCache::Stats cs = platform.templateCache().stats();
-        std::fprintf(stderr,
-                     "cache: hits=%llu misses=%llu inserts=%llu "
-                     "evictions=%llu entries=%llu bytes=%llu\n",
-                     static_cast<unsigned long long>(cs.hits),
-                     static_cast<unsigned long long>(cs.misses),
-                     static_cast<unsigned long long>(cs.inserts),
-                     static_cast<unsigned long long>(cs.evictions),
-                     static_cast<unsigned long long>(cs.entries),
-                     static_cast<unsigned long long>(cs.bytes));
+        std::fprintf(stderr, "%s\n", tools::renderCacheStats(cs).c_str());
     }
 
     if (opts.json) {

@@ -17,8 +17,10 @@
 #include <vector>
 
 #include "base/status.h"
+#include "cache/template_cache.h"
 #include "compress/codec.h"
 #include "core/launch.h"
+#include "fault/retry.h"
 #include "memory/sev_mode.h"
 #include "workload/kernel_spec.h"
 
@@ -70,6 +72,18 @@ bootFlags()
          "in-memory template cache budget (0 = default 1 GiB)"},
         {"--cache-stats", nullptr,
          "print template-cache hit/miss/eviction counters after boot"},
+        {"--fault-plan", "SPEC",
+         "arm deterministic fault injection, e.g. "
+         "\"seed=7;psp:p=0.25;disk-read:nth=2\" (sites: psp, disk-read, "
+         "disk-write, dram-mmap, admission)"},
+        {"--retry-max", "N",
+         "PSP transient-error retry budget: total attempts per command "
+         "(default 3, 1 = no retry)"},
+        {"--retry-base-us", "N",
+         "base backoff before the first retry, microseconds, doubling "
+         "per attempt (default 100)"},
+        {"--retry-jitter", "0..1",
+         "backoff jitter fraction (default 0.1)"},
         {"--json", nullptr, "emit a machine-readable launch report"},
         {"--trace-out", "FILE",
          "record spans/steps and write a Chrome trace-event JSON file "
@@ -120,6 +134,10 @@ struct BootOptions {
     std::string cache_dir;   ///< empty = in-memory cache only
     u64 cache_bytes = 0;     ///< 0 = keep the cache's default budget
     bool cache_stats = false;
+    /** Raw --fault-plan spec; parsed (and validated) at arm time so a
+     *  malformed plan is reported as a clean usage error in main. */
+    std::string fault_plan;
+    fault::RetryPolicy retry; ///< built from the --retry-* flags
 };
 
 namespace detail {
@@ -143,6 +161,27 @@ parseCodec(const std::string &v)
 }
 
 } // namespace detail
+
+/**
+ * The --cache-stats line, as one string (no trailing newline). Kept
+ * here so cli_test.cc asserts the exact fields operators see —
+ * including the disk-tier error/quarantine counters that distinguish a
+ * dying disk from a cold cache.
+ */
+inline std::string
+renderCacheStats(const cache::TemplateCache::Stats &s)
+{
+    std::string out = "cache: hits=" + std::to_string(s.hits);
+    out += " misses=" + std::to_string(s.misses);
+    out += " inserts=" + std::to_string(s.inserts);
+    out += " evictions=" + std::to_string(s.evictions);
+    out += " entries=" + std::to_string(s.entries);
+    out += " bytes=" + std::to_string(s.bytes);
+    out += " disk_errors=" + std::to_string(s.disk_errors);
+    out += " quarantined=" + std::to_string(s.quarantined);
+    out += " poisoned=" + std::to_string(s.poisoned);
+    return out;
+}
 
 /**
  * Parse @p args (argv[1..]). Accepts both "--flag value" and
@@ -259,6 +298,16 @@ parseBootArgs(const std::vector<std::string> &args)
                 static_cast<u64>(std::atoll(value.c_str()));
         } else if (arg == "--cache-stats") {
             opts.cache_stats = true;
+        } else if (arg == "--fault-plan") {
+            opts.fault_plan = value;
+        } else if (arg == "--retry-max") {
+            opts.retry.max_attempts =
+                static_cast<u32>(std::atoi(value.c_str()));
+        } else if (arg == "--retry-base-us") {
+            opts.retry.base_delay_ns =
+                static_cast<u64>(std::atoll(value.c_str())) * 1000;
+        } else if (arg == "--retry-jitter") {
+            opts.retry.jitter = std::atof(value.c_str());
         } else if (arg == "--json") {
             opts.json = true;
         } else if (arg == "--trace-out") {

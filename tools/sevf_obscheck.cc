@@ -4,9 +4,10 @@
  *
  *   usage: sevf_obscheck [--trace trace.json] [--metrics metrics.prom]
  *                        [--docs docs/OBSERVABILITY.md]
+ *                        [--reliability docs/RELIABILITY.md]
  *                        [--min-coverage 0.95]
  *
- * Three checks, each on when its input file is given:
+ * Four checks, each on when its input file is given:
  *  - trace: parses as JSON (with the repo's own stats/json parser),
  *    every event is structurally a Chrome trace event, and per sim
  *    launch the union of sim.step spans covers >= min-coverage of the
@@ -18,6 +19,12 @@
  *  - docs (doc-drift gate): every exported metric family, wall-span
  *    name, and counter-track name appears in docs/OBSERVABILITY.md, so
  *    new instrumentation cannot land undocumented.
+ *  - reliability (doc-drift gate for the runbook): every exported
+ *    fault_* and retry_* family and reliability span, plus the fixed
+ *    degradation-signal names (cache disk errors/quarantine/poisoning,
+ *    admission shedding, DRAM mmap fallback), appears in
+ *    docs/RELIABILITY.md — a new fault domain cannot land without its
+ *    operator runbook entry.
  *
  * Exit 0 when all requested checks pass; 1 with one line per failure.
  */
@@ -265,12 +272,18 @@ checkMetrics(const std::string &path)
         }
     }
 
-    // The figures this repo exists to reproduce need these families.
+    // The figures this repo exists to reproduce need these families,
+    // and the reliability layer eagerly registers its families so a
+    // fault-free boot still exports them zero-valued.
     for (const char *required :
          {"sevf_psp_queue_depth", "sevf_kernel_bytes_total",
           "sevf_kernel_wall_ns_total", "sevf_cache_hits_total",
           "sevf_cache_misses_total", "sevf_cache_inserts_total",
-          "sevf_cache_evictions_total", "sevf_cache_bytes"}) {
+          "sevf_cache_evictions_total", "sevf_cache_bytes",
+          "sevf_fault_checks_total", "sevf_fault_injected_total",
+          "sevf_retry_attempts_total", "sevf_retry_backoff_ns_total",
+          "sevf_retry_exhausted_total", "sevf_cache_disk_errors_total",
+          "sevf_cache_disk_quarantined", "sevf_cache_poisoned_total"}) {
         if (!families.contains(required)) {
             fail(std::string("metrics: required family missing: ") +
                  required);
@@ -311,6 +324,72 @@ checkDocs(const std::string &path, const TraceNames &trace,
                 path.c_str());
 }
 
+/** True when @p name belongs to the reliability surface. */
+bool
+isReliabilityName(const std::string &name)
+{
+    static const char *kExact[] = {
+        "sevf_cache_disk_errors_total", "sevf_cache_disk_quarantined",
+        "sevf_cache_poisoned_total", "sevf_admission_shed_total",
+        "sevf_dram_mmap_fallback_total", "cache.poison_fallback",
+    };
+    for (const char *exact : kExact) {
+        if (name == exact) {
+            return true;
+        }
+    }
+    return name.rfind("sevf_fault_", 0) == 0 ||
+           name.rfind("sevf_retry_", 0) == 0 ||
+           name.rfind("fault.", 0) == 0 || name.rfind("retry.", 0) == 0;
+}
+
+/**
+ * Runbook-drift gate: every reliability-surface name that the exports
+ * carry — plus the fixed signal list an operator greps for even when a
+ * particular run never exercised it — must appear in RELIABILITY.md.
+ */
+void
+checkReliability(const std::string &path, const TraceNames &trace,
+                 const std::set<std::string> &families)
+{
+    Result<std::string> text = readFile(path);
+    if (!text.isOk()) {
+        fail(text.status().message());
+        return;
+    }
+    std::size_t checked = 0;
+    auto require = [&](const std::string &name, const char *what) {
+        ++checked;
+        if (text->find(name) == std::string::npos) {
+            fail("reliability: " + std::string(what) + " \"" + name +
+                 "\" has no runbook entry in " + path);
+        }
+    };
+    for (const std::string &name : families) {
+        if (isReliabilityName(name)) {
+            require(name, "metric");
+        }
+    }
+    for (const std::string &name : trace.wall_spans) {
+        if (isReliabilityName(name)) {
+            require(name, "span");
+        }
+    }
+    // Signals that only appear in exports when their fault actually
+    // fired; the runbook must cover them regardless.
+    for (const char *always :
+         {"sevf_fault_checks_total", "sevf_fault_injected_total",
+          "sevf_retry_attempts_total", "sevf_retry_backoff_ns_total",
+          "sevf_retry_exhausted_total", "sevf_cache_disk_errors_total",
+          "sevf_cache_disk_quarantined", "sevf_cache_poisoned_total",
+          "sevf_admission_shed_total", "sevf_dram_mmap_fallback_total",
+          "fault.inject", "retry.backoff", "cache.poison_fallback"}) {
+        require(always, "signal");
+    }
+    std::printf("reliability: %zu names checked against %s\n", checked,
+                path.c_str());
+}
+
 } // namespace
 
 int
@@ -319,6 +398,7 @@ main(int argc, char **argv)
     std::string trace_path;
     std::string metrics_path;
     std::string docs_path;
+    std::string reliability_path;
     double min_coverage = 0.95;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -335,12 +415,15 @@ main(int argc, char **argv)
             metrics_path = next();
         } else if (arg == "--docs") {
             docs_path = next();
+        } else if (arg == "--reliability") {
+            reliability_path = next();
         } else if (arg == "--min-coverage") {
             min_coverage = std::atof(next().c_str());
         } else {
             std::fprintf(stderr,
                          "usage: %s [--trace FILE] [--metrics FILE] "
-                         "[--docs FILE] [--min-coverage F]\n",
+                         "[--docs FILE] [--reliability FILE] "
+                         "[--min-coverage F]\n",
                          argv[0]);
             return 2;
         }
@@ -356,6 +439,9 @@ main(int argc, char **argv)
     }
     if (!docs_path.empty()) {
         checkDocs(docs_path, trace_names, families);
+    }
+    if (!reliability_path.empty()) {
+        checkReliability(reliability_path, trace_names, families);
     }
 
     if (g_failures != 0) {
