@@ -245,21 +245,21 @@ throughputRecord(std::string_view name, u64 bytes, double seconds)
 }
 
 /**
- * Merge one subsection into the "cache" object of an existing
+ * Merge one subsection into the @p topkey object of an existing
  * BENCH_wallclock.json (created by bench_wallclock): after the call,
- * root["cache"][subkey] == parse(section_json), every other member
- * untouched. Lets bench_cache_hit and bench_fig12_concurrent each own
- * their slice of the result file without clobbering the other. Errors
- * are soft (warn + no write) so a missing or hand-edited result file
- * never fails a bench run.
+ * root[topkey][subkey] == parse(section_json), every other member
+ * untouched. Lets bench_cache_hit, bench_fig12_concurrent, and
+ * bench_service_fairness each own their slice of the result file
+ * without clobbering the others. Errors are soft (warn + no write) so
+ * a missing or hand-edited result file never fails a bench run.
  */
 inline void
-patchCacheSection(const std::string &path, const std::string &subkey,
-                  const std::string &section_json)
+patchSection(const std::string &path, const std::string &topkey,
+             const std::string &subkey, const std::string &section_json)
 {
     Result<stats::JsonValue> section = stats::parseJson(section_json);
     if (!section.isOk()) {
-        warn("cache section for ", path,
+        warn(topkey, " section for ", path,
              " is not valid JSON: ", section.status().toString());
         return;
     }
@@ -277,13 +277,13 @@ patchCacheSection(const std::string &path, const std::string &subkey,
             }
         }
     }
-    stats::JsonValue::Object cache;
-    auto it = root.find("cache");
+    stats::JsonValue::Object top;
+    auto it = root.find(topkey);
     if (it != root.end() && it->second.isObject()) {
-        cache = it->second.asObject();
+        top = it->second.asObject();
     }
-    cache[subkey] = section.take();
-    root["cache"] = stats::JsonValue::object(std::move(cache));
+    top[subkey] = section.take();
+    root[topkey] = stats::JsonValue::object(std::move(top));
 
     std::ofstream out(path);
     if (!out) {
@@ -292,7 +292,16 @@ patchCacheSection(const std::string &path, const std::string &subkey,
     }
     out << stats::dumpJson(stats::JsonValue::object(std::move(root)))
         << "\n";
-    std::printf("  data: %s (cache.%s)\n", path.c_str(), subkey.c_str());
+    std::printf("  data: %s (%s.%s)\n", path.c_str(), topkey.c_str(),
+                subkey.c_str());
+}
+
+/** Back-compat shim: the two cache benches patch root["cache"]. */
+inline void
+patchCacheSection(const std::string &path, const std::string &subkey,
+                  const std::string &section_json)
+{
+    patchSection(path, "cache", subkey, section_json);
 }
 
 /**

@@ -17,6 +17,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::kResourceExhausted: return "resource-exhausted";
       case ErrorCode::kUnavailable: return "unavailable";
       case ErrorCode::kBackpressure: return "backpressure";
+      case ErrorCode::kQuotaExceeded: return "quota-exceeded";
     }
     return "unknown";
 }

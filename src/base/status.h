@@ -31,6 +31,7 @@ enum class ErrorCode {
     kResourceExhausted, //!< out of guest memory, ASIDs, ...
     kUnavailable,       //!< transient failure; retrying may succeed
     kBackpressure,      //!< load shed: admission queue full, retry later
+    kQuotaExceeded,     //!< tenant over its admission quota; not retryable
 };
 
 /** Human-readable name for an ErrorCode. */
@@ -232,6 +233,12 @@ inline Status
 errBackpressure(std::string msg)
 {
     return {ErrorCode::kBackpressure, std::move(msg)};
+}
+
+inline Status
+errQuotaExceeded(std::string msg)
+{
+    return {ErrorCode::kQuotaExceeded, std::move(msg)};
 }
 
 /** Propagate a non-OK Status from the current function. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <utility>
 
 #include "base/logging.h"
@@ -16,6 +17,26 @@ namespace {
 /** Default in-memory budget: generous enough that tests never evict
  *  unless they ask to (--cache-bytes overrides). */
 constexpr u64 kDefaultCapacityBytes = 2ull * kGiB;
+
+/** First hex-digit pair of the key, as a byte (keys are SHA-256 hex,
+ *  so the prefix is uniform across shards). */
+unsigned
+keyPrefixByte(const std::string &key_hex)
+{
+    auto nibble = [](char c) -> unsigned {
+        if (c >= '0' && c <= '9') {
+            return static_cast<unsigned>(c - '0');
+        }
+        if (c >= 'a' && c <= 'f') {
+            return static_cast<unsigned>(c - 'a') + 10;
+        }
+        return 0;
+    };
+    if (key_hex.size() < 2) {
+        return 0;
+    }
+    return nibble(key_hex[0]) * 16 + nibble(key_hex[1]);
+}
 
 } // namespace
 
@@ -36,8 +57,9 @@ LaunchTemplate::byteSize() const
     return total;
 }
 
-TemplateCache::TemplateCache()
-    : capacity_bytes_(kDefaultCapacityBytes),
+TemplateCache::TemplateCache(unsigned shards)
+    : shard_count_(shards == 0 ? 1 : shards),
+      capacity_bytes_(kDefaultCapacityBytes),
       hits_metric_(obs::Registry::instance().counter(
           "sevf_cache_hits_total",
           "Launch-template cache hits (warm launches)")),
@@ -61,121 +83,222 @@ TemplateCache::TemplateCache()
           "sevf_cache_poisoned_total",
           "Warm templates invalidated after failing to replay"))
 {
+    shards_.reserve(shard_count_);
+    for (unsigned i = 0; i < shard_count_; ++i) {
+        shards_.push_back(std::make_unique<CacheShard>());
+    }
+}
+
+TemplateCache::CacheShard &
+TemplateCache::shardFor(const std::string &key_hex)
+{
+    return *shards_[keyPrefixByte(key_hex) % shard_count_];
 }
 
 void
 TemplateCache::setCapacityBytes(u64 bytes)
 {
-    base::MutexLock lock(mu_);
-    capacity_bytes_ = bytes;
-    evictToFitLocked();
+    capacity_bytes_.store(bytes);
+    evictGlobalToFit();
 }
 
 u64
 TemplateCache::capacityBytes() const
 {
-    base::MutexLock lock(mu_);
-    return capacity_bytes_;
+    return capacity_bytes_.load();
+}
+
+void
+TemplateCache::setShardCapacityBytes(u64 bytes)
+{
+    shard_capacity_bytes_.store(bytes);
+    for (auto &shard_ptr : shards_) {
+        CacheShard &shard = *shard_ptr;
+        base::MutexLock lock(shard.mu);
+        evictShardToFitLocked(shard);
+    }
 }
 
 void
 TemplateCache::setDiskDir(std::string dir)
 {
-    base::MutexLock lock(mu_);
-    disk_dir_ = std::move(dir);
+    base::MutexLock lock(disk_.mu);
+    disk_.dir = std::move(dir);
     // Re-pointing (or re-blessing) the disk tier lifts the quarantine:
     // the operator decided the storage is healthy again.
-    disk_error_streak_ = 0;
-    disk_quarantined_ = false;
+    disk_.error_streak = 0;
+    disk_.quarantined = false;
     quarantined_metric_.set(0);
 }
 
 bool
 TemplateCache::diskQuarantined() const
 {
-    base::MutexLock lock(mu_);
-    return disk_quarantined_;
+    base::MutexLock lock(disk_.mu);
+    return disk_.quarantined;
+}
+
+std::string
+TemplateCache::diskPathFor(const std::string &key_hex) const
+{
+    base::MutexLock lock(disk_.mu);
+    if (disk_.dir.empty() || disk_.quarantined) {
+        return std::string();
+    }
+    return disk_.dir + "/" + key_hex + ".tmpl";
 }
 
 void
-TemplateCache::noteDiskErrorLocked(const Status &error) SEVF_REQUIRES(mu_)
+TemplateCache::noteDiskError(const Status &error)
 {
-    stats_.disk_errors++;
+    base::MutexLock lock(disk_.mu);
+    disk_.errors++;
     disk_errors_metric_.add();
-    disk_error_streak_++;
-    if (!disk_quarantined_ && disk_error_streak_ >= kQuarantineStreak) {
-        disk_quarantined_ = true;
-        stats_.quarantined++;
+    disk_.error_streak++;
+    if (!disk_.quarantined && disk_.error_streak >= kQuarantineStreak) {
+        disk_.quarantined = true;
+        disk_.quarantines++;
         quarantined_metric_.set(1);
         warn("template cache: disk tier quarantined after ",
-             disk_error_streak_,
+             disk_.error_streak,
              " consecutive I/O failures (last: ", error.toString(),
              "); degrading to memory-only");
     }
 }
 
 void
-TemplateCache::evictToFitLocked() SEVF_REQUIRES(mu_)
+TemplateCache::noteDiskOk()
 {
-    while (bytes_ > capacity_bytes_ && !entries_.empty()) {
-        auto victim = entries_.begin();
-        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-            if (it->second.last_use < victim->second.last_use) {
-                victim = it;
-            }
-        }
-        bytes_ -= victim->second.bytes;
-        entries_.erase(victim);
-        stats_.evictions++;
-        evictions_metric_.add();
-    }
-    stats_.bytes = bytes_;
-    stats_.entries = entries_.size();
-    bytes_metric_.set(static_cast<i64>(bytes_));
+    base::MutexLock lock(disk_.mu);
+    disk_.error_streak = 0;
 }
 
 void
-TemplateCache::insertLocked(const std::string &key_hex,
-                            std::shared_ptr<const LaunchTemplate> tmpl)
-    SEVF_REQUIRES(mu_)
+TemplateCache::touchLocked(CacheShard &shard, Entry &entry)
+    SEVF_REQUIRES(shard.mu)
 {
-    auto old = entries_.find(key_hex);
-    if (old != entries_.end()) {
-        bytes_ -= old->second.bytes;
-        entries_.erase(old);
+    entry.last_use = lru_clock_.fetch_add(1) + 1;
+    shard.lru.splice(shard.lru.begin(), shard.lru, entry.lru_it);
+}
+
+void
+TemplateCache::evictTailLocked(CacheShard &shard) SEVF_REQUIRES(shard.mu)
+{
+    SEVF_CHECK(!shard.lru.empty());
+    auto it = shard.entries.find(shard.lru.back());
+    SEVF_CHECK(it != shard.entries.end());
+    shard.bytes -= it->second.bytes;
+    bytes_.fetch_sub(it->second.bytes);
+    shard.entries.erase(it);
+    shard.lru.pop_back();
+    shard.evictions++;
+    evictions_metric_.add();
+    bytes_metric_.set(static_cast<i64>(bytes_.load()));
+}
+
+void
+TemplateCache::evictShardToFitLocked(CacheShard &shard)
+    SEVF_REQUIRES(shard.mu)
+{
+    u64 cap = shard_capacity_bytes_.load();
+    if (cap == 0) {
+        return;
+    }
+    while (shard.bytes > cap && !shard.lru.empty()) {
+        evictTailLocked(shard);
+    }
+}
+
+void
+TemplateCache::evictGlobalToFit()
+{
+    // Cross-shard LRU: compare the N shard tails (each the oldest entry
+    // of its shard) and evict the globally oldest, repeating until the
+    // budget fits. Shards are locked one at a time — never nested
+    // (lock-order.txt: exclusive CacheShard::mu CacheShard::mu) — so a
+    // concurrent touch can at worst promote a tail between the peek and
+    // the eviction, which costs one suboptimal victim, not correctness.
+    for (;;) {
+        u64 cap = capacity_bytes_.load();
+        if (bytes_.load() <= cap) {
+            return;
+        }
+        std::size_t victim_shard = shards_.size();
+        u64 victim_age = std::numeric_limits<u64>::max();
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+            CacheShard &shard = *shards_[i];
+            base::MutexLock lock(shard.mu);
+            if (shard.lru.empty()) {
+                continue;
+            }
+            auto it = shard.entries.find(shard.lru.back());
+            SEVF_CHECK(it != shard.entries.end());
+            if (it->second.last_use < victim_age) {
+                victim_age = it->second.last_use;
+                victim_shard = i;
+            }
+        }
+        if (victim_shard == shards_.size()) {
+            return; // every shard empty; nothing left to evict
+        }
+        CacheShard &shard = *shards_[victim_shard];
+        base::MutexLock lock(shard.mu);
+        if (shard.lru.empty() || bytes_.load() <= cap) {
+            continue;
+        }
+        evictTailLocked(shard);
+    }
+}
+
+void
+TemplateCache::insertLocked(CacheShard &shard, const std::string &key_hex,
+                            std::shared_ptr<const LaunchTemplate> tmpl)
+    SEVF_REQUIRES(shard.mu)
+{
+    auto old = shard.entries.find(key_hex);
+    if (old != shard.entries.end()) {
+        shard.bytes -= old->second.bytes;
+        bytes_.fetch_sub(old->second.bytes);
+        shard.lru.erase(old->second.lru_it);
+        shard.entries.erase(old);
     }
     Entry entry;
     entry.bytes = tmpl->byteSize();
     entry.tmpl = std::move(tmpl);
-    entry.last_use = ++lru_clock_;
-    bytes_ += entry.bytes;
-    entries_.emplace(key_hex, std::move(entry));
-    stats_.inserts++;
+    entry.last_use = lru_clock_.fetch_add(1) + 1;
+    shard.lru.push_front(key_hex);
+    entry.lru_it = shard.lru.begin();
+    shard.bytes += entry.bytes;
+    bytes_.fetch_add(entry.bytes);
+    shard.entries.emplace(key_hex, std::move(entry));
+    shard.inserts++;
     inserts_metric_.add();
-    // May evict the entry just inserted when the budget is smaller than
-    // one template — correct (the cache simply stays empty), and the
-    // eviction test relies on it.
-    evictToFitLocked();
+    bytes_metric_.set(static_cast<i64>(bytes_.load()));
+    // The per-shard cap (when armed) is enforced here, under the one
+    // lock already held; the global budget is enforced by the caller
+    // after this lock is dropped. May evict the entry just inserted
+    // when the budget is smaller than one template — correct (the
+    // cache simply stays empty), and the eviction test relies on it.
+    evictShardToFitLocked(shard);
 }
 
 std::shared_ptr<const LaunchTemplate>
-TemplateCache::loadFromDiskLocked(const std::string &key_hex)
-    SEVF_REQUIRES(mu_)
+TemplateCache::loadFromDisk(const std::string &key_hex)
 {
-    if (disk_dir_.empty() || disk_quarantined_) {
+    std::string path = diskPathFor(key_hex);
+    if (path.empty()) {
         return nullptr;
     }
-    std::string path = disk_dir_ + "/" + key_hex + ".tmpl";
     Status injected = fault::FaultInjector::instance().check(
         fault::FaultSite::kCacheDiskRead, path);
     if (!injected.isOk()) {
-        noteDiskErrorLocked(injected);
+        noteDiskError(injected);
         return nullptr;
     }
     Result<std::shared_ptr<const LaunchTemplate>> loaded =
         loadTemplateFile(path);
     if (loaded.isOk()) {
-        disk_error_streak_ = 0;
+        noteDiskOk();
         return loaded.take();
     }
     // Soft failure either way — the launch proceeds as a miss. But a
@@ -185,33 +308,32 @@ TemplateCache::loadFromDiskLocked(const std::string &key_hex)
     // file that does decode replays to a wrong measurement and is
     // rejected at launch time (see template_io.h).
     if (loaded.status().code() != ErrorCode::kNotFound) {
-        noteDiskErrorLocked(loaded.status());
+        noteDiskError(loaded.status());
     }
     return nullptr;
 }
 
 void
-TemplateCache::persistToDiskLocked(const std::string &key_hex,
-                                   const LaunchTemplate &tmpl)
-    SEVF_REQUIRES(mu_)
+TemplateCache::persistToDisk(const std::string &key_hex,
+                             const LaunchTemplate &tmpl)
 {
-    if (disk_dir_.empty() || disk_quarantined_) {
+    std::string path = diskPathFor(key_hex);
+    if (path.empty()) {
         return;
     }
     // Best effort: an unwritable disk tier degrades to memory-only,
     // with the failures counted toward the quarantine streak.
-    std::string path = disk_dir_ + "/" + key_hex + ".tmpl";
     Status injected = fault::FaultInjector::instance().check(
         fault::FaultSite::kCacheDiskWrite, path);
     if (!injected.isOk()) {
-        noteDiskErrorLocked(injected);
+        noteDiskError(injected);
         return;
     }
     Status persisted = saveTemplateFile(path, tmpl);
     if (persisted.isOk()) {
-        disk_error_streak_ = 0;
+        noteDiskOk();
     } else {
-        noteDiskErrorLocked(persisted);
+        noteDiskError(persisted);
     }
 }
 
@@ -220,48 +342,57 @@ TemplateCache::beginLookup(const LaunchKey &key)
 {
     SEVF_SPAN("cache.lookup");
     std::string key_hex = key.hex();
-    base::MutexLock lock(mu_);
-    bool counted_wait = false;
-    for (;;) {
-        auto it = entries_.find(key_hex);
-        if (it != entries_.end()) {
-            it->second.last_use = ++lru_clock_;
-            stats_.hits++;
-            hits_metric_.add();
-            return Lookup{it->second.tmpl, false};
-        }
-        if (building_.count(key_hex) == 0) {
-            std::shared_ptr<const LaunchTemplate> loaded =
-                loadFromDiskLocked(key_hex);
-            if (loaded != nullptr) {
-                insertLocked(key_hex, loaded);
-                auto resident = entries_.find(key_hex);
-                if (resident != entries_.end()) {
-                    stats_.hits++;
-                    hits_metric_.add();
-                    return Lookup{resident->second.tmpl, false};
-                }
-                // Evicted on arrival (budget below one template): still
-                // a hit, serve the loaded copy without caching it.
-                stats_.hits++;
+    CacheShard &shard = shardFor(key_hex);
+    {
+        base::MutexLock lock(shard.mu);
+        bool counted_wait = false;
+        for (;;) {
+            auto it = shard.entries.find(key_hex);
+            if (it != shard.entries.end()) {
+                touchLocked(shard, it->second);
+                shard.hits++;
                 hits_metric_.add();
-                return Lookup{loaded, false};
+                return Lookup{it->second.tmpl, false};
             }
-            building_.insert(key_hex);
-            stats_.misses++;
+            if (shard.building.count(key_hex) == 0) {
+                // Tentatively claim, then probe the disk tier below
+                // WITHOUT the shard lock: followers of this key wait on
+                // the claim, but lookups of other keys in the shard are
+                // not stalled behind file I/O.
+                shard.building.insert(key_hex);
+                break;
+            }
+            // Another thread is building this exact template: wait for
+            // its publish/abandon instead of duplicating a multi-second
+            // build.
+            if (!counted_wait) {
+                shard.single_flight_waits++;
+                counted_wait = true;
+            }
+            while (shard.building.count(key_hex) != 0) {
+                shard.build_done.wait(lock.native());
+            }
+        }
+    }
+
+    std::shared_ptr<const LaunchTemplate> loaded = loadFromDisk(key_hex);
+    {
+        base::MutexLock lock(shard.mu);
+        if (loaded == nullptr) {
+            shard.misses++;
             misses_metric_.add();
             return Lookup{nullptr, true};
         }
-        // Another thread is building this exact template: wait for its
-        // publish/abandon instead of duplicating a multi-second build.
-        if (!counted_wait) {
-            stats_.single_flight_waits++;
-            counted_wait = true;
-        }
-        while (building_.count(key_hex) != 0) {
-            build_done_.wait(lock.native());
-        }
+        insertLocked(shard, key_hex, loaded);
+        shard.hits++;
+        hits_metric_.add();
+        shard.building.erase(key_hex);
+        shard.build_done.notify_all();
     }
+    evictGlobalToFit();
+    // Serve the loaded copy directly: correct even when the entry was
+    // evicted on arrival (budget below one template).
+    return Lookup{loaded, false};
 }
 
 void
@@ -270,73 +401,110 @@ TemplateCache::publish(const LaunchKey &key,
 {
     SEVF_SPAN("cache.publish");
     std::string key_hex = key.hex();
-    base::MutexLock lock(mu_);
-    persistToDiskLocked(key_hex, *tmpl);
-    insertLocked(key_hex, std::move(tmpl));
-    building_.erase(key_hex);
-    build_done_.notify_all();
+    persistToDisk(key_hex, *tmpl);
+    CacheShard &shard = shardFor(key_hex);
+    {
+        base::MutexLock lock(shard.mu);
+        insertLocked(shard, key_hex, std::move(tmpl));
+        shard.building.erase(key_hex);
+        shard.build_done.notify_all();
+    }
+    evictGlobalToFit();
 }
 
 void
 TemplateCache::abandon(const LaunchKey &key)
 {
-    base::MutexLock lock(mu_);
-    building_.erase(key.hex());
-    build_done_.notify_all();
+    std::string key_hex = key.hex();
+    CacheShard &shard = shardFor(key_hex);
+    base::MutexLock lock(shard.mu);
+    shard.building.erase(key_hex);
+    shard.build_done.notify_all();
 }
 
 void
 TemplateCache::invalidate(const LaunchKey &key)
 {
     std::string key_hex = key.hex();
-    base::MutexLock lock(mu_);
     // Poisoning: a template only gets invalidated after it failed to
     // replay (BootStrategy falls back to a cold boot). Counted so
     // operators can tell a one-off torn file from a poisoning storm.
-    stats_.poisoned++;
+    poisoned_.fetch_add(1);
     poisoned_metric_.add();
-    auto it = entries_.find(key_hex);
-    if (it != entries_.end()) {
-        bytes_ -= it->second.bytes;
-        entries_.erase(it);
-        stats_.bytes = bytes_;
-        stats_.entries = entries_.size();
-        bytes_metric_.set(static_cast<i64>(bytes_));
+    CacheShard &shard = shardFor(key_hex);
+    {
+        base::MutexLock lock(shard.mu);
+        auto it = shard.entries.find(key_hex);
+        if (it != shard.entries.end()) {
+            shard.bytes -= it->second.bytes;
+            bytes_.fetch_sub(it->second.bytes);
+            shard.lru.erase(it->second.lru_it);
+            shard.entries.erase(it);
+            bytes_metric_.set(static_cast<i64>(bytes_.load()));
+        }
     }
-    if (!disk_dir_.empty()) {
-        // Best effort, like every disk-tier operation.
-        (void)std::remove((disk_dir_ + "/" + key_hex + ".tmpl").c_str());
+    std::string dir;
+    {
+        base::MutexLock lock(disk_.mu);
+        dir = disk_.dir;
+    }
+    if (!dir.empty()) {
+        // Best effort, like every disk-tier operation (and even while
+        // quarantined: a poisoned file must not outlive the entry).
+        (void)std::remove((dir + "/" + key_hex + ".tmpl").c_str());
     }
 }
 
 std::shared_ptr<const LaunchTemplate>
 TemplateCache::find(const LaunchKey &key)
 {
-    base::MutexLock lock(mu_);
-    auto it = entries_.find(key.hex());
-    if (it == entries_.end()) {
+    std::string key_hex = key.hex();
+    CacheShard &shard = shardFor(key_hex);
+    base::MutexLock lock(shard.mu);
+    auto it = shard.entries.find(key_hex);
+    if (it == shard.entries.end()) {
         return nullptr;
     }
-    it->second.last_use = ++lru_clock_;
+    touchLocked(shard, it->second);
     return it->second.tmpl;
 }
 
 void
 TemplateCache::clear()
 {
-    base::MutexLock lock(mu_);
-    entries_.clear();
-    bytes_ = 0;
-    stats_.bytes = 0;
-    stats_.entries = 0;
-    bytes_metric_.set(0);
+    for (auto &shard_ptr : shards_) {
+        CacheShard &shard = *shard_ptr;
+        base::MutexLock lock(shard.mu);
+        bytes_.fetch_sub(shard.bytes);
+        shard.bytes = 0;
+        shard.entries.clear();
+        shard.lru.clear();
+    }
+    bytes_metric_.set(static_cast<i64>(bytes_.load()));
 }
 
 TemplateCache::Stats
 TemplateCache::stats() const
 {
-    base::MutexLock lock(mu_);
-    return stats_;
+    Stats s;
+    for (const auto &shard_ptr : shards_) {
+        const CacheShard &shard = *shard_ptr;
+        base::MutexLock lock(shard.mu);
+        s.hits += shard.hits;
+        s.misses += shard.misses;
+        s.inserts += shard.inserts;
+        s.evictions += shard.evictions;
+        s.single_flight_waits += shard.single_flight_waits;
+        s.bytes += shard.bytes;
+        s.entries += shard.entries.size();
+    }
+    {
+        base::MutexLock lock(disk_.mu);
+        s.disk_errors = disk_.errors;
+        s.quarantined = disk_.quarantines;
+    }
+    s.poisoned = poisoned_.load();
+    return s;
 }
 
 } // namespace sevf::cache

@@ -9,6 +9,15 @@
 
 namespace sevf::core {
 
+namespace {
+
+inline constexpr const char *kShedHelp =
+    "Launches rejected with kBackpressure instead of queueing";
+inline constexpr const char *kQuotaHelp =
+    "Launches rejected with kQuotaExceeded (per-tenant quota)";
+
+} // namespace
+
 Result<LaunchResult>
 LaunchTicket::take()
 {
@@ -46,11 +55,13 @@ AdmissionPipeline::AdmissionPipeline(Platform &platform,
       queue_limit_(config.queue_depth == 0 ? 1 : config.queue_depth),
       shed_on_full_(config.shed_on_full)
 {
-    // Eager registration: the shed counter must appear (zero-valued) in
-    // every export so the obscheck doc gates cover it on fault-free runs.
+    // Eager registration: the rejection counters must appear
+    // (zero-valued) in every export so the obscheck doc gates cover
+    // them on fault-free runs.
+    (void)obs::Registry::instance().counter("sevf_admission_shed_total",
+                                            kShedHelp);
     (void)obs::Registry::instance().counter(
-        "sevf_admission_shed_total",
-        "Launches rejected with kBackpressure instead of queueing");
+        "sevf_admission_rejected_quota_total", kQuotaHelp);
     unsigned n = config.workers != 0
                      ? config.workers
                      : std::clamp(base::hardwareThreads(), 2u, 8u);
@@ -62,11 +73,19 @@ AdmissionPipeline::AdmissionPipeline(Platform &platform,
 
 AdmissionPipeline::~AdmissionPipeline()
 {
-    drain();
+    // stopping_ is set BEFORE the drain and space_ is notified along
+    // with work_: a submitter blocked on a full queue re-checks
+    // stopping_ and bails with a typed error instead of waiting on a
+    // notify that would never come (the ISSUE 10 shutdown race — the
+    // old order drained first, so a submitter that lost the wakeup
+    // race could sleep in space_.wait forever).
     {
         base::MutexLock lock(mu_);
         stopping_ = true;
     }
+    space_.notify_all();
+    work_.notify_all();
+    drain();
     work_.notify_all();
     for (std::thread &t : threads_) {
         t.join();
@@ -76,6 +95,14 @@ AdmissionPipeline::~AdmissionPipeline()
 std::shared_ptr<LaunchTicket>
 AdmissionPipeline::submit(StrategyKind kind, LaunchRequest request)
 {
+    return submit(kind, std::move(request), std::string());
+}
+
+std::shared_ptr<LaunchTicket>
+AdmissionPipeline::submit(StrategyKind kind, LaunchRequest request,
+                          const std::string &tenant,
+                          CompletionHook on_complete)
+{
     auto ticket = std::make_shared<LaunchTicket>();
     Job job;
     job.kind = kind;
@@ -83,7 +110,19 @@ AdmissionPipeline::submit(StrategyKind kind, LaunchRequest request)
     // The pipeline spends the host's parallelism across launches.
     job.request.host_threads = 1;
     job.ticket = ticket;
+    job.tenant = tenant;
+    // The hook is copied into the job (which the scheduler may consume
+    // even on a rejected push) and kept here for the rejection paths —
+    // it must fire exactly once however the ticket resolves.
+    job.on_complete = on_complete;
     job.enqueue_ns = obs::metricsEnabled() ? obs::wallNowNs() : 0;
+    auto reject = [&](Result<LaunchResult> error) {
+        if (on_complete) {
+            on_complete(error);
+        }
+        ticket->complete(std::move(error));
+        return ticket;
+    };
 
     // Load shedding: an injected enqueue fault (deterministic tests) or
     // a full queue under shed_on_full resolves the ticket right here
@@ -93,36 +132,60 @@ AdmissionPipeline::submit(StrategyKind kind, LaunchRequest request)
     Status admitted = fault::FaultInjector::instance().check(
         fault::FaultSite::kAdmissionEnqueue, "launch admission");
     bool shed = !admitted.isOk();
+    bool quota_rejected = false;
+    bool shutting_down = false;
     u64 depth = 0;
     {
         base::MutexLock lock(mu_);
-        if (!shed && shed_on_full_ && queue_.size() >= queue_limit_) {
+        if (!shed && shed_on_full_ && sched_.size() >= queue_limit_) {
             shed = true;
         }
         if (shed) {
             stats_.shed++;
         } else {
-            while (queue_.size() >= queue_limit_) {
+            while (sched_.size() >= queue_limit_ && !stopping_) {
                 space_.wait(lock.native());
             }
-            queue_.push_back(std::move(job));
-            depth = queue_.size();
-            stats_.submitted++;
-            stats_.peak_queue_depth =
-                std::max<u64>(stats_.peak_queue_depth, depth);
+            if (stopping_) {
+                // Shutdown race: the pipeline is being destroyed; no
+                // worker will ever pop a late enqueue, so fail the
+                // ticket with a typed error instead of wedging it.
+                shutting_down = true;
+                // NB: not job.tenant — std::move(job) may be evaluated
+                // before the first argument is read.
+            } else if (sched_.push(tenant, std::move(job)) ==
+                       service::DrrScheduler<Job>::Push::kQuotaExceeded) {
+                quota_rejected = true;
+                stats_.rejected_quota++;
+            } else {
+                depth = sched_.size();
+                stats_.submitted++;
+                stats_.peak_queue_depth =
+                    std::max<u64>(stats_.peak_queue_depth, depth);
+            }
         }
     }
     if (shed) {
         if (obs::metricsEnabled()) {
             obs::Registry::instance()
-                .counter("sevf_admission_shed_total",
-                         "Launches rejected with kBackpressure instead of "
-                         "queueing")
+                .counter("sevf_admission_shed_total", kShedHelp)
                 .add();
         }
-        ticket->complete(errBackpressure(
+        return reject(errBackpressure(
             "admission queue full: launch shed, retry later"));
-        return ticket;
+    }
+    if (shutting_down) {
+        return reject(errUnavailable(
+            "admission pipeline shutting down: launch not admitted"));
+    }
+    if (quota_rejected) {
+        if (obs::metricsEnabled()) {
+            obs::Registry::instance()
+                .counter("sevf_admission_rejected_quota_total", kQuotaHelp)
+                .add();
+        }
+        return reject(errQuotaExceeded(
+            "tenant " + tenant + " over its queued-launch quota"));
     }
     work_.notify_one();
     if (obs::metricsEnabled()) {
@@ -138,11 +201,31 @@ AdmissionPipeline::submit(StrategyKind kind, LaunchRequest request)
     return ticket;
 }
 
+std::shared_ptr<LaunchTicket>
+AdmissionPipeline::rejectedTicket(Status error)
+{
+    auto ticket = std::make_shared<LaunchTicket>();
+    ticket->complete(std::move(error));
+    return ticket;
+}
+
+void
+AdmissionPipeline::setTenantLimits(const std::string &tenant,
+                                   service::ScheduleLimits limits)
+{
+    {
+        base::MutexLock lock(mu_);
+        sched_.setLimits(tenant, limits);
+    }
+    // A raised in-flight cap may make parked jobs dispatchable.
+    work_.notify_all();
+}
+
 void
 AdmissionPipeline::drain()
 {
     base::MutexLock lock(mu_);
-    while (!queue_.empty() || active_ != 0) {
+    while (!sched_.idle() || active_ != 0) {
         idle_.wait(lock.native());
     }
 }
@@ -161,14 +244,20 @@ AdmissionPipeline::workerLoop()
         Job job;
         {
             base::MutexLock lock(mu_);
-            while (queue_.empty() && !stopping_) {
+            for (;;) {
+                // pop() is nullopt both when nothing is queued and when
+                // every queued tenant sits at its in-flight cap; either
+                // way a completion or an enqueue re-notifies work_.
+                std::optional<Job> next = sched_.pop();
+                if (next.has_value()) {
+                    job = std::move(*next);
+                    break;
+                }
+                if (stopping_ && sched_.idle()) {
+                    return;
+                }
                 work_.wait(lock.native());
             }
-            if (queue_.empty()) {
-                return; // stopping, nothing left to do
-            }
-            job = std::move(queue_.front());
-            queue_.pop_front();
             active_++;
         }
         space_.notify_one();
@@ -197,14 +286,22 @@ AdmissionPipeline::workerLoop()
                 stats_.failed++;
             }
         }
+        // Hook before resolving the ticket: once complete() runs, a
+        // consumer's take() may already have moved the result out.
+        if (job.on_complete) {
+            job.on_complete(result);
+        }
         job.ticket->complete(std::move(result));
         {
             base::MutexLock lock(mu_);
+            sched_.noteCompleted(job.tenant);
             active_--;
-            if (queue_.empty() && active_ == 0) {
+            if (sched_.idle() && active_ == 0) {
                 idle_.notify_all();
             }
         }
+        // The freed in-flight slot may unblock a capped tenant's job.
+        work_.notify_all();
         if (obs::metricsEnabled()) {
             obs::Registry::instance()
                 .counter("sevf_admission_completed_total",

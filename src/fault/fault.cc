@@ -73,6 +73,7 @@ faultSiteName(FaultSite site)
       case FaultSite::kCacheDiskWrite: return "disk-write";
       case FaultSite::kDramMmap: return "dram-mmap";
       case FaultSite::kAdmissionEnqueue: return "admission";
+      case FaultSite::kServiceEnqueue: return "service-enqueue";
     }
     return "unknown";
 }
@@ -83,14 +84,14 @@ parseFaultSite(const std::string &name)
     for (FaultSite site :
          {FaultSite::kPspCommand, FaultSite::kCacheDiskRead,
           FaultSite::kCacheDiskWrite, FaultSite::kDramMmap,
-          FaultSite::kAdmissionEnqueue}) {
+          FaultSite::kAdmissionEnqueue, FaultSite::kServiceEnqueue}) {
         if (name == faultSiteName(site)) {
             return site;
         }
     }
     return errInvalidArgument("fault plan: unknown site \"" + name +
                               "\" (psp, disk-read, disk-write, dram-mmap, "
-                              "admission)");
+                              "admission, service-enqueue)");
 }
 
 Result<FaultPlan>
@@ -211,7 +212,7 @@ FaultInjector::FaultInjector()
     for (FaultSite site :
          {FaultSite::kPspCommand, FaultSite::kCacheDiskRead,
           FaultSite::kCacheDiskWrite, FaultSite::kDramMmap,
-          FaultSite::kAdmissionEnqueue}) {
+          FaultSite::kAdmissionEnqueue, FaultSite::kServiceEnqueue}) {
         obs::Labels labels{{"site", faultSiteName(site)}};
         (void)reg.counter("sevf_fault_checks_total",
                           "Fault-injection site occurrences consulted",

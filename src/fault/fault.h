@@ -45,12 +45,13 @@ enum class FaultSite : u8 {
     kCacheDiskWrite,   //!< template-cache disk-tier persist
     kDramMmap,         //!< DramBuffer anonymous mmap
     kAdmissionEnqueue, //!< admission-pipeline submit (forces shedding)
+    kServiceEnqueue,   //!< launch-service tenant submit (typed reject)
 };
 
-inline constexpr std::size_t kFaultSiteCount = 5;
+inline constexpr std::size_t kFaultSiteCount = 6;
 
 /** Spec/metric-label name: "psp", "disk-read", "disk-write",
- *  "dram-mmap", "admission". */
+ *  "dram-mmap", "admission", "service-enqueue". */
 const char *faultSiteName(FaultSite site);
 
 /** Inverse of faultSiteName; kInvalidArgument on unknown names. */
@@ -75,7 +76,7 @@ struct FaultRule {
  *   plan   := clause (';' clause)*
  *   clause := "seed=" N | site ':' opt (',' opt)*
  *   site   := "psp" | "disk-read" | "disk-write" | "dram-mmap"
- *           | "admission"
+ *           | "admission" | "service-enqueue"
  *   opt    := "p=" FLOAT | "nth=" N | "count=" N
  *
  * Example: "seed=7;psp:p=0.25;disk-read:nth=2,count=3"

@@ -21,8 +21,10 @@ inline constexpr const char *kExhaustedHelp =
 u64
 backoffDelayNs(const RetryPolicy &policy, u32 next_attempt, Rng &rng)
 {
-    // Exponential: base * 2^(k) for the k-th backoff, saturating at the
-    // cap before jitter so the cap is the mean of the jittered delay.
+    // Exponential: base * 2^(k) for the k-th backoff. max_delay_ns is a
+    // hard bound on the returned delay (RELIABILITY.md: "cap on any
+    // single delay"), so jittered delays are clamped again below —
+    // near the cap the jitter distribution is one-sided.
     u32 k = next_attempt >= 2 ? next_attempt - 2 : 0;
     u64 delay = policy.base_delay_ns;
     for (u32 i = 0; i < k; ++i) {
@@ -38,6 +40,7 @@ backoffDelayNs(const RetryPolicy &policy, u32 next_attempt, Rng &rng)
         // Uniform in [1-jitter, 1+jitter).
         double factor = 1.0 - jitter + 2.0 * jitter * rng.nextDouble();
         delay = static_cast<u64>(static_cast<double>(delay) * factor);
+        delay = std::min(delay, policy.max_delay_ns);
     }
     return delay;
 }

@@ -20,6 +20,7 @@
 #include "core/admission.h"
 #include "core/launch.h"
 #include "fault/fault.h"
+#include "service/launch_service.h"
 
 namespace sevf {
 namespace {
@@ -66,7 +67,8 @@ bool
 isTypedChaosError(const Status &status)
 {
     return status.code() == ErrorCode::kUnavailable ||
-           status.code() == ErrorCode::kBackpressure;
+           status.code() == ErrorCode::kBackpressure ||
+           status.code() == ErrorCode::kQuotaExceeded;
 }
 
 TEST(ChaosTest, EveryStrategySurvivesOrFailsTyped)
@@ -149,6 +151,73 @@ TEST(ChaosTest, EveryStrategySurvivesOrFailsTyped)
     EXPECT_GT(faults_injected, 0u)
         << "the sweep injected nothing; plan too gentle";
     std::filesystem::remove_all(disk_root);
+}
+
+// The serving-layer chaos sweep: the same survive-or-fail-typed
+// contract, exercised through the multi-tenant launch service with the
+// service-enqueue fault site armed on top of the pipeline sites and a
+// tight per-tenant quota in play. Every ticket must resolve with the
+// baseline measurement or a typed error — quota rejections included.
+TEST(ChaosTest, ServiceSubmitSurvivesOrFailsTyped)
+{
+    crypto::Sha256Digest baseline{};
+    {
+        core::Platform platform(sim::CostParams::deterministic());
+        Result<core::LaunchResult> clean =
+            core::makeStrategy(core::StrategyKind::kSeveriFastBz)
+                ->launch(platform, chaosRequest());
+        ASSERT_TRUE(clean.isOk()) << clean.status().toString();
+        baseline = clean->measurement;
+    }
+
+    u64 survived = 0;
+    u64 typed_failures = 0;
+    u64 service_faults = 0;
+    for (u64 seed = 1; seed <= kSeedsPerStrategy; ++seed) {
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+        Result<FaultPlan> plan = FaultPlan::parse(
+            chaosPlanSpec(seed) + ";service-enqueue:p=0.2");
+        ASSERT_TRUE(plan.isOk()) << plan.status().toString();
+        ScopedFaultPlan armed(plan.take());
+
+        core::Platform platform(sim::CostParams::deterministic());
+        service::TenantRegistry registry;
+        service::ServiceConfig config;
+        config.workers = 2;
+        service::LaunchService svc(platform, registry, config);
+        service::TenantQuota quota;
+        quota.max_queued = 2;
+        ASSERT_TRUE(svc.registerTenant("chaos", quota).isOk());
+
+        std::vector<std::shared_ptr<core::LaunchTicket>> tickets;
+        for (int i = 0; i < 5; ++i) {
+            tickets.push_back(
+                svc.submit("chaos", core::StrategyKind::kSeveriFastBz,
+                           chaosRequest()));
+        }
+        for (auto &ticket : tickets) {
+            Result<core::LaunchResult> result = ticket->take();
+            if (result.isOk()) {
+                ++survived;
+                EXPECT_EQ(result->measurement, baseline)
+                    << "fault recovery changed the launch measurement";
+            } else {
+                ++typed_failures;
+                EXPECT_TRUE(isTypedChaosError(result.status()))
+                    << "untyped chaos failure: "
+                    << result.status().toString();
+            }
+        }
+        service_faults += FaultInjector::instance()
+                              .siteStats(FaultSite::kServiceEnqueue)
+                              .injected;
+    }
+    EXPECT_EQ(survived + typed_failures, kSeedsPerStrategy * 5);
+    EXPECT_GT(survived, 0u) << "every service chaos run failed";
+    EXPECT_GT(typed_failures, 0u)
+        << "quota + service faults injected nothing";
+    EXPECT_GT(service_faults, 0u)
+        << "the service-enqueue site never fired";
 }
 
 TEST(ChaosTest, SameSeedReplaysTheSameOutcome)

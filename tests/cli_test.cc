@@ -163,6 +163,55 @@ TEST(BootCli, CacheStatsLineCarriesDiskHealthCounters)
               "bytes=0 disk_errors=0 quarantined=0 poisoned=0");
 }
 
+TEST(BootCli, RejectsMalformedNumbers)
+{
+    // Regression: std::atoi silently turned "--threads=abc" into 0
+    // ("use the platform knob") and wrapped negatives through the
+    // unsigned cast. Every numeric flag must now reject garbage with a
+    // usage error naming the flag.
+    for (const char *arg :
+         {"--vcpus=abc", "--vcpus=-1", "--vcpus=4294967296",
+          "--vcpus=12x", "--vcpus=", "--vcpus= 4",
+          "--threads=abc", "--threads=-2", "--threads=1e3",
+          "--retry-max=abc", "--retry-max=-1",
+          "--retry-max=99999999999",
+          "--seed=-7", "--seed=18446744073709551616",
+          "--verifier-size=4k", "--cache-bytes=1GiB",
+          "--retry-base-us=abc",
+          "--scale=huge", "--scale=-0.5", "--scale=1.5", "--scale=nan",
+          "--retry-jitter=2", "--retry-jitter=-0.1"}) {
+        Result<BootOptions> parsed = parseBootArgs({arg});
+        EXPECT_FALSE(parsed.isOk()) << arg << " should be rejected";
+    }
+    Result<BootOptions> bad = parseBootArgs({"--threads=abc"});
+    ASSERT_FALSE(bad.isOk());
+    EXPECT_EQ(bad.status().code(), ErrorCode::kInvalidArgument);
+    EXPECT_NE(bad.status().message().find("--threads"),
+              std::string::npos);
+}
+
+TEST(BootCli, AcceptsBoundaryNumbers)
+{
+    Result<BootOptions> max32 = parseBootArgs({"--vcpus=4294967295"});
+    ASSERT_TRUE(max32.isOk()) << max32.status().toString();
+    EXPECT_EQ(max32->request.vm.vcpus, 4294967295u);
+
+    Result<BootOptions> max64 =
+        parseBootArgs({"--seed=18446744073709551615"});
+    ASSERT_TRUE(max64.isOk()) << max64.status().toString();
+    EXPECT_EQ(max64->request.seed, 18446744073709551615ull);
+
+    Result<BootOptions> zero = parseBootArgs({"--threads=0"});
+    ASSERT_TRUE(zero.isOk());
+    EXPECT_EQ(zero->request.host_threads, 0u);
+
+    Result<BootOptions> edges =
+        parseBootArgs({"--retry-jitter=1", "--scale=1.0"});
+    ASSERT_TRUE(edges.isOk());
+    EXPECT_DOUBLE_EQ(edges->retry.jitter, 1.0);
+    EXPECT_DOUBLE_EQ(edges->request.scale, 1.0);
+}
+
 TEST(BootCli, RejectsBadInput)
 {
     EXPECT_FALSE(parseBootArgs({"--no-such-flag"}).isOk());

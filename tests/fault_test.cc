@@ -78,7 +78,7 @@ TEST(FaultPlanTest, SiteNamesRoundTrip)
     for (FaultSite site :
          {FaultSite::kPspCommand, FaultSite::kCacheDiskRead,
           FaultSite::kCacheDiskWrite, FaultSite::kDramMmap,
-          FaultSite::kAdmissionEnqueue}) {
+          FaultSite::kAdmissionEnqueue, FaultSite::kServiceEnqueue}) {
         Result<FaultSite> parsed =
             fault::parseFaultSite(fault::faultSiteName(site));
         ASSERT_TRUE(parsed.isOk()) << fault::faultSiteName(site);
@@ -192,7 +192,7 @@ TEST(RetryTest, JitterStaysWithinFraction)
 {
     RetryPolicy policy;
     policy.base_delay_ns = 100000;
-    policy.max_delay_ns = 100000;
+    policy.max_delay_ns = 400000;
     policy.jitter = 0.25;
     Rng rng(42);
     for (int i = 0; i < 100; ++i) {
@@ -200,6 +200,27 @@ TEST(RetryTest, JitterStaysWithinFraction)
         EXPECT_GE(d, 75000u);
         EXPECT_LT(d, 125000u);
     }
+}
+
+TEST(RetryTest, MaxDelayIsHardCapEvenWithJitter)
+{
+    // Regression: jitter used to be applied after the cap, so a delay
+    // already at max_delay_ns could come out up to (1+jitter)*max —
+    // while docs/RELIABILITY.md documents max_delay_ns as a cap on any
+    // single delay. The cap must hold post-jitter.
+    RetryPolicy policy; // documented defaults: 10 ms cap, 0.1 jitter
+    Rng rng(7);
+    bool saw_below_cap = false;
+    for (int i = 0; i < 1000; ++i) {
+        // Attempt 9 is deep enough that the raw delay saturates at max.
+        u64 d = fault::backoffDelayNs(policy, 9, rng);
+        EXPECT_LE(d, policy.max_delay_ns);
+        EXPECT_GE(d, static_cast<u64>(static_cast<double>(
+                         policy.max_delay_ns) * (1.0 - policy.jitter)));
+        saw_below_cap = saw_below_cap || d < policy.max_delay_ns;
+    }
+    EXPECT_TRUE(saw_below_cap)
+        << "jitter must still spread delays below the cap";
 }
 
 TEST(RetryTest, RetriesTransientUntilSuccess)

@@ -147,6 +147,9 @@ echo "==> [bench] cache hit/miss (bit-identity gate)"
 echo "==> [bench] concurrent admission pipeline"
 (cd "$root" && "$root/build-ci-werror/bench/bench_fig12_concurrent" \
     "$root/BENCH_wallclock.json")
+echo "==> [bench] service fairness + sharded-cache throughput gates"
+(cd "$root" && "$root/build-ci-werror/bench/bench_service_fairness" \
+    "$root/BENCH_wallclock.json")
 
 # 8. Observability: boot one SEV-SNP launch with tracing + metrics on,
 #    then validate both exports with sevf_obscheck — Chrome-trace
@@ -206,6 +209,39 @@ if grep -q '"cache/' "$tcb_dir/tcb-inventory.json"; then
     exit 1
 fi
 
+# 9b. Multi-tenant launch service: replay the example workload trace
+#     through sevf_serve, validate the metrics export with the serving
+#     gate plus both doc-drift gates (the per-tenant families must be
+#     documented like everything else), and keep the whole service
+#     layer outside the root of trust — like the cache, a scheduler
+#     bug can deny service but never change what a guest owner
+#     attests.
+service_dir="$root/build-ci-werror/service-ci"
+rm -rf "$service_dir"
+mkdir -p "$service_dir"
+echo "==> [service] replay examples/service_trace.json"
+"$root/build-ci-werror/tools/sevf_serve" \
+    --trace "$root/examples/service_trace.json" \
+    --workers 2 --time-scale 0.1 --json \
+    --metrics-out "$service_dir/metrics.prom" \
+    >"$service_dir/report.json"
+echo "==> [service] per-tenant families + doc-drift gates"
+"$root/build-ci-werror/tools/sevf_obscheck" \
+    --metrics "$service_dir/metrics.prom" --service \
+    --docs "$root/docs/OBSERVABILITY.md" \
+    --reliability "$root/docs/RELIABILITY.md"
+echo "==> [service] every trace event completed or was rejected typed"
+if grep -q '"failed": *[1-9]' "$service_dir/report.json"; then
+    echo "error: serve replay reported failed launches:" >&2
+    cat "$service_dir/report.json" >&2
+    exit 1
+fi
+echo "==> [service] no service/ code in the TCB inventory"
+if grep -q '"service/' "$tcb_dir/tcb-inventory.json"; then
+    echo "error: service module entered the TCB closure" >&2
+    exit 1
+fi
+
 # 10. Chaos: the seeded fault sweep (65 fixed seeds x 5 strategies —
 #     every run must end bit-identical to the fault-free boot or in a
 #     typed error; chaos_test already ran under every matrix entry
@@ -259,4 +295,4 @@ done
 
 echo "==> CI green: hygiene + werror + asan,ubsan + taint-enforce + tsan" \
      "+ lint + tcb + thread-safety + model + bench + obs + cache" \
-     "+ chaos + docs"
+     "+ service + chaos + docs"

@@ -12,11 +12,12 @@
 #ifndef SEVF_TOOLS_SEVF_BOOT_CLI_H_
 #define SEVF_TOOLS_SEVF_BOOT_CLI_H_
 
-#include <cstdlib>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "base/status.h"
+#include "tools/sevf_cli_num.h"
 #include "cache/template_cache.h"
 #include "compress/codec.h"
 #include "core/launch.h"
@@ -75,7 +76,7 @@ bootFlags()
         {"--fault-plan", "SPEC",
          "arm deterministic fault injection, e.g. "
          "\"seed=7;psp:p=0.25;disk-read:nth=2\" (sites: psp, disk-read, "
-         "disk-write, dram-mmap, admission)"},
+         "disk-write, dram-mmap, admission, service-enqueue)"},
         {"--retry-max", "N",
          "PSP transient-error retry budget: total attempts per command "
          "(default 3, 1 = no retry)"},
@@ -260,16 +261,17 @@ parseBootArgs(const std::vector<std::string> &args)
                 return errInvalidArgument("unknown mode: " + value);
             }
         } else if (arg == "--vcpus") {
-            opts.request.vm.vcpus =
-                static_cast<u32>(std::atoi(value.c_str()));
+            SEVF_ASSIGN_OR_RETURN(opts.request.vm.vcpus,
+                                  parseU32(arg, value));
         } else if (arg == "--scale") {
-            opts.request.scale = std::atof(value.c_str());
+            SEVF_ASSIGN_OR_RETURN(opts.request.scale,
+                                  parseFraction(arg, value, 1.0));
         } else if (arg == "--seed") {
-            opts.request.seed =
-                static_cast<u64>(std::atoll(value.c_str()));
+            SEVF_ASSIGN_OR_RETURN(opts.request.seed,
+                                  parseU64(arg, value));
         } else if (arg == "--threads") {
-            opts.request.host_threads =
-                static_cast<unsigned>(std::atoi(value.c_str()));
+            SEVF_ASSIGN_OR_RETURN(opts.request.host_threads,
+                                  parseU32(arg, value));
         } else if (arg == "--no-hugepages") {
             opts.request.vm.hugepages = false;
         } else if (arg == "--no-attest") {
@@ -283,8 +285,8 @@ parseBootArgs(const std::vector<std::string> &args)
             SEVF_ASSIGN_OR_RETURN(opts.request.initrd_codec,
                                   detail::parseCodec(value));
         } else if (arg == "--verifier-size") {
-            opts.request.verifier_size =
-                static_cast<u64>(std::atoll(value.c_str()));
+            SEVF_ASSIGN_OR_RETURN(opts.request.verifier_size,
+                                  parseU64(arg, value));
         } else if (arg == "--kaslr") {
             opts.request.guest_kaslr = true;
         } else if (arg == "--share-key") {
@@ -294,20 +296,25 @@ parseBootArgs(const std::vector<std::string> &args)
         } else if (arg == "--cache-dir") {
             opts.cache_dir = value;
         } else if (arg == "--cache-bytes") {
-            opts.cache_bytes =
-                static_cast<u64>(std::atoll(value.c_str()));
+            SEVF_ASSIGN_OR_RETURN(opts.cache_bytes,
+                                  parseU64(arg, value));
         } else if (arg == "--cache-stats") {
             opts.cache_stats = true;
         } else if (arg == "--fault-plan") {
             opts.fault_plan = value;
         } else if (arg == "--retry-max") {
-            opts.retry.max_attempts =
-                static_cast<u32>(std::atoi(value.c_str()));
+            SEVF_ASSIGN_OR_RETURN(opts.retry.max_attempts,
+                                  parseU32(arg, value));
         } else if (arg == "--retry-base-us") {
-            opts.retry.base_delay_ns =
-                static_cast<u64>(std::atoll(value.c_str())) * 1000;
+            SEVF_ASSIGN_OR_RETURN(u64 base_us, parseU64(arg, value));
+            if (base_us > std::numeric_limits<u64>::max() / 1000) {
+                return errInvalidArgument(arg + " out of range: \"" +
+                                          value + "\"");
+            }
+            opts.retry.base_delay_ns = base_us * 1000;
         } else if (arg == "--retry-jitter") {
-            opts.retry.jitter = std::atof(value.c_str());
+            SEVF_ASSIGN_OR_RETURN(opts.retry.jitter,
+                                  parseFraction(arg, value, 1.0));
         } else if (arg == "--json") {
             opts.json = true;
         } else if (arg == "--trace-out") {

@@ -5,9 +5,9 @@
  *   usage: sevf_obscheck [--trace trace.json] [--metrics metrics.prom]
  *                        [--docs docs/OBSERVABILITY.md]
  *                        [--reliability docs/RELIABILITY.md]
- *                        [--min-coverage 0.95]
+ *                        [--service] [--min-coverage 0.95]
  *
- * Four checks, each on when its input file is given:
+ * Five checks, each on when its input file (or flag) is given:
  *  - trace: parses as JSON (with the repo's own stats/json parser),
  *    every event is structurally a Chrome trace event, and per sim
  *    launch the union of sim.step spans covers >= min-coverage of the
@@ -25,6 +25,10 @@
  *    admission shedding, DRAM mmap fallback), appears in
  *    docs/RELIABILITY.md — a new fault domain cannot land without its
  *    operator runbook entry.
+ *  - service (--service, needs --metrics): the multi-tenant serving
+ *    families (sevf_service_*, the admission quota/shed counters) are
+ *    present in the export — the ci.sh [service] stage runs sevf_serve
+ *    and holds its metrics to this contract.
  *
  * Exit 0 when all requested checks pass; 1 with one line per failure.
  */
@@ -331,6 +335,7 @@ isReliabilityName(const std::string &name)
     static const char *kExact[] = {
         "sevf_cache_disk_errors_total", "sevf_cache_disk_quarantined",
         "sevf_cache_poisoned_total", "sevf_admission_shed_total",
+        "sevf_admission_rejected_quota_total",
         "sevf_dram_mmap_fallback_total", "cache.poison_fallback",
     };
     for (const char *exact : kExact) {
@@ -382,12 +387,37 @@ checkReliability(const std::string &path, const TraceNames &trace,
           "sevf_retry_attempts_total", "sevf_retry_backoff_ns_total",
           "sevf_retry_exhausted_total", "sevf_cache_disk_errors_total",
           "sevf_cache_disk_quarantined", "sevf_cache_poisoned_total",
-          "sevf_admission_shed_total", "sevf_dram_mmap_fallback_total",
+          "sevf_admission_shed_total",
+          "sevf_admission_rejected_quota_total",
+          "sevf_dram_mmap_fallback_total",
           "fault.inject", "retry.backoff", "cache.poison_fallback"}) {
         require(always, "signal");
     }
     std::printf("reliability: %zu names checked against %s\n", checked,
                 path.c_str());
+}
+
+/**
+ * Serving-layer gate: a metrics export produced by the launch service
+ * (sevf_serve, bench_service_fairness) must carry the per-tenant
+ * service families and the admission rejection counters. Families are
+ * registered eagerly, so they are present (zero-valued) even when no
+ * launch was rejected.
+ */
+void
+checkService(const std::set<std::string> &families)
+{
+    for (const char *required :
+         {"sevf_service_submitted_total", "sevf_service_completed_total",
+          "sevf_service_failed_total", "sevf_service_rejected_total",
+          "sevf_service_latency_ns", "sevf_admission_rejected_quota_total",
+          "sevf_admission_shed_total"}) {
+        if (!families.contains(required)) {
+            fail(std::string("service: required family missing: ") +
+                 required);
+        }
+    }
+    std::printf("service: serving families present\n");
 }
 
 } // namespace
@@ -399,6 +429,7 @@ main(int argc, char **argv)
     std::string metrics_path;
     std::string docs_path;
     std::string reliability_path;
+    bool check_service = false;
     double min_coverage = 0.95;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -417,16 +448,22 @@ main(int argc, char **argv)
             docs_path = next();
         } else if (arg == "--reliability") {
             reliability_path = next();
+        } else if (arg == "--service") {
+            check_service = true;
         } else if (arg == "--min-coverage") {
             min_coverage = std::atof(next().c_str());
         } else {
             std::fprintf(stderr,
                          "usage: %s [--trace FILE] [--metrics FILE] "
                          "[--docs FILE] [--reliability FILE] "
-                         "[--min-coverage F]\n",
+                         "[--service] [--min-coverage F]\n",
                          argv[0]);
             return 2;
         }
+    }
+    if (check_service && metrics_path.empty()) {
+        std::fprintf(stderr, "--service needs --metrics\n");
+        return 2;
     }
 
     TraceNames trace_names;
@@ -436,6 +473,9 @@ main(int argc, char **argv)
     }
     if (!metrics_path.empty()) {
         families = checkMetrics(metrics_path);
+    }
+    if (check_service) {
+        checkService(families);
     }
     if (!docs_path.empty()) {
         checkDocs(docs_path, trace_names, families);

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * sevf_serve: replay a JSON workload trace against the multi-tenant
+ * launch service and report per-tenant latency and fairness.
+ *
+ *   usage: sevf_serve --trace FILE [--workers N] [--queue-depth N]
+ *                     [--shed-on-full] [--time-scale F] [--json]
+ *                     [--metrics-out FILE] [--fault-plan SPEC]
+ *
+ * The trace format is documented in src/service/trace_replay.h (and
+ * examples/service_trace.json is a ready-to-run example). --time-scale
+ * compresses the recorded arrival offsets (0 = submit back-to-back in
+ * trace order). --json emits the machine-readable report on stdout;
+ * the default is a human-readable per-tenant table. --metrics-out
+ * writes the full metric export (Prometheus text, or JSON snapshot for
+ * a .json path), which is what the ci.sh [service] stage feeds to
+ * sevf_obscheck --service.
+ */
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fault/fault.h"
+#include "obs/export.h"
+#include "obs/span.h"
+#include "service/launch_service.h"
+#include "service/trace_replay.h"
+#include "tools/sevf_cli_num.h"
+
+using namespace sevf;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --trace FILE [--workers N] [--queue-depth N]\n"
+        "       [--shed-on-full] [--time-scale F] [--json]\n"
+        "       [--metrics-out FILE] [--fault-plan SPEC]\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string trace_path;
+    std::string metrics_path;
+    std::string fault_plan;
+    service::ServiceConfig config;
+    double time_scale = 1.0;
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        auto parsed = [&](auto result, auto *out) {
+            if (!result.isOk()) {
+                std::fprintf(stderr, "%s\n",
+                             result.status().message().c_str());
+                return false;
+            }
+            *out = result.take();
+            return true;
+        };
+        const char *value = nullptr;
+        if (arg == "--shed-on-full") {
+            config.shed_on_full = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if ((value = next()) == nullptr) {
+            std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+            return usage(argv[0]);
+        } else if (arg == "--trace") {
+            trace_path = value;
+        } else if (arg == "--metrics-out") {
+            metrics_path = value;
+        } else if (arg == "--fault-plan") {
+            fault_plan = value;
+        } else if (arg == "--workers") {
+            if (!parsed(tools::parseU32(arg, value), &config.workers)) {
+                return usage(argv[0]);
+            }
+        } else if (arg == "--queue-depth") {
+            u64 depth = 0;
+            if (!parsed(tools::parseU64(arg, value), &depth) ||
+                depth == 0) {
+                std::fprintf(stderr,
+                             "--queue-depth must be a positive integer\n");
+                return usage(argv[0]);
+            }
+            config.queue_depth = static_cast<std::size_t>(depth);
+        } else if (arg == "--time-scale") {
+            if (!parsed(tools::parseFraction(arg, value, 1e6),
+                        &time_scale)) {
+                return usage(argv[0]);
+            }
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (trace_path.empty()) {
+        return usage(argv[0]);
+    }
+
+    std::ifstream in(trace_path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Result<service::WorkloadTrace> trace =
+        service::WorkloadTrace::parse(buf.str());
+    if (!trace.isOk()) {
+        std::fprintf(stderr, "%s: %s\n", trace_path.c_str(),
+                     trace.status().message().c_str());
+        return 1;
+    }
+
+    if (!fault_plan.empty()) {
+        Result<fault::FaultPlan> plan = fault::FaultPlan::parse(fault_plan);
+        if (!plan.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         plan.status().message().c_str());
+            return usage(argv[0]);
+        }
+        fault::FaultInjector::instance().arm(plan.take());
+    }
+
+    obs::ScopedEnable obs_on(/*metrics=*/true, /*tracing=*/true);
+    core::Platform platform(sim::CostParams::deterministic());
+    service::TenantRegistry registry;
+    service::LaunchService svc(platform, registry, config);
+
+    Result<service::ReplayReport> report =
+        service::replayTrace(svc, *trace, time_scale);
+    if (!report.isOk()) {
+        std::fprintf(stderr, "replay failed: %s\n",
+                     report.status().message().c_str());
+        return 1;
+    }
+
+    if (!metrics_path.empty()) {
+        Status written = obs::writeMetricsFile(metrics_path);
+        if (!written.isOk()) {
+            std::fprintf(stderr, "%s\n", written.message().c_str());
+            return 1;
+        }
+    }
+
+    if (json) {
+        std::printf("%s\n", service::reportToJson(*report).c_str());
+        return 0;
+    }
+    std::printf("replayed %zu events over %.2f ms "
+                "(latency fairness %.3f)\n",
+                trace->events.size(),
+                static_cast<double>(report->wall_ns) / 1e6,
+                report->latency_fairness);
+    std::printf("shared-PSP model: mean completion %.2f ms, "
+                "max %.2f ms\n",
+                static_cast<double>(report->des_mean_completion_ns) / 1e6,
+                static_cast<double>(report->des_max_completion_ns) / 1e6);
+    std::printf("%-12s %9s %9s %9s %9s %9s %12s %12s\n", "tenant", "subm",
+                "done", "rej", "fail", "warm", "p50_ms", "p95_ms");
+    for (const service::TenantReport &t : report->tenants) {
+        std::printf("%-12s %9llu %9llu %9llu %9llu %9llu %12.3f %12.3f\n",
+                    t.tenant.c_str(),
+                    static_cast<unsigned long long>(t.submitted),
+                    static_cast<unsigned long long>(t.completed),
+                    static_cast<unsigned long long>(t.rejected),
+                    static_cast<unsigned long long>(t.failed),
+                    static_cast<unsigned long long>(t.warm_hits),
+                    static_cast<double>(t.p50_ns) / 1e6,
+                    static_cast<double>(t.p95_ns) / 1e6);
+    }
+    return 0;
+}
